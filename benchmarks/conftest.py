@@ -1,0 +1,62 @@
+"""Shared infrastructure for the figure/claim benchmark harness.
+
+Every benchmark regenerates one paper artifact (figure or quantitative
+claim), writes it under ``benchmarks/out/``, prints the headline numbers,
+and times a representative operation with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.arch.node import NodeConfig
+from repro.arch.params import SUBSET_PARAMS
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def node() -> NodeConfig:
+    return NodeConfig()
+
+
+@pytest.fixture(scope="session")
+def subset_node() -> NodeConfig:
+    return NodeConfig(SUBSET_PARAMS)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2026)
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture()
+def save_artifact(artifact_dir):
+    def _save(name: str, text: str) -> Path:
+        path = artifact_dir / name
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    return _save
+
+
+def boundary_grid(rng: np.random.Generator, shape) -> np.ndarray:
+    """Random grid with homogeneous Dirichlet boundary (z, y, x order)."""
+    nx, ny, nz = shape
+    u = rng.random((nz, ny, nx))
+    u[0] = u[-1] = 0.0
+    u[:, 0] = u[:, -1] = 0.0
+    u[:, :, 0] = u[:, :, -1] = 0.0
+    return u

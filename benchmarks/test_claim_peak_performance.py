@@ -1,0 +1,113 @@
+"""C1 — §2 performance claims: 640 MFLOPS/node peak; 40 GFLOPS and 128 GB
+at 64 nodes.
+
+We cannot match absolute 1988 numbers (the hardware never existed); the
+reproducible *shape* is: (a) the peak model reproduces the paper's figures
+exactly; (b) achieved rates sit below peak with the gap driven by pipeline
+fill, reconfiguration, and DMA; (c) wider pipelines beat dependent chains;
+(d) longer vectors amortize fill; (e) multi-node efficiency falls as
+communication grows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.params import NSCParameters
+from repro.codegen.generator import MicrocodeGenerator
+from repro.compose.kernels import (
+    build_chain_program,
+    build_saxpy_program,
+    build_wide_program,
+)
+from repro.sim.machine import NSCMachine
+from repro.sim.multinode import MultiNodeStencil
+
+
+def _achieved_mflops(node, setup, inputs) -> float:
+    machine = NSCMachine(node)
+    machine.load_program(MicrocodeGenerator(node).generate(setup.program))
+    for name, values in inputs.items():
+        machine.set_variable(name, values)
+    result = machine.run()
+    return machine.metrics(result).achieved_mflops
+
+
+def test_claim_peak_performance(benchmark, node, rng, save_artifact):
+    params = NSCParameters()
+    rows = ["C1: peak-performance claims (§2)"]
+
+    # (a) the peak model
+    rows.append(
+        f"  peak/node: paper 640 MFLOPS | model "
+        f"{params.peak_mflops_per_node:.0f} MFLOPS "
+        f"({params.n_functional_units} FUs x {params.clock_mhz:.0f} MHz)"
+    )
+    rows.append(
+        f"  64-node system: paper 40 GFLOPS, 128 GB | model "
+        f"{params.peak_gflops_system:.1f} GFLOPS, "
+        f"{params.system_memory_bytes / (1 << 30):.0f} GB"
+    )
+    assert params.peak_mflops_per_node == 640.0
+    assert params.peak_gflops_system == pytest.approx(40.96)
+    assert params.system_memory_bytes == 128 * (1 << 30)
+
+    # (b) vector-length sweep: fill amortization
+    rows.append("")
+    rows.append("  vector-length sweep (saxpy):  n -> achieved MFLOPS")
+    sweep = {}
+    for n in (16, 128, 1024, 8192):
+        setup = build_saxpy_program(node, n)
+        sweep[n] = _achieved_mflops(
+            node, setup, {"x": rng.random(n), "y": rng.random(n)}
+        )
+        rows.append(f"    {n:>6}  {sweep[n]:8.1f}")
+    lengths = sorted(sweep)
+    assert all(
+        sweep[a] < sweep[b] for a, b in zip(lengths, lengths[1:])
+    ), "longer vectors must amortize pipeline fill"
+    assert sweep[8192] < params.peak_mflops_per_node
+
+    # (c) wide parallel lanes vs a dependent chain (same FU count)
+    n = 4096
+    wide = build_wide_program(node, n, lanes=8)
+    chain = build_chain_program(node, n, depth=8)
+    x = rng.random(n)
+    mflops_wide = _achieved_mflops(node, wide,
+                                   {f"x{i}": x for i in range(8)})
+    mflops_chain = _achieved_mflops(node, chain, {"x": x})
+    rows.append("")
+    rows.append(f"  8 parallel lanes:   {mflops_wide:8.1f} MFLOPS")
+    rows.append(f"  8-deep chain:       {mflops_chain:8.1f} MFLOPS")
+    rows.append("  (who wins: parallel pipelines, as the architecture intends)")
+    assert mflops_wide > mflops_chain
+
+    # (d) multi-node scaling shape on a fixed-size problem
+    rows.append("")
+    rows.append("  multi-node Jacobi (8x8x16 grid, strong scaling):")
+    rows.append("    nodes  GFLOPS  efficiency  comm%")
+    effs = {}
+    for dim in (0, 1, 2):
+        mn = MultiNodeStencil(hypercube_dim=dim, shape=(8, 8, 16), eps=1e-5)
+        u0 = rng.random((16, 8, 8))
+        u0[0] = u0[-1] = 0
+        mn.scatter("u", u0)
+        mn.scatter("f", np.zeros((16, 8, 8)))
+        res = mn.run(max_iterations=300)
+        effs[1 << dim] = res.efficiency
+        rows.append(
+            f"    {res.n_nodes:>5}  {res.achieved_gflops:6.3f}  "
+            f"{100 * res.efficiency:9.2f}%  "
+            f"{100 * res.comm_fraction:5.1f}%"
+        )
+    assert effs[4] < effs[1], "strong-scaling efficiency must fall"
+
+    # benchmark: a single saxpy run end to end
+    setup = build_saxpy_program(node, 4096)
+    benchmark(
+        _achieved_mflops, node, setup,
+        {"x": rng.random(4096), "y": rng.random(4096)},
+    )
+
+    text = "\n".join(rows)
+    save_artifact("claim_peak_performance.txt", text)
+    print("\n" + text)

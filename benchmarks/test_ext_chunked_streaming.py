@@ -1,0 +1,61 @@
+"""C7 — extension: double-buffered cache streaming (DESIGN.md ablation 5).
+
+§2's caches exist so memory traffic can overlap compute; the cost of using
+them is one pipeline pair plus a CacheSwap per chunk (instruction
+reconfiguration is not free, §2's "rapidly modified" notwithstanding).
+This bench sweeps the chunk size and reports the reconfiguration tax
+relative to a direct single-pipeline stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen.generator import MicrocodeGenerator
+from repro.compose.kernels import build_chunked_scale_program
+from repro.sim.machine import NSCMachine
+
+
+def _run(node, setup, x):
+    machine = NSCMachine(node)
+    machine.load_program(MicrocodeGenerator(node).generate(setup.program))
+    machine.set_variable("x", x)
+    result = machine.run()
+    return machine, result
+
+
+def test_ext_chunked_streaming(benchmark, node, rng, save_artifact):
+    n = 2048
+    x = rng.random(n)
+    rows = ["C7: chunked double-buffered streaming (out = 2x, n=2048)",
+            "",
+            "  chunk  instructions  cache swaps    cycles  vs direct"]
+    cycles = {}
+    for chunk in (2048, 512, 128, 32):
+        setup = build_chunked_scale_program(node, n, chunk=chunk)
+        machine, result = _run(node, setup, x)
+        np.testing.assert_allclose(machine.get_variable("out"), 2.0 * x)
+        cycles[chunk] = result.total_cycles
+        ratio = result.total_cycles / cycles[2048]
+        rows.append(
+            f"  {chunk:>5}  {result.instructions_issued:>12}  "
+            f"{machine.caches[0].swaps:>11}  {result.total_cycles:>8}  "
+            f"{ratio:8.2f}x"
+        )
+
+    chunks = sorted(cycles, reverse=True)
+    assert all(cycles[a] <= cycles[b] for a, b in zip(chunks, chunks[1:])), \
+        "smaller chunks must cost more (reconfiguration tax)"
+
+    rows.append("")
+    rows.append(
+        "  shape: the reconfiguration + swap tax grows as chunks shrink; "
+        "chunking is worthwhile only when the working set exceeds the "
+        "cache — exactly the §3 layout tension the checker polices"
+    )
+
+    setup = build_chunked_scale_program(node, n, chunk=512)
+    benchmark(_run, node, setup, x)
+
+    text = "\n".join(rows)
+    save_artifact("ext_chunked_streaming.txt", text)
+    print("\n" + text)

@@ -1,0 +1,90 @@
+"""C6 — extension: multi-phase solvers on the reconfigurable pipeline.
+
+§2: "The pipeline configurations may be rapidly modified under program
+control as the computation proceeds through different phases."  The paper's
+example uses one phase (Jacobi); its ref. [6] (the NSC multigrid work)
+needed stronger smoothers.  This benchmark compares Jacobi, red-black
+Gauss-Seidel, and red-black SOR drawn in the same environment: sweeps to
+convergence, total simulated cycles (the reconfiguration tax of two phases
+per sweep), and achieved MFLOPS.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen.generator import MicrocodeGenerator
+from repro.compose.iterative import build_rbsor_program, load_rbsor_inputs
+from repro.compose.jacobi import build_jacobi_program, load_jacobi_inputs
+from repro.sim.machine import NSCMachine
+
+from conftest import boundary_grid
+
+
+def _solve(node, kind, u0, shape, eps, omega=1.0):
+    f = np.zeros(shape)
+    if kind == "jacobi":
+        setup = build_jacobi_program(node, shape, eps=eps)
+        machine = NSCMachine(node)
+        machine.load_program(MicrocodeGenerator(node).generate(setup.program))
+        load_jacobi_inputs(machine, setup, u0, f)
+        result = machine.run()
+        sweeps = result.loop_iterations[setup.update_pipeline]
+    else:
+        setup = build_rbsor_program(node, shape, omega=omega, eps=eps)
+        machine = NSCMachine(node)
+        machine.load_program(MicrocodeGenerator(node).generate(setup.program))
+        load_rbsor_inputs(machine, setup, u0, f)
+        result = machine.run()
+        sweeps = result.loop_iterations[setup.black_pipeline]
+    metrics = machine.metrics(result)
+    return sweeps, result, metrics, machine.get_variable("u")
+
+
+def test_ext_solver_comparison(benchmark, node, rng, save_artifact):
+    shape = (8, 8, 8)
+    eps = 1e-5
+    u0 = boundary_grid(rng, shape)
+
+    rows = ["C6: solver comparison on the reconfigurable pipeline",
+            f"  (grid {shape}, eps={eps:g}, same initial guess)",
+            "",
+            "  solver          sweeps  instructions     cycles   MFLOPS"]
+    data = {}
+    for label, kind, omega in (
+        ("jacobi", "jacobi", None),
+        ("rb-gauss-seidel", "rbsor", 1.0),
+        ("rb-sor(1.5)", "rbsor", 1.5),
+    ):
+        sweeps, result, metrics, u = _solve(
+            node, kind, u0, shape, eps, omega=omega or 1.0
+        )
+        data[label] = (sweeps, result.instructions_issued,
+                       result.total_cycles, metrics.achieved_mflops, u)
+        rows.append(
+            f"  {label:<15} {sweeps:>6}  {result.instructions_issued:>12}  "
+            f"{result.total_cycles:>9}  {metrics.achieved_mflops:7.1f}"
+        )
+
+    j, gs, sor = (data[k] for k in ("jacobi", "rb-gauss-seidel",
+                                    "rb-sor(1.5)"))
+    # classic convergence ordering
+    assert sor[0] < gs[0] < j[0]
+    # ...and it wins in machine time despite two reconfigurations per sweep
+    assert sor[2] < j[2]
+    # all three converge to the same solution within the tolerance regime
+    assert float(np.max(np.abs(sor[4] - j[4]))) < 10 * eps
+
+    rows.append("")
+    rows.append(
+        "  shape: SOR < GS < Jacobi in sweeps AND total cycles — the "
+        "two-phase reconfiguration tax is repaid; multi-phase methods are "
+        "exactly what §2's rapid reconfiguration enables"
+    )
+
+    benchmark(
+        _solve, node, "rbsor", u0, shape, 1e-2, 1.5
+    )
+
+    text = "\n".join(rows)
+    save_artifact("ext_solver_comparison.txt", text)
+    print("\n" + text)

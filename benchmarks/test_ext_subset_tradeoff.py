@@ -1,0 +1,109 @@
+"""C5 — the §6 trade-off study: "use a simpler architectural model, perhaps
+a subset of the NSC.  The tradeoff here is between performance and
+programmability."
+
+Measured on both machines (full NSC vs the doublets-only subset) with the
+same workloads: programmability proxies (microword size, field count, menu
+sizes, legal-source counts) against performance proxies (peak rate,
+achieved rate, capacity limits).
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.als import ALSKind
+from repro.arch.switch import fu_in
+from repro.checker.checker import Checker
+from repro.codegen.generator import MicrocodeGenerator
+from repro.compose.builders import BuilderError
+from repro.compose.kernels import build_saxpy_program, build_wide_program
+from repro.diagram.pipeline import PipelineDiagram
+from repro.sim.machine import NSCMachine
+
+from conftest import boundary_grid
+
+
+def _achieved(node, setup, inputs):
+    machine = NSCMachine(node)
+    machine.load_program(MicrocodeGenerator(node).generate(setup.program))
+    for name, values in inputs.items():
+        machine.set_variable(name, values)
+    result = machine.run()
+    return machine.metrics(result)
+
+
+def test_ext_subset_tradeoff(benchmark, node, subset_node, rng, save_artifact):
+    rows = ["C5: architectural-subset trade-off (§6)"]
+    rows.append(f"  {'':<30}{'full NSC':>12}{'subset':>12}")
+
+    # programmability proxies
+    full_layout = MicrocodeGenerator(node).layout
+    sub_layout = MicrocodeGenerator(subset_node).layout
+    rows.append(f"  {'microword bits':<30}{full_layout.total_bits:>12}"
+                f"{sub_layout.total_bits:>12}")
+    rows.append(f"  {'microword fields':<30}{full_layout.n_fields:>12}"
+                f"{sub_layout.n_fields:>12}")
+
+    def menu_sources(n):
+        d = PipelineDiagram()
+        inst = n.als_of_kind(ALSKind.DOUBLET)[0]
+        d.add_als(inst.als_id, inst.kind, inst.first_fu)
+        return len(Checker(n).legal_sources_for(d, fu_in(inst.first_fu, "a")))
+
+    full_menu = menu_sources(node)
+    sub_menu = menu_sources(subset_node)
+    rows.append(f"  {'pad-menu sources':<30}{full_menu:>12}{sub_menu:>12}")
+
+    # performance proxies
+    rows.append(f"  {'peak MFLOPS':<30}"
+                f"{node.params.peak_mflops_per_node:>12.0f}"
+                f"{subset_node.params.peak_mflops_per_node:>12.0f}")
+    n = 4096
+    x, y = rng.random(n), rng.random(n)
+    m_full = _achieved(node, build_saxpy_program(node, n), {"x": x, "y": y})
+    m_sub = _achieved(
+        subset_node, build_saxpy_program(subset_node, n), {"x": x, "y": y}
+    )
+    rows.append(f"  {'saxpy achieved MFLOPS':<30}"
+                f"{m_full.achieved_mflops:>12.1f}"
+                f"{m_sub.achieved_mflops:>12.1f}")
+
+    # capacity: a wide workload fits the full machine only
+    build_wide_program(node, n, lanes=8)
+    wide_fits_subset = True
+    try:
+        build_wide_program(subset_node, n, lanes=8)
+    except BuilderError:
+        wide_fits_subset = False
+    m_wide = _achieved(
+        node, build_wide_program(node, n, lanes=8),
+        {f"x{i}": x for i in range(8)},
+    )
+    rows.append(f"  {'8-lane workload MFLOPS':<30}"
+                f"{m_wide.achieved_mflops:>12.1f}"
+                f"{'no fit':>12}")
+
+    rows.append("")
+    rows.append(
+        "  shape: the subset is easier to program (smaller word, fewer "
+        "fields, fewer menu choices) but caps peak at "
+        f"{subset_node.params.peak_mflops_per_node:.0f} MFLOPS and cannot "
+        "hold wide multi-pipeline workloads — the paper's predicted "
+        "performance/programmability trade."
+    )
+
+    assert sub_layout.total_bits < full_layout.total_bits
+    assert sub_layout.n_fields < full_layout.n_fields
+    assert sub_menu < full_menu
+    assert (
+        subset_node.params.peak_mflops_per_node
+        < node.params.peak_mflops_per_node
+    )
+    assert m_wide.achieved_mflops > m_sub.achieved_mflops
+    assert not wide_fits_subset
+
+    benchmark(menu_sources, subset_node)
+
+    text = "\n".join(rows)
+    save_artifact("ext_subset_tradeoff.txt", text)
+    print("\n" + text)

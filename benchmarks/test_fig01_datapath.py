@@ -1,0 +1,34 @@
+"""F1 — Fig. 1: the simplified datapath architecture diagram.
+
+Regenerates the block diagram from the machine description and audits the
+§2 inventory: 32 functional units, 16 planes x 128 MB (2 GB), 16
+double-buffered caches, 2 shift/delay units, 640 MFLOPS peak per node.
+"""
+
+import pytest
+
+from repro.editor.render_ascii import render_datapath
+
+
+def test_fig01_datapath(benchmark, node, save_artifact):
+    text = benchmark(render_datapath, node)
+
+    inv = node.inventory()
+    assert inv["functional_units"] == 32
+    assert inv["memory_planes"] == 16
+    assert inv["memory_plane_mbytes"] == 128
+    assert inv["node_memory_gbytes"] == pytest.approx(2.0)
+    assert inv["caches"] == 16
+    assert inv["shift_delay_units"] == 2
+    assert inv["peak_mflops"] == pytest.approx(640.0)
+
+    for fragment in ("Hyperspace Router", "FLONET", "Singlets", "Doublets",
+                     "Triplets", "Shift/Delay", "640 MFLOPS"):
+        assert fragment in text
+
+    save_artifact("fig01_datapath.txt", text)
+    print("\n" + text)
+    print(f"\npaper: 32 FUs, 2 GB/node, 640 MFLOPS peak | "
+          f"regenerated: {inv['functional_units']} FUs, "
+          f"{inv['node_memory_gbytes']:.0f} GB, "
+          f"{inv['peak_mflops']:.0f} MFLOPS")

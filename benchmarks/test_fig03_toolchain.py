@@ -1,0 +1,67 @@
+"""F3 — Fig. 3: the major components of the visual programming system.
+
+Fig. 3 shows user <-> graphical editor <-> checker -> microcode generator
+-> executable program.  This benchmark exercises each stage on the Jacobi
+program and reports a per-stage timing table — the interactive-latency
+budget of the environment.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.checker.checker import Checker
+from repro.codegen.generator import MicrocodeGenerator
+from repro.compose.jacobi import build_jacobi_program, load_jacobi_inputs
+from repro.sim.machine import NSCMachine
+from repro.sim.pipeline_exec import execute_image
+
+
+def test_fig03_toolchain(benchmark, node, rng, save_artifact):
+    stage_times = {}
+
+    def run_all():
+        t0 = time.perf_counter()
+        setup = build_jacobi_program(node, (8, 8, 8))
+        t1 = time.perf_counter()
+        checker = Checker(node)
+        report = checker.check_program(setup.program)
+        assert report.ok
+        t2 = time.perf_counter()
+        program = MicrocodeGenerator(node).generate(setup.program)
+        t3 = time.perf_counter()
+        machine = NSCMachine(node)
+        machine.load_program(program)
+        u0 = rng.random((8, 8, 8))
+        load_jacobi_inputs(machine, setup, u0, np.zeros((8, 8, 8)))
+        execute_image(program.images[0], machine)
+        machine.swap_caches(0, 1)
+        execute_image(program.images[1], machine)
+        t4 = time.perf_counter()
+        stage_times["editor (build diagrams)"] = t1 - t0
+        stage_times["checker (full program)"] = t2 - t1
+        stage_times["microcode generator"] = t3 - t2
+        stage_times["simulator (one sweep)"] = t4 - t3
+        return program
+
+    program = benchmark(run_all)
+
+    lines = ["Fig. 3 toolchain stages (host seconds, one pass):"]
+    total = sum(stage_times.values())
+    for stage, seconds in stage_times.items():
+        lines.append(f"  {stage:<28} {seconds * 1e3:8.2f} ms "
+                     f"({100 * seconds / total:4.1f}%)")
+    lines.append(f"  {'total':<28} {total * 1e3:8.2f} ms")
+    lines.append("")
+    lines.append(
+        f"generator output: {len(program.images)} instructions x "
+        f"{program.layout.total_bits} bits "
+        f"({program.total_microcode_bits} bits total)"
+    )
+    text = "\n".join(lines)
+    save_artifact("fig03_toolchain.txt", text)
+    print("\n" + text)
+
+    # every stage runs in interactive time on this problem
+    assert total < 5.0

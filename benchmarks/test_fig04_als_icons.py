@@ -1,0 +1,45 @@
+"""F4 — Fig. 4: the ALS icons (singlet, two doublet forms, triplet).
+
+Regenerates the icon catalog, including the "double box" subimages marking
+integer/logical units and the bypassed-doublet form, and audits the pad
+inventory of each icon type.
+"""
+
+from repro.arch.als import ALSKind
+from repro.diagram.icons import make_als_icon
+from repro.editor.render_ascii import render_icon_catalog
+
+
+def test_fig04_als_icons(benchmark, save_artifact):
+    text = benchmark(render_icon_catalog)
+
+    for name in ("singlet", "doublet", "doublet*", "triplet"):
+        assert name in text
+    assert "bypass" in text
+
+    # pad inventory per icon type (the interface surface a user wires)
+    rows = ["icon       units  in-pads  out-pads  double-box"]
+    for kind, bypass in (
+        (ALSKind.SINGLET, ()),
+        (ALSKind.DOUBLET, ()),
+        (ALSKind.DOUBLET, (1,)),
+        (ALSKind.TRIPLET, ()),
+    ):
+        icon = make_als_icon(0, kind, 0, bypass)
+        dbl = sum(1 for _s, d, b in icon.subimages() if d and not b)
+        label = kind.value + ("*" if bypass else "")
+        rows.append(
+            f"{label:<10} {len(icon.active_slots):>5}  {len(icon.input_pads()):>7}"
+            f"  {len(icon.output_pads()):>8}  {dbl:>10}"
+        )
+    table = "\n".join(rows)
+
+    save_artifact("fig04_als_icons.txt", text + "\n\n" + table)
+    print("\n" + text)
+    print("\n" + table)
+
+    singlet = make_als_icon(0, ALSKind.SINGLET, 0)
+    triplet = make_als_icon(1, ALSKind.TRIPLET, 0)
+    assert len(singlet.output_pads()) == 1
+    assert len(triplet.output_pads()) == 3
+    assert len(triplet.input_pads()) == 6

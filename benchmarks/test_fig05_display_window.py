@@ -1,0 +1,31 @@
+"""F5 — Fig. 5: the display window of the visual environment.
+
+Regenerates the window layout: the message strip across the top, the
+control-flow/declaration region on the left, the drawing space in the
+centre, and the control panel on the right.  The benchmark times a full
+window render — the cost of one screen refresh in the prototype.
+"""
+
+from repro.editor.render_ascii import render_window
+from repro.editor.session import EditorSession
+
+
+def test_fig05_display_window(benchmark, node, save_artifact):
+    session = EditorSession(node=node)
+    session.declare_variable("u", plane=0, length=512, initializer="user")
+    session.declare_variable("u_new", plane=1, length=512)
+
+    text = benchmark(render_window, session)
+
+    assert "CONTROL PANEL" in text    # right-hand side (§5)
+    assert "DECLARATIONS" in text     # left region
+    assert "CONTROL FLOW" in text     # left region
+    assert text.startswith("[ ")      # message strip across the top
+    for button in ("singlet", "doublet", "triplet", "insert", "delete",
+                   "copy", "renumber", "forward", "backward", "goto"):
+        assert button in text, f"control panel is missing [{button}]"
+
+    save_artifact("fig05_display_window.txt", text)
+    print("\n" + text)
+    print("\npaper: control panel right, drawing space centre, message "
+          "strip top, control-flow region left | regenerated: all present")

@@ -1,0 +1,52 @@
+"""F7 — Fig. 7: the display after all ALSs have been positioned.
+
+Replays the placement phase of the Jacobi walk-through: the shift/delay
+unit, the memory planes, the caches, and every ALS the update needs, laid
+out in the drawing area.  The benchmark times the full placement sequence.
+"""
+
+from repro.arch.switch import DeviceKind
+from repro.compose.jacobi import build_jacobi_program
+from repro.editor.session import EditorSession
+
+
+def _place_jacobi_icons(node) -> EditorSession:
+    """Place the same resource set the Fig. 11 Jacobi diagram uses."""
+    setup = build_jacobi_program(node, (8, 8, 8))
+    update = setup.program.pipelines[1]
+    session = EditorSession(node=node)
+    session.place_device(DeviceKind.MEMORY, 0, 4, 1)
+    session.place_device(DeviceKind.MEMORY, 1, 4, 9)
+    session.place_device(DeviceKind.MEMORY, 4, 4, 17)
+    session.place_device(DeviceKind.CACHE, 0, 4, 25)
+    session.place_device(DeviceKind.CACHE, 1, 4, 33)
+    session.place_device(DeviceKind.SHIFT_DELAY, 0, 22, 1)
+    kinds = sorted(
+        (use.kind.value for use in update.als_uses.values()),
+        key=lambda k: {"triplet": 0, "doublet": 1, "singlet": 2}[k],
+    )
+    x, y, row_h = 30, 1, 0
+    for kind in kinds:
+        session.select_icon(kind)
+        icon = session.drag_to(x, y)
+        assert icon is not None, session.message
+        row_h = max(row_h, session.canvas.placements[icon.icon_id].height)
+        x += 17
+        if x > 81:
+            x, y, row_h = 30, y + row_h + 1, 0
+    return session
+
+
+def test_fig07_all_placed(benchmark, node, save_artifact):
+    session = benchmark(_place_jacobi_icons, node)
+
+    n_icons = len(session.canvas.placements)
+    text = session.render()
+    assert n_icons >= 10  # 6 device icons + the Jacobi ALS set
+    assert 0.05 < session.canvas.occupancy() < 0.9
+
+    save_artifact("fig07_all_placed.txt", text)
+    print("\n" + text)
+    print(f"\nicons placed: {n_icons}; drawing-area occupancy "
+          f"{100 * session.canvas.occupancy():.0f}%; "
+          f"user actions: {session.action_count}")

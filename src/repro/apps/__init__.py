@@ -1,0 +1,15 @@
+"""Reference applications: NumPy ground truth for the simulated programs."""
+
+from repro.apps.poisson3d import (
+    jacobi_step_flat,
+    jacobi_reference_run,
+    manufactured_solution,
+    poisson_residual,
+)
+
+__all__ = [
+    "jacobi_step_flat",
+    "jacobi_reference_run",
+    "manufactured_solution",
+    "poisson_residual",
+]

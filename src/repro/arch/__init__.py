@@ -1,0 +1,27 @@
+"""NSC node architecture: the machine model underneath the visual environment.
+
+This subpackage is the "knowledge" the paper's checker and microcode
+generator rely on: every hardware resource of a Navier-Stokes Computer node
+is described here, in a parameterized form so that architectural subsets
+(the paper's §6 programmability/performance trade-off) can be expressed by
+swapping parameter sets rather than code.
+"""
+
+from repro.arch.params import NSCParameters, SUBSET_PARAMS
+from repro.arch.funcunit import FUCapability, Opcode, OpInfo, OPCODES
+from repro.arch.als import ALSKind, ALSClass, ALSInstance, FUSlot
+from repro.arch.node import NodeConfig
+
+__all__ = [
+    "NSCParameters",
+    "SUBSET_PARAMS",
+    "FUCapability",
+    "Opcode",
+    "OpInfo",
+    "OPCODES",
+    "ALSKind",
+    "ALSClass",
+    "ALSInstance",
+    "FUSlot",
+    "NodeConfig",
+]

@@ -1,0 +1,234 @@
+"""Memory planes and double-buffered data caches.
+
+Paper §2: "Memory is arranged in 16 planes of 128 Mbytes each, for a total
+memory of 2 Gbytes per node.  In addition, there are 16 double-buffered data
+caches."  §3 explains why planes dominate the programming problem: a
+functional unit may touch only one plane per instruction, concurrent users
+of a plane contend, and the best variable layout for one pipeline may be
+unworkable for the next — sometimes forcing multiple copies of arrays or
+relocation between phases.
+
+This module provides the *storage* model: a plane allocator for named
+variables (what the Fig. 9 pop-up's "variable name or starting address"
+refers to) and the double-buffer protocol of the caches.  Streaming access
+is the job of :mod:`repro.arch.dma` and the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.arch.params import NSCParameters
+
+
+class AllocationError(Exception):
+    """A variable does not fit, overlaps, or names an unknown plane."""
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A named region of one memory plane (word granularity)."""
+
+    name: str
+    plane: int
+    offset: int  # word offset within the plane
+    length: int  # words
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+    def overlaps(self, other: "Variable") -> bool:
+        return self.plane == other.plane and not (
+            self.end <= other.offset or other.end <= self.offset
+        )
+
+
+class MemoryPlane:
+    """One plane: a word-addressed array with an allocation map.
+
+    Simulator storage is lazily grown NumPy; a 128 MB plane is 16M words and
+    we only materialize the prefix programs actually touch.
+    """
+
+    def __init__(self, plane_id: int, n_words: int) -> None:
+        self.plane_id = plane_id
+        self.n_words = n_words
+        self._data = np.zeros(0, dtype=np.float64)
+
+    def _ensure(self, n: int) -> None:
+        if n > self.n_words:
+            raise AllocationError(
+                f"plane {self.plane_id}: access at word {n} exceeds "
+                f"{self.n_words}-word capacity"
+            )
+        if n > self._data.size:
+            grown = np.zeros(max(n, 2 * self._data.size, 1024), dtype=np.float64)
+            grown[: self._data.size] = self._data
+            self._data = grown
+
+    def read(self, offset: int, count: int, stride: int = 1) -> np.ndarray:
+        """Read *count* words starting at *offset* with *stride* (a copy)."""
+        if count == 0:
+            return np.zeros(0, dtype=np.float64)
+        last = offset + (count - 1) * stride
+        if offset < 0 or last < 0:
+            raise AllocationError(f"plane {self.plane_id}: negative address")
+        self._ensure(max(offset, last) + 1)
+        return self._data[offset : offset + count * stride : stride].copy() \
+            if stride > 0 else self._data[offset : (last - 1 if last > 0 else None) : stride].copy()
+
+    def write(self, offset: int, values: np.ndarray, stride: int = 1) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        last = offset + (values.size - 1) * stride
+        if offset < 0 or last < 0:
+            raise AllocationError(f"plane {self.plane_id}: negative address")
+        self._ensure(max(offset, last) + 1)
+        if stride > 0:
+            self._data[offset : offset + values.size * stride : stride] = values
+        else:
+            self._data[offset : (last - 1 if last > 0 else None) : stride] = values
+
+
+class PlaneMemory:
+    """All planes of one node plus the variable allocation table."""
+
+    def __init__(self, params: NSCParameters) -> None:
+        self.params = params
+        self.planes: List[MemoryPlane] = [
+            MemoryPlane(i, params.memory_plane_words)
+            for i in range(params.n_memory_planes)
+        ]
+        self.variables: Dict[str, Variable] = {}
+
+    def plane(self, plane_id: int) -> MemoryPlane:
+        if not (0 <= plane_id < len(self.planes)):
+            raise AllocationError(f"no memory plane {plane_id}")
+        return self.planes[plane_id]
+
+    # ------------------------------------------------------------------
+    # variable table
+    # ------------------------------------------------------------------
+    def declare(
+        self, name: str, plane: int, length: int, offset: Optional[int] = None
+    ) -> Variable:
+        """Declare variable *name* on *plane*; auto-places after existing
+        variables when *offset* is omitted."""
+        if name in self.variables:
+            raise AllocationError(f"variable {name!r} already declared")
+        if not (0 <= plane < self.params.n_memory_planes):
+            raise AllocationError(f"no memory plane {plane}")
+        if length <= 0:
+            raise AllocationError("variable length must be positive")
+        if offset is None:
+            offset = max(
+                (v.end for v in self.variables.values() if v.plane == plane),
+                default=0,
+            )
+        var = Variable(name=name, plane=plane, offset=offset, length=length)
+        if var.end > self.params.memory_plane_words:
+            raise AllocationError(
+                f"variable {name!r} ({length} words at {offset}) exceeds plane "
+                f"capacity {self.params.memory_plane_words}"
+            )
+        for other in self.variables.values():
+            if var.overlaps(other):
+                raise AllocationError(
+                    f"variable {name!r} overlaps {other.name!r} on plane {plane}"
+                )
+        self.variables[name] = var
+        return var
+
+    def lookup(self, name: str) -> Variable:
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise AllocationError(f"undeclared variable {name!r}") from None
+
+    def read_var(self, name: str) -> np.ndarray:
+        var = self.lookup(name)
+        return self.planes[var.plane].read(var.offset, var.length)
+
+    def write_var(self, name: str, values: np.ndarray) -> None:
+        var = self.lookup(name)
+        values = np.asarray(values, dtype=np.float64)
+        if values.size != var.length:
+            raise AllocationError(
+                f"variable {name!r} holds {var.length} words, got {values.size}"
+            )
+        self.planes[var.plane].write(var.offset, values)
+
+
+class DoubleBufferedCache:
+    """A data cache with two buffers that swap roles.
+
+    One buffer streams into/out of the pipeline while the other is filled or
+    drained by its DMA controller; :meth:`swap` flips them between pipeline
+    phases.  This is the mechanism that lets memory traffic overlap compute.
+    """
+
+    def __init__(self, cache_id: int, buffer_words: int) -> None:
+        self.cache_id = cache_id
+        self.buffer_words = buffer_words
+        self._buffers = [
+            np.zeros(buffer_words, dtype=np.float64),
+            np.zeros(buffer_words, dtype=np.float64),
+        ]
+        self._front = 0
+        self.swaps = 0
+
+    @property
+    def front(self) -> np.ndarray:
+        """Buffer visible to the pipeline."""
+        return self._buffers[self._front]
+
+    @property
+    def back(self) -> np.ndarray:
+        """Buffer owned by the DMA engine."""
+        return self._buffers[1 - self._front]
+
+    def swap(self) -> None:
+        self._front = 1 - self._front
+        self.swaps += 1
+
+    def load_back(self, values: np.ndarray, offset: int = 0) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if offset < 0 or offset + values.size > self.buffer_words:
+            raise AllocationError(
+                f"cache {self.cache_id}: load of {values.size} words at "
+                f"{offset} exceeds buffer of {self.buffer_words}"
+            )
+        self.back[offset : offset + values.size] = values
+
+    def read_front(self, offset: int, count: int, stride: int = 1) -> np.ndarray:
+        last = offset + (count - 1) * stride if count else offset
+        if offset < 0 or (count and (last < 0 or max(offset, last) >= self.buffer_words)):
+            raise AllocationError(
+                f"cache {self.cache_id}: read [{offset}:{last}] out of range"
+            )
+        return self.front[offset : offset + count * stride : stride].copy()
+
+    def write_front(self, offset: int, values: np.ndarray, stride: int = 1) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        last = offset + (values.size - 1) * stride
+        if offset < 0 or last < 0 or max(offset, last) >= self.buffer_words:
+            raise AllocationError(
+                f"cache {self.cache_id}: write [{offset}:{last}] out of range"
+            )
+        self.front[offset : offset + values.size * stride : stride] = values
+
+
+__all__ = [
+    "AllocationError",
+    "Variable",
+    "MemoryPlane",
+    "PlaneMemory",
+    "DoubleBufferedCache",
+]

@@ -1,0 +1,120 @@
+"""Register files: constants, intermediates, and circular delay queues.
+
+Paper §2: "each functional unit has an associated register file which can be
+used to store constants or intermediate values, as well as to buffer data to
+adjust for pipeline timing delays".  §5 describes the delay mechanism:
+"Timing delays ... may be introduced by routing input data into a circular
+queue in a register file and then retrieving the value a number of clock
+cycles later when it appears at the head of the queue."
+
+Each file has a fixed number of words shared between constant slots and
+circular queues; a queue delaying a stream by *d* cycles consumes *d* words.
+The allocator here is what both the checker (capacity rule) and the codegen
+timing balancer (auto-inserted delays) use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class RegisterFileOverflow(Exception):
+    """Raised when an allocation exceeds the register file's word capacity."""
+
+
+@dataclass(frozen=True)
+class ConstantSlot:
+    """A register-file word holding a program constant."""
+
+    index: int
+    value: float
+
+
+@dataclass(frozen=True)
+class DelayQueue:
+    """A circular queue of *length* words delaying one input stream.
+
+    The delayed value "appears at the head of the queue" *length* cycles
+    after entering; the queue therefore implements an exact element delay of
+    ``length`` pipeline slots.
+    """
+
+    base: int
+    length: int
+    port: str  # which FU input port ('a' or 'b') the queue feeds
+
+
+@dataclass
+class RegisterFileAllocator:
+    """Tracks word usage of one functional unit's register file."""
+
+    capacity: int
+    constants: List[ConstantSlot] = field(default_factory=list)
+    queues: List[DelayQueue] = field(default_factory=list)
+
+    @property
+    def words_used(self) -> int:
+        return len(self.constants) + sum(q.length for q in self.queues)
+
+    @property
+    def words_free(self) -> int:
+        return self.capacity - self.words_used
+
+    def alloc_constant(self, value: float) -> ConstantSlot:
+        """Allocate one word for *value*; reuses an existing equal constant."""
+        for slot in self.constants:
+            if slot.value == value:
+                return slot
+        if self.words_free < 1:
+            raise RegisterFileOverflow(
+                f"register file full ({self.capacity} words) allocating constant"
+            )
+        slot = ConstantSlot(index=self.words_used, value=value)
+        self.constants.append(slot)
+        return slot
+
+    def alloc_delay(self, port: str, length: int) -> DelayQueue:
+        """Allocate a circular queue delaying input *port* by *length* cycles."""
+        if length <= 0:
+            raise ValueError("delay length must be positive")
+        for q in self.queues:
+            if q.port == port:
+                raise RegisterFileOverflow(
+                    f"input port {port!r} already has a delay queue"
+                )
+        if self.words_free < length:
+            raise RegisterFileOverflow(
+                f"register file has {self.words_free} free words, "
+                f"delay of {length} requested"
+            )
+        queue = DelayQueue(base=self.words_used, length=length, port=port)
+        self.queues.append(queue)
+        return queue
+
+    def delay_for_port(self, port: str) -> int:
+        """Configured delay (cycles) on input *port*; 0 when none."""
+        for q in self.queues:
+            if q.port == port:
+                return q.length
+        return 0
+
+    def reset(self) -> None:
+        self.constants.clear()
+        self.queues.clear()
+
+    def snapshot(self) -> Dict[str, object]:
+        """Serializable summary (used by the microcode generator)."""
+        return {
+            "capacity": self.capacity,
+            "constants": [(s.index, s.value) for s in self.constants],
+            "queues": [(q.base, q.length, q.port) for q in self.queues],
+        }
+
+
+__all__ = [
+    "RegisterFileAllocator",
+    "RegisterFileOverflow",
+    "ConstantSlot",
+    "DelayQueue",
+]

@@ -1,0 +1,203 @@
+"""The FLONET switch network: endpoint addressing and route derivation.
+
+Paper §2: "A complex programmable switching network routes data among ALSs,
+memory planes, caches, and shift-delay units."  Fig. 2 labels portions of it
+FLONET.  The visual environment never shows switch settings to the user;
+they are *derived* from the drawn connections ("The microcode generator
+would later derive switch settings by interrogating the connection tables
+built by the graphical editor", §5).
+
+We model the network as a crossbar over typed endpoints with two physical
+restrictions the checker enforces:
+
+- every sink (a stream consumer) is driven by at most one source, and
+- a source may fan out to at most ``switch_max_fanout`` sinks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.arch.params import NSCParameters
+
+
+class DeviceKind(enum.Enum):
+    """Classes of devices with switch-network ports."""
+
+    FU = "fu"                  # functional unit: sinks a/b, source out
+    MEMORY = "mem"             # memory plane: source read, sink write
+    CACHE = "cache"            # data cache: source read, sink write
+    SHIFT_DELAY = "sd"         # shift/delay unit: sink in, sources tap<k>
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A named port on a device: the thing an I/O pad stands for."""
+
+    kind: DeviceKind
+    device: int
+    port: str
+
+    def __lt__(self, other: "Endpoint") -> bool:
+        if not isinstance(other, Endpoint):
+            return NotImplemented
+        return self.key < other.key
+
+    def __str__(self) -> str:  # e.g. fu3.a, mem[2].read, sd[0].tap1
+        if self.kind is DeviceKind.FU:
+            return f"fu{self.device}.{self.port}"
+        return f"{self.kind.value}[{self.device}].{self.port}"
+
+    @property
+    def key(self) -> Tuple[str, int, str]:
+        return (self.kind.value, self.device, self.port)
+
+
+def fu_in(fu: int, port: str) -> Endpoint:
+    if port not in ("a", "b"):
+        raise ValueError(f"FU input port must be 'a' or 'b', got {port!r}")
+    return Endpoint(DeviceKind.FU, fu, port)
+
+
+def fu_out(fu: int) -> Endpoint:
+    return Endpoint(DeviceKind.FU, fu, "out")
+
+
+def mem_read(plane: int) -> Endpoint:
+    return Endpoint(DeviceKind.MEMORY, plane, "read")
+
+
+def mem_write(plane: int) -> Endpoint:
+    return Endpoint(DeviceKind.MEMORY, plane, "write")
+
+
+def cache_read(cache: int) -> Endpoint:
+    return Endpoint(DeviceKind.CACHE, cache, "read")
+
+
+def cache_write(cache: int) -> Endpoint:
+    return Endpoint(DeviceKind.CACHE, cache, "write")
+
+
+def sd_in(unit: int) -> Endpoint:
+    return Endpoint(DeviceKind.SHIFT_DELAY, unit, "in")
+
+
+def sd_tap(unit: int, tap: int) -> Endpoint:
+    return Endpoint(DeviceKind.SHIFT_DELAY, unit, f"tap{tap}")
+
+
+class SwitchRouteError(Exception):
+    """A requested routing violates the switch network's physical limits."""
+
+
+@dataclass(frozen=True)
+class SwitchSetting:
+    """One crosspoint: *source* drives *sink*."""
+
+    source: Endpoint
+    sink: Endpoint
+
+    def __str__(self) -> str:
+        return f"{self.source} -> {self.sink}"
+
+
+class SwitchNetwork:
+    """Endpoint inventory and route validation for one node's FLONET."""
+
+    def __init__(self, params: NSCParameters, n_fus: int) -> None:
+        self.params = params
+        self.n_fus = n_fus
+        self._sources = frozenset(self._enumerate_sources())
+        self._sinks = frozenset(self._enumerate_sinks())
+
+    # ------------------------------------------------------------------
+    # inventory
+    # ------------------------------------------------------------------
+    def _enumerate_sources(self) -> Iterable[Endpoint]:
+        for fu in range(self.n_fus):
+            yield fu_out(fu)
+        for plane in range(self.params.n_memory_planes):
+            yield mem_read(plane)
+        for cache in range(self.params.n_caches):
+            yield cache_read(cache)
+        for unit in range(self.params.n_shift_delay_units):
+            for tap in range(self.params.shift_delay_taps):
+                yield sd_tap(unit, tap)
+
+    def _enumerate_sinks(self) -> Iterable[Endpoint]:
+        for fu in range(self.n_fus):
+            yield fu_in(fu, "a")
+            yield fu_in(fu, "b")
+        for plane in range(self.params.n_memory_planes):
+            yield mem_write(plane)
+        for cache in range(self.params.n_caches):
+            yield cache_write(cache)
+        for unit in range(self.params.n_shift_delay_units):
+            yield sd_in(unit)
+
+    @property
+    def sources(self) -> frozenset[Endpoint]:
+        return self._sources
+
+    @property
+    def sinks(self) -> frozenset[Endpoint]:
+        return self._sinks
+
+    def is_source(self, ep: Endpoint) -> bool:
+        return ep in self._sources
+
+    def is_sink(self, ep: Endpoint) -> bool:
+        return ep in self._sinks
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def derive_settings(
+        self, connections: Iterable[Tuple[Endpoint, Endpoint]]
+    ) -> List[SwitchSetting]:
+        """Translate (source, sink) pairs into crosspoint settings.
+
+        Raises :class:`SwitchRouteError` on unknown endpoints, multiply
+        driven sinks, or fan-out beyond ``switch_max_fanout``.
+        """
+        settings: List[SwitchSetting] = []
+        sink_driver: Dict[Endpoint, Endpoint] = {}
+        fanout: Dict[Endpoint, int] = {}
+        for source, sink in connections:
+            if not self.is_source(source):
+                raise SwitchRouteError(f"{source} is not a switch source")
+            if not self.is_sink(sink):
+                raise SwitchRouteError(f"{sink} is not a switch sink")
+            if sink in sink_driver:
+                raise SwitchRouteError(
+                    f"sink {sink} already driven by {sink_driver[sink]}"
+                )
+            fanout[source] = fanout.get(source, 0) + 1
+            if fanout[source] > self.params.switch_max_fanout:
+                raise SwitchRouteError(
+                    f"source {source} exceeds fan-out limit "
+                    f"{self.params.switch_max_fanout}"
+                )
+            sink_driver[sink] = source
+            settings.append(SwitchSetting(source=source, sink=sink))
+        return settings
+
+
+__all__ = [
+    "DeviceKind",
+    "Endpoint",
+    "SwitchNetwork",
+    "SwitchSetting",
+    "SwitchRouteError",
+    "fu_in",
+    "fu_out",
+    "mem_read",
+    "mem_write",
+    "cache_read",
+    "cache_write",
+    "sd_in",
+    "sd_tap",
+]

@@ -1,0 +1,266 @@
+"""The checker facade: incremental edit-time checks and global validation.
+
+Paper §4: "The graphical editor calls on the checker at appropriate points
+during interaction with the user to validate the information being input.
+Any errors are flagged as soon as they are detected.  In addition, the
+graphical editor uses the checker's knowledge of the architecture to reduce
+the possibilities for making errors" — realized here by
+:meth:`Checker.legal_sources_for`, which enumerates exactly the menu entries
+the editor may offer for a given input pad.
+
+The microcode generator invokes :meth:`check_program` "to perform a thorough
+check of global constraints and other conditions which may not be practical
+to check during the editing process".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.arch.funcunit import OPCODES, Opcode
+from repro.arch.node import NodeConfig
+from repro.arch.switch import DeviceKind, Endpoint, fu_in
+from repro.checker.diagnostics import CheckReport, Severity, error, warning
+from repro.checker.knowledge import MachineKnowledge
+from repro.checker.rules import ALL_RULES, Rule
+from repro.diagram.pipeline import PipelineDiagram
+from repro.diagram.program import (
+    Declaration,
+    ProgramError,
+    VisualProgram,
+)
+
+
+class Checker:
+    """Validates diagrams and programs against one machine description."""
+
+    def __init__(
+        self,
+        node: NodeConfig,
+        rules: Sequence[Rule] = ALL_RULES,
+    ) -> None:
+        self.kb = MachineKnowledge(node)
+        self.rules: List[Rule] = list(rules)
+        self.incremental_checks = 0
+        self.full_checks = 0
+
+    # ------------------------------------------------------------------
+    # incremental (edit-time) checks
+    # ------------------------------------------------------------------
+    def check_connection(
+        self,
+        diagram: PipelineDiagram,
+        source: Endpoint,
+        sink: Endpoint,
+    ) -> CheckReport:
+        """Validate a *proposed* connection before the editor commits it.
+
+        This is the rubber-band check of Fig. 8: "The checker is used during
+        this operation to ensure that only legal connections are attempted."
+        """
+        self.incremental_checks += 1
+        report = CheckReport()
+        kb = self.kb
+        if not kb.is_switch_source(source):
+            report.add(
+                error("conn-endpoints", f"{source} is not a data source",
+                      str(source), diagram.number)
+            )
+        if not kb.is_switch_sink(sink):
+            report.add(
+                error("conn-endpoints", f"{sink} is not a data sink",
+                      str(sink), diagram.number)
+            )
+        if not report.ok:
+            return report
+        if diagram.driver_of(sink) is not None:
+            report.add(
+                error("sink-unique",
+                      f"{sink} is already driven by {diagram.driver_of(sink)}",
+                      str(sink), diagram.number)
+            )
+        if sink.kind is DeviceKind.FU and (sink.device, sink.port) in diagram.input_mods:
+            mod = diagram.input_mods[(sink.device, sink.port)]
+            report.add(
+                error("sink-unique",
+                      f"{sink} already has a {mod.kind.value} source",
+                      str(sink), diagram.number)
+            )
+        fanout = len(diagram.sinks_of(source))
+        if fanout + 1 > kb.max_fanout:
+            report.add(
+                error("switch-fanout",
+                      f"{source} already drives {fanout} sinks (limit "
+                      f"{kb.max_fanout})", str(source), diagram.number)
+            )
+        # the paper's worked example: second writer to a plane is refused
+        if sink.kind is DeviceKind.MEMORY and sink.port == "write":
+            writers = diagram.plane_writers().get(sink.device, [])
+            if writers:
+                report.add(
+                    error("plane-one-writer",
+                          f"memory plane {sink.device} is already written by "
+                          f"{writers[0]}", str(sink), diagram.number)
+                )
+        # single plane per FU, evaluated on the hypothetical diagram
+        if self._would_violate_single_plane(diagram, source, sink):
+            report.add(
+                error("plane-single-fu",
+                      "this connection would make a functional unit touch a "
+                      "second memory plane in one instruction",
+                      str(sink), diagram.number)
+            )
+        return report
+
+    def _would_violate_single_plane(
+        self, diagram: PipelineDiagram, source: Endpoint, sink: Endpoint
+    ) -> bool:
+        probe = diagram.copy()
+        try:
+            probe.connect(source, sink)
+        except Exception:
+            return False
+        for fu in set(
+            d for d in (
+                [source.device] if source.kind is DeviceKind.FU else []
+            ) + (
+                [sink.device] if sink.kind is DeviceKind.FU else []
+            )
+        ):
+            if len(probe.planes_touched_by_fu(fu)) > 1:
+                return True
+        return False
+
+    def check_fu_op(
+        self, diagram: PipelineDiagram, fu: int, opcode: Opcode
+    ) -> CheckReport:
+        """Validate a proposed operation assignment (the Fig. 10 menu)."""
+        self.incremental_checks += 1
+        report = CheckReport()
+        if not self.kb.fu_exists(fu):
+            report.add(
+                error("fu-capability", f"fu{fu} does not exist", f"fu{fu}",
+                      diagram.number)
+            )
+            return report
+        if not self.kb.fu_supports(fu, opcode):
+            report.add(
+                error(
+                    "fu-capability",
+                    f"fu{fu} ({self.kb.fu_capability(fu).label}) cannot perform "
+                    f"{opcode.value}",
+                    f"fu{fu}",
+                    diagram.number,
+                )
+            )
+        use = diagram.als_use_of_fu(fu)
+        if use is None:
+            report.add(
+                error("als-placement",
+                      f"fu{fu} belongs to no ALS placed in this diagram",
+                      f"fu{fu}", diagram.number)
+            )
+        elif fu not in use.active_fus:
+            report.add(
+                error("als-placement", f"fu{fu} is bypassed in ALS {use.als_id}",
+                      f"fu{fu}", diagram.number)
+            )
+        return report
+
+    def legal_sources_for(
+        self, diagram: PipelineDiagram, sink: Endpoint
+    ) -> List[Endpoint]:
+        """Sources that could legally drive *sink* right now.
+
+        The editor builds the pad's pop-up menu from this list, so illegal
+        choices are never offered.
+        """
+        out: List[Endpoint] = []
+        for source in sorted(self.kb.all_sources()):
+            if source.kind is DeviceKind.FU and source.device == getattr(
+                sink, "device", None
+            ) and sink.kind is DeviceKind.FU:
+                continue  # self-loop is the FEEDBACK mod, not a wire
+            if self.check_connection(diagram, source, sink).ok:
+                out.append(source)
+        return out
+
+    def legal_ops_for(self, fu: int) -> List[Opcode]:
+        """Menu entries for a unit (Fig. 10), filtered by capability."""
+        return self.kb.legal_ops_for_fu(fu)
+
+    # ------------------------------------------------------------------
+    # full checks
+    # ------------------------------------------------------------------
+    def check_pipeline(
+        self,
+        diagram: PipelineDiagram,
+        declarations: Optional[Dict[str, Declaration]] = None,
+    ) -> CheckReport:
+        """Run every rule against one diagram."""
+        self.full_checks += 1
+        report = CheckReport()
+        for rule in self.rules:
+            report.extend(rule.check(diagram, self.kb, declarations))
+        return report
+
+    def check_program(self, program: VisualProgram) -> CheckReport:
+        """The thorough pre-codegen pass over a whole program."""
+        report = CheckReport()
+        # declarations fit their planes and do not collide
+        plane_cursor: Dict[int, int] = {}
+        for decl in program.declarations.values():
+            if not self.kb.plane_exists(decl.plane):
+                report.add(
+                    error("declaration",
+                          f"variable {decl.name!r} names nonexistent plane "
+                          f"{decl.plane}", decl.name)
+                )
+                continue
+            used = plane_cursor.get(decl.plane, 0) + decl.length
+            if used > self.kb.params.memory_plane_words:
+                report.add(
+                    error("declaration",
+                          f"plane {decl.plane} overflows: {used} words needed, "
+                          f"{self.kb.params.memory_plane_words} available",
+                          decl.name)
+                )
+            plane_cursor[decl.plane] = used
+        # each pipeline
+        for diagram in program.pipelines:
+            report.merge(self.check_pipeline(diagram, program.declarations))
+        # DMA windows stay inside their variables
+        for diagram in program.pipelines:
+            n = diagram.vector_length
+            for ep, spec in diagram.dma.items():
+                if not spec.is_symbolic:
+                    continue
+                decl = program.declarations.get(spec.variable or "")
+                if decl is None:
+                    continue  # already reported by the dma-spec rule
+                count = spec.count if spec.count is not None else n
+                if count is None:
+                    continue
+                last = spec.offset + (count - 1) * spec.stride
+                if last < 0 or last >= decl.length or spec.offset < 0:
+                    report.add(
+                        error(
+                            "dma-bounds",
+                            f"DMA window [{spec.offset}..{last}] falls outside "
+                            f"variable {decl.name!r} of {decl.length} words",
+                            str(ep),
+                            diagram.number,
+                        )
+                    )
+        # control flow references
+        try:
+            for op in program.effective_control():
+                program._validate_control(op)
+        except ProgramError as exc:
+            report.add(error("control-flow", str(exc)))
+        if not program.pipelines:
+            report.add(warning("program", "program contains no pipelines"))
+        return report
+
+
+__all__ = ["Checker"]

@@ -1,0 +1,118 @@
+"""The machine knowledge base consulted by every checker rule.
+
+Paper §4 argues the knowledge-base organization "helps to make the whole
+visual environment more robust in the face of changes to the machine
+design.  Some changes can be handled merely by updating the knowledge base"
+— here that means constructing :class:`MachineKnowledge` from a different
+:class:`~repro.arch.params.NSCParameters` (e.g. :data:`SUBSET_PARAMS`),
+with no rule-code changes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.arch.als import ALS_CLASSES, ALSClass, ALSKind, InternalEdge
+from repro.arch.funcunit import FUCapability, Opcode, OPCODES, ops_for_capability
+from repro.arch.node import NodeConfig
+from repro.arch.params import NSCParameters
+from repro.arch.switch import DeviceKind, Endpoint
+
+
+class MachineKnowledge:
+    """Query layer over a :class:`~repro.arch.node.NodeConfig`."""
+
+    def __init__(self, node: NodeConfig) -> None:
+        self.node = node
+        self.params: NSCParameters = node.params
+
+    # ------------------------------------------------------------------
+    # functional units and ALSs
+    # ------------------------------------------------------------------
+    def fu_exists(self, fu: int) -> bool:
+        return 0 <= fu < self.node.n_fus
+
+    def fu_capability(self, fu: int) -> FUCapability:
+        return self.node.fu_capability(fu)
+
+    def fu_supports(self, fu: int, opcode: Opcode) -> bool:
+        if not self.fu_exists(fu):
+            return False
+        return OPCODES[opcode].capability in self.fu_capability(fu)
+
+    def legal_ops_for_fu(self, fu: int) -> List[Opcode]:
+        """The entries shown in the Fig. 10 pop-up menu for this unit."""
+        if not self.fu_exists(fu):
+            return []
+        return ops_for_capability(self.fu_capability(fu))
+
+    def als_class(self, kind: ALSKind) -> ALSClass:
+        return ALS_CLASSES[kind]
+
+    def als_matches(self, als_id: int, kind: ALSKind, first_fu: int) -> bool:
+        """Does the node really have this ALS with these FU indices?"""
+        try:
+            inst = self.node.als(als_id)
+        except IndexError:
+            return False
+        return inst.kind is kind and inst.first_fu == first_fu
+
+    def internal_routes_into(
+        self, kind: ALSKind, slot: int, port: str
+    ) -> Tuple[InternalEdge, ...]:
+        return ALS_CLASSES[kind].internal_routes_into(slot, port)
+
+    # ------------------------------------------------------------------
+    # devices
+    # ------------------------------------------------------------------
+    def plane_exists(self, plane: int) -> bool:
+        return 0 <= plane < self.params.n_memory_planes
+
+    def cache_exists(self, cache: int) -> bool:
+        return 0 <= cache < self.params.n_caches
+
+    def sd_unit_exists(self, unit: int) -> bool:
+        return 0 <= unit < self.params.n_shift_delay_units
+
+    def sd_tap_exists(self, unit: int, tap: int) -> bool:
+        return self.sd_unit_exists(unit) and 0 <= tap < self.params.shift_delay_taps
+
+    def sd_shift_legal(self, shift: int) -> bool:
+        return abs(shift) <= self.params.shift_delay_max_shift
+
+    # ------------------------------------------------------------------
+    # switch network
+    # ------------------------------------------------------------------
+    def is_switch_source(self, ep: Endpoint) -> bool:
+        return self.node.switch.is_source(ep)
+
+    def is_switch_sink(self, ep: Endpoint) -> bool:
+        return self.node.switch.is_sink(ep)
+
+    @property
+    def max_fanout(self) -> int:
+        return self.params.switch_max_fanout
+
+    @property
+    def regfile_words(self) -> int:
+        return self.params.regfile_words
+
+    def all_sources(self) -> Set[Endpoint]:
+        return set(self.node.switch.sources)
+
+    def all_sinks(self) -> Set[Endpoint]:
+        return set(self.node.switch.sinks)
+
+    def describe(self) -> str:
+        inv = self.node.inventory()
+        return (
+            f"NSC node: {inv['functional_units']} FUs "
+            f"({inv['als']['singlets']}S/{inv['als']['doublets']}D/"
+            f"{inv['als']['triplets']}T), {inv['memory_planes']} planes x "
+            f"{inv['memory_plane_mbytes']} MB, {inv['caches']} caches, "
+            f"{inv['shift_delay_units']} shift/delay units, "
+            f"peak {inv['peak_mflops']:.0f} MFLOPS"
+        )
+
+
+__all__ = ["MachineKnowledge"]

@@ -1,0 +1,226 @@
+"""Command-line interface: ``nsc-vpe``.
+
+Subcommands mirror the toolchain:
+
+- ``info``       — the machine inventory (Fig. 1 as text)
+- ``icons``      — the ALS icon catalog (Fig. 4)
+- ``check``      — validate a saved visual program
+- ``disasm``     — generate microcode and print the textual disassembly
+- ``render``     — render a pipeline diagram from a saved program
+- ``jacobi``     — build, run, and report the paper's Eq. 1 example
+- ``solve``      — run jacobi / rb-gs / rb-sor on a Poisson problem
+
+Programs are the JSON files written by
+:func:`repro.diagram.serialize.save` or :meth:`EditorSession.save`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arch.node import NodeConfig
+from repro.arch.params import NSCParameters, SUBSET_PARAMS
+
+
+def _node(args: argparse.Namespace) -> NodeConfig:
+    return NodeConfig(SUBSET_PARAMS if getattr(args, "subset", False) else
+                      NSCParameters())
+
+
+def _load_program(path: str):
+    from repro.diagram import serialize
+
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    # accept both bare programs and editor-session saves
+    if "program" in payload and "format" not in payload:
+        return serialize.program_from_dict(payload["program"])
+    return serialize.program_from_dict(payload)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.editor.render_ascii import render_datapath
+
+    node = _node(args)
+    print(render_datapath(node))
+    inv = node.inventory()
+    print(f"\nregister file: {node.params.regfile_words} words/unit; "
+          f"switch fan-out limit {node.params.switch_max_fanout}; "
+          f"hypercube dimension {node.params.hypercube_dim} "
+          f"({node.params.n_nodes} nodes, "
+          f"{node.params.peak_gflops_system:.1f} GFLOPS system peak)")
+    return 0
+
+
+def cmd_icons(args: argparse.Namespace) -> int:
+    from repro.editor.render_ascii import render_icon_catalog
+
+    print(render_icon_catalog())
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.checker.checker import Checker
+
+    node = _node(args)
+    program = _load_program(args.program)
+    report = Checker(node).check_program(program)
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.codegen.asmtext import disassemble_program
+    from repro.codegen.generator import MicrocodeGenerator
+
+    node = _node(args)
+    program = _load_program(args.program)
+    machine_program = MicrocodeGenerator(node).generate(program)
+    print(disassemble_program(machine_program))
+    return 0
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    from repro.editor.render_ascii import render_pipeline_diagram
+    from repro.editor.render_svg import render_pipeline_svg
+
+    program = _load_program(args.program)
+    if not (0 <= args.pipeline < len(program.pipelines)):
+        print(f"error: program has {len(program.pipelines)} pipelines",
+              file=sys.stderr)
+        return 1
+    diagram = program.pipelines[args.pipeline]
+    if args.svg:
+        print(render_pipeline_svg(diagram))
+    else:
+        print(render_pipeline_diagram(diagram))
+    return 0
+
+
+def cmd_jacobi(args: argparse.Namespace) -> int:
+    from repro.apps.poisson3d import manufactured_solution
+    from repro.codegen.generator import MicrocodeGenerator
+    from repro.compose.jacobi import build_jacobi_program, load_jacobi_inputs
+    from repro.sim.machine import NSCMachine
+
+    node = _node(args)
+    shape = (args.n, args.n, args.n)
+    setup = build_jacobi_program(node, shape, eps=args.eps,
+                                 max_iterations=args.max_sweeps)
+    program = MicrocodeGenerator(node).generate(setup.program)
+    u_star, f, h = manufactured_solution(shape, h=setup.h)
+    machine = NSCMachine(node)
+    machine.load_program(program)
+    load_jacobi_inputs(machine, setup, np.zeros(shape), f)
+    result = machine.run()
+    metrics = machine.metrics(result)
+    u = machine.get_variable("u").reshape(shape)
+    print(f"converged: {result.converged} in "
+          f"{result.loop_iterations.get(setup.update_pipeline, 0)} sweeps")
+    print(f"error vs analytic solution: "
+          f"{float(np.max(np.abs(u - u_star))):.3e}")
+    print(metrics.format())
+    return 0 if result.converged else 1
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    from repro.apps.poisson3d import manufactured_solution
+    from repro.codegen.generator import MicrocodeGenerator
+    from repro.compose.iterative import (
+        build_rbsor_program,
+        load_rbsor_inputs,
+    )
+    from repro.compose.jacobi import build_jacobi_program, load_jacobi_inputs
+    from repro.sim.machine import NSCMachine
+
+    node = _node(args)
+    shape = (args.n, args.n, args.n)
+    u_star, f, h = manufactured_solution(shape)
+    machine = NSCMachine(node)
+    if args.method == "jacobi":
+        setup = build_jacobi_program(node, shape, h=h, eps=args.eps,
+                                     max_iterations=args.max_sweeps)
+        machine.load_program(MicrocodeGenerator(node).generate(setup.program))
+        load_jacobi_inputs(machine, setup, np.zeros(shape), f)
+        watch = setup.update_pipeline
+    else:
+        omega = 1.0 if args.method == "rb-gs" else args.omega
+        setup = build_rbsor_program(node, shape, omega=omega, h=h,
+                                    eps=args.eps,
+                                    max_iterations=args.max_sweeps)
+        machine.load_program(MicrocodeGenerator(node).generate(setup.program))
+        load_rbsor_inputs(machine, setup, np.zeros(shape), f)
+        watch = setup.black_pipeline
+    result = machine.run()
+    u = machine.get_variable("u").reshape(shape)
+    print(f"{args.method}: converged={result.converged} "
+          f"sweeps={result.loop_iterations.get(watch, 0)} "
+          f"cycles={result.total_cycles} "
+          f"err={float(np.max(np.abs(u - u_star))):.3e}")
+    return 0 if result.converged else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nsc-vpe",
+        description="Visual programming environment for the Navier-Stokes "
+        "Computer (ICPP 1988 reproduction)",
+    )
+    parser.add_argument(
+        "--subset",
+        action="store_true",
+        help="target the §6 architectural-subset machine",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="machine inventory (Fig. 1)")
+    sub.add_parser("icons", help="ALS icon catalog (Fig. 4)")
+
+    p = sub.add_parser("check", help="validate a saved program")
+    p.add_argument("program", help="path to a saved .json program")
+
+    p = sub.add_parser("disasm", help="microcode disassembly of a program")
+    p.add_argument("program")
+
+    p = sub.add_parser("render", help="render a pipeline diagram")
+    p.add_argument("program")
+    p.add_argument("--pipeline", type=int, default=0)
+    p.add_argument("--svg", action="store_true")
+
+    p = sub.add_parser("jacobi", help="run the paper's Eq. 1 example")
+    p.add_argument("-n", type=int, default=9, help="grid points per axis")
+    p.add_argument("--eps", type=float, default=1e-6)
+    p.add_argument("--max-sweeps", type=int, default=10_000)
+
+    p = sub.add_parser("solve", help="run an iterative Poisson solver")
+    p.add_argument("method", choices=["jacobi", "rb-gs", "rb-sor"])
+    p.add_argument("-n", type=int, default=9)
+    p.add_argument("--eps", type=float, default=1e-6)
+    p.add_argument("--omega", type=float, default=1.5)
+    p.add_argument("--max-sweeps", type=int, default=10_000)
+    return parser
+
+
+_COMMANDS = {
+    "info": cmd_info,
+    "icons": cmd_icons,
+    "check": cmd_check,
+    "disasm": cmd_disasm,
+    "render": cmd_render,
+    "jacobi": cmd_jacobi,
+    "solve": cmd_solve,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""Textual micro-assembler: the counterfactual the paper argues against.
+
+Paper §3: "hand-written microprograms are clearly not practical for the
+NSC"; §6: the visual representation beats "reams of textual microassembler
+code".  To *measure* that claim (benchmark C2) we provide the textual form a
+microassembler would require: one line per nonzero field of every
+instruction, plus DMA/sequencer directives.  ``assembly_token_count`` is the
+effort proxy compared against the editor's action count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.codegen.generator import INDEX_OP, MachineProgram, PipelineImage
+from repro.codegen.microword import CMP_NAMES, Microword
+
+
+def disassemble_word(word: Microword, number: int = 0) -> List[str]:
+    """One directive line per nonzero field, in field order."""
+    lines = [f".instruction {number}"]
+    for name, value in word.nonzero_fields():
+        if name.endswith(".opcode"):
+            op = INDEX_OP.get(value)
+            rendered = op.value if op is not None else str(value)
+        elif name.endswith(".cmp"):
+            rendered = CMP_NAMES.get(value, str(value))
+        elif name.endswith(".threshold"):
+            rendered = repr(word.get_float(name))
+        elif name.endswith(".stride") or name.endswith(".shift"):
+            rendered = str(word.get_signed(name))
+        else:
+            rendered = str(value)
+        lines.append(f"    set {name} {rendered}")
+    lines.append(".end")
+    return lines
+
+
+def disassemble_image(image: PipelineImage) -> List[str]:
+    header = [
+        f"; pipeline {image.number}: {image.label or '(unlabeled)'}",
+        f"; vector length {image.vector_length}, "
+        f"{image.flops_per_element} flops/element",
+    ]
+    return header + disassemble_word(image.microword, image.number)
+
+
+def disassemble_program(program: MachineProgram) -> str:
+    """The full textual microprogram ("reams of microassembler code")."""
+    lines: List[str] = [
+        f"; program {program.name}",
+        f"; {len(program.images)} instructions x "
+        f"{program.layout.total_bits} bits = "
+        f"{program.total_microcode_bits} bits",
+    ]
+    for name, decl in program.declarations.items():
+        lines.append(f".var {name} plane {decl.plane} words {decl.length}")
+    for image in program.images:
+        lines.append("")
+        lines.extend(disassemble_image(image))
+    return "\n".join(lines)
+
+
+def assembly_token_count(program: MachineProgram) -> int:
+    """Whitespace tokens a programmer would have to type, comments excluded."""
+    count = 0
+    for line in disassemble_program(program).splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith(";"):
+            continue
+        count += len(stripped.split())
+    return count
+
+
+def parse_assembly(text: str) -> Dict[int, List[Tuple[str, str]]]:
+    """Parse directive text back into per-instruction field assignments.
+
+    Returns {instruction number: [(field, rendered value), ...]}.  Used by
+    tests to confirm the textual form is faithful (round-trips the nonzero
+    fields), not merely decorative.
+    """
+    out: Dict[int, List[Tuple[str, str]]] = {}
+    current: int | None = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith(";") or line.startswith(".var"):
+            continue
+        if line.startswith(".instruction"):
+            current = int(line.split()[1])
+            out[current] = []
+        elif line.startswith(".end"):
+            current = None
+        elif line.startswith("set "):
+            if current is None:
+                raise ValueError(f"field assignment outside instruction: {line}")
+            _kw, name, value = line.split(None, 2)
+            out[current].append((name, value))
+        else:
+            raise ValueError(f"unrecognized directive: {line}")
+    return out
+
+
+__all__ = [
+    "disassemble_word",
+    "disassemble_image",
+    "disassemble_program",
+    "assembly_token_count",
+    "parse_assembly",
+]

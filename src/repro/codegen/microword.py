@@ -1,0 +1,295 @@
+"""The microword: the few-thousand-bit instruction format of the NSC.
+
+Paper §3: an instruction "completely specif[ies] the pipeline configuration
+and function unit operations for the entire machine.  This requires a few
+thousand bits of information per instruction, encoded in dozens of separate
+fields."  The layout below is computed from the machine parameters, so
+subset machines get proportionally smaller words; with the default
+parameters the word is ~4.7 kbits across ~250 fields — "a few thousand
+bits" in "dozens of separate fields", which benchmark C2 audits.
+
+The layout groups:
+
+- per functional unit: opcode, constant selector, input-source selectors,
+  per-input delay counts, and routing flags (internal/feedback);
+- per memory plane and per cache: a DMA program (enable, direction,
+  address, stride, count);
+- per shift/delay unit: tap enables and shifts;
+- sequencer/condition: monitored unit, comparison, IEEE threshold.
+
+Switch settings are not a separate group: the per-sink source selectors
+*are* the crossbar program (one selector per sink port), which is exactly
+how the generator "derives switch settings ... from the connection tables".
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.arch.params import NSCParameters
+from repro.arch.switch import DeviceKind, Endpoint
+
+
+class FieldError(Exception):
+    """Unknown field or out-of-range value."""
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named bit-field at a fixed offset within the word."""
+
+    name: str
+    offset: int
+    width: int
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.width) - 1
+
+
+def _signed_to_bits(value: int, width: int) -> int:
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    if not (lo <= value <= hi):
+        raise FieldError(f"signed value {value} does not fit {width} bits")
+    return value & ((1 << width) - 1)
+
+
+def _bits_to_signed(bits: int, width: int) -> int:
+    if bits >= 1 << (width - 1):
+        return bits - (1 << width)
+    return bits
+
+
+def float_to_bits(value: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    return struct.unpack("<d", struct.pack("<Q", bits))[0]
+
+
+class SourceTable:
+    """Enumeration of every switch source as a selector id (0 = none)."""
+
+    def __init__(self, sources: List[Endpoint]) -> None:
+        self._by_ep: Dict[Endpoint, int] = {}
+        self._by_id: Dict[int, Endpoint] = {}
+        for i, ep in enumerate(sorted(sources), start=1):
+            self._by_ep[ep] = i
+            self._by_id[i] = ep
+
+    def id_of(self, ep: Optional[Endpoint]) -> int:
+        if ep is None:
+            return 0
+        try:
+            return self._by_ep[ep]
+        except KeyError:
+            raise FieldError(f"{ep} is not a known switch source") from None
+
+    def endpoint_of(self, sel: int) -> Optional[Endpoint]:
+        if sel == 0:
+            return None
+        try:
+            return self._by_id[sel]
+        except KeyError:
+            raise FieldError(f"selector {sel} names no source") from None
+
+    @property
+    def width(self) -> int:
+        """Bits needed for a selector (including the 'none' code)."""
+        return max(1, (len(self._by_ep)).bit_length())
+
+    def __len__(self) -> int:
+        return len(self._by_ep)
+
+
+class MicrowordLayout:
+    """Field layout for one machine description."""
+
+    OPCODE_BITS = 6
+    CONST_SEL_BITS = 7
+    DELAY_BITS = 7
+    ADDR_BITS = 24
+    STRIDE_BITS = 16
+    COUNT_BITS = 24
+    SHIFT_BITS = 14
+    CMP_BITS = 3
+
+    def __init__(self, params: NSCParameters, n_fus: int, sources: List[Endpoint]):
+        self.params = params
+        self.n_fus = n_fus
+        self.source_table = SourceTable(sources)
+        self._fields: Dict[str, Field] = {}
+        self._order: List[str] = []
+        self._build()
+
+    def _add(self, name: str, width: int, cursor: int) -> int:
+        if name in self._fields:
+            raise FieldError(f"duplicate field {name}")
+        self._fields[name] = Field(name=name, offset=cursor, width=width)
+        self._order.append(name)
+        return cursor + width
+
+    def _build(self) -> None:
+        sel = self.source_table.width
+        cur = 0
+        for fu in range(self.n_fus):
+            cur = self._add(f"fu{fu}.opcode", self.OPCODE_BITS, cur)
+            cur = self._add(f"fu{fu}.const_sel", self.CONST_SEL_BITS, cur)
+            for port in ("a", "b"):
+                cur = self._add(f"fu{fu}.{port}.src", sel, cur)
+                cur = self._add(f"fu{fu}.{port}.delay", self.DELAY_BITS, cur)
+                cur = self._add(f"fu{fu}.{port}.internal", 1, cur)
+                cur = self._add(f"fu{fu}.{port}.feedback", 1, cur)
+                cur = self._add(f"fu{fu}.{port}.constant", 1, cur)
+        for plane in range(self.params.n_memory_planes):
+            cur = self._dma_group(f"mem{plane}", cur)
+        for cache in range(self.params.n_caches):
+            cur = self._dma_group(f"cache{cache}", cur)
+        for sink_name, _ in self.non_fu_sinks():
+            cur = self._add(f"switch.{sink_name}.src", sel, cur)
+        for unit in range(self.params.n_shift_delay_units):
+            for tap in range(self.params.shift_delay_taps):
+                cur = self._add(f"sd{unit}.tap{tap}.enable", 1, cur)
+                cur = self._add(f"sd{unit}.tap{tap}.shift", self.SHIFT_BITS, cur)
+        cur = self._add("seq.cond.enable", 1, cur)
+        cur = self._add("seq.cond.fu", max(1, (self.n_fus - 1).bit_length()), cur)
+        cur = self._add("seq.cond.cmp", self.CMP_BITS, cur)
+        cur = self._add("seq.cond.threshold", 64, cur)
+        cur = self._add("seq.vector_length", 32, cur)
+        self.total_bits = cur
+
+    def _dma_group(self, prefix: str, cur: int) -> int:
+        cur = self._add(f"{prefix}.dma.enable", 1, cur)
+        cur = self._add(f"{prefix}.dma.dir", 1, cur)  # 0=read, 1=write
+        cur = self._add(f"{prefix}.dma.addr", self.ADDR_BITS, cur)
+        cur = self._add(f"{prefix}.dma.stride", self.STRIDE_BITS, cur)
+        cur = self._add(f"{prefix}.dma.count", self.COUNT_BITS, cur)
+        return cur
+
+    def non_fu_sinks(self) -> Iterator[Tuple[str, Endpoint]]:
+        """Named non-FU sinks carrying a crossbar selector field."""
+        for plane in range(self.params.n_memory_planes):
+            yield f"mem{plane}.write", Endpoint(DeviceKind.MEMORY, plane, "write")
+        for cache in range(self.params.n_caches):
+            yield f"cache{cache}.write", Endpoint(DeviceKind.CACHE, cache, "write")
+        for unit in range(self.params.n_shift_delay_units):
+            yield f"sd{unit}.in", Endpoint(DeviceKind.SHIFT_DELAY, unit, "in")
+
+    # ------------------------------------------------------------------
+    @property
+    def fields(self) -> List[Field]:
+        return [self._fields[n] for n in self._order]
+
+    @property
+    def n_fields(self) -> int:
+        return len(self._fields)
+
+    def field(self, name: str) -> Field:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise FieldError(f"no field {name!r} in this layout") from None
+
+    def field_groups(self) -> Dict[str, int]:
+        """Count of fields per top-level group (for the C2 size audit)."""
+        groups: Dict[str, int] = {}
+        for name in self._order:
+            group = name.split(".")[0]
+            groups[group] = groups.get(group, 0) + 1
+        return groups
+
+    def new_word(self) -> "Microword":
+        return Microword(self)
+
+
+class Microword:
+    """One instruction: a value for every field, encodable to raw bits."""
+
+    def __init__(self, layout: MicrowordLayout) -> None:
+        self.layout = layout
+        self._values: Dict[str, int] = {}
+
+    def set(self, name: str, value: int) -> None:
+        field = self.layout.field(name)
+        if not (0 <= value <= field.max_value):
+            raise FieldError(
+                f"value {value} does not fit field {name} ({field.width} bits)"
+            )
+        self._values[name] = value
+
+    def set_signed(self, name: str, value: int) -> None:
+        field = self.layout.field(name)
+        self.set(name, _signed_to_bits(value, field.width))
+
+    def set_float(self, name: str, value: float) -> None:
+        self.set(name, float_to_bits(value))
+
+    def get(self, name: str) -> int:
+        self.layout.field(name)  # validate
+        return self._values.get(name, 0)
+
+    def get_signed(self, name: str) -> int:
+        field = self.layout.field(name)
+        return _bits_to_signed(self.get(name), field.width)
+
+    def get_float(self, name: str) -> float:
+        return bits_to_float(self.get(name))
+
+    def nonzero_fields(self) -> List[Tuple[str, int]]:
+        return [(n, v) for n, v in sorted(self._values.items()) if v != 0]
+
+    # ------------------------------------------------------------------
+    # raw encoding
+    # ------------------------------------------------------------------
+    def encode(self) -> bytes:
+        """Pack every field into a little-endian bit string."""
+        word = 0
+        for name, value in self._values.items():
+            field = self.layout.field(name)
+            word |= value << field.offset
+        nbytes = (self.layout.total_bits + 7) // 8
+        return word.to_bytes(nbytes, "little")
+
+    @classmethod
+    def decode(cls, layout: MicrowordLayout, raw: bytes) -> "Microword":
+        word = int.from_bytes(raw, "little")
+        mw = cls(layout)
+        for field in layout.fields:
+            value = (word >> field.offset) & field.max_value
+            if value:
+                mw._values[field.name] = value
+        return mw
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Microword):
+            return NotImplemented
+        mine = {n: v for n, v in self._values.items() if v}
+        theirs = {n: v for n, v in other._values.items() if v}
+        return mine == theirs
+
+    def __repr__(self) -> str:
+        return (
+            f"Microword({len(self.nonzero_fields())} nonzero fields of "
+            f"{self.layout.n_fields}, {self.layout.total_bits} bits)"
+        )
+
+
+CMP_CODES = {"lt": 1, "le": 2, "gt": 3, "ge": 4}
+CMP_NAMES = {v: k for k, v in CMP_CODES.items()}
+
+
+__all__ = [
+    "Field",
+    "FieldError",
+    "SourceTable",
+    "MicrowordLayout",
+    "Microword",
+    "CMP_CODES",
+    "CMP_NAMES",
+    "float_to_bits",
+    "bits_to_float",
+]

@@ -1,0 +1,191 @@
+"""Expression-graph mapping: arithmetic expressions onto ALS pipelines.
+
+Paper §3 identifies "mapping function units onto expression graphs" —
+complicated by the singlet/doublet/triplet asymmetry — as a core compiler
+difficulty, and §6 wonders about higher-level front ends.  This module is a
+small such front end: an expression tree is mapped bottom-up onto functional
+units through the :class:`~repro.compose.builders.PipelineBuilder`, with
+common-subexpression reuse so shared subtrees occupy one unit.
+
+It is also the engine behind the property-based tests: random expression
+trees are mapped, checked, code-generated, simulated, and compared against
+direct NumPy evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.arch.funcunit import OPCODES, Opcode
+from repro.compose.builders import Operand, PipelineBuilder
+
+#: Binary opcodes usable in expressions (two stream operands).
+BINARY_OPS = (
+    Opcode.FADD,
+    Opcode.FSUB,
+    Opcode.FMUL,
+    Opcode.MAX,
+    Opcode.MIN,
+)
+
+#: Unary opcodes usable in expressions.
+UNARY_OPS = (
+    Opcode.FNEG,
+    Opcode.FABS,
+    Opcode.FSCALE,
+    Opcode.FADDC,
+)
+
+
+class ExprError(Exception):
+    """Malformed expression tree."""
+
+
+@dataclass(frozen=True)
+class Var:
+    """A named input stream."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal, fed from a register-file constant."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class BinOp:
+    opcode: Opcode
+    left: "Expr"
+    right: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.opcode not in BINARY_OPS:
+            raise ExprError(f"{self.opcode.value} is not a binary expression op")
+
+
+@dataclass(frozen=True)
+class UnOp:
+    opcode: Opcode
+    operand: "Expr"
+    constant: float = 0.0  # for FSCALE / FADDC
+
+    def __post_init__(self) -> None:
+        if self.opcode not in UNARY_OPS:
+            raise ExprError(f"{self.opcode.value} is not a unary expression op")
+
+
+Expr = Union[Var, Const, BinOp, UnOp]
+
+
+def expr_depth(expr: Expr) -> int:
+    if isinstance(expr, (Var, Const)):
+        return 0
+    if isinstance(expr, UnOp):
+        return 1 + expr_depth(expr.operand)
+    return 1 + max(expr_depth(expr.left), expr_depth(expr.right))
+
+
+def expr_fu_count(expr: Expr) -> int:
+    """Units the mapped pipeline will use (with subtree sharing)."""
+    seen: set[Expr] = set()
+
+    def walk(e: Expr) -> None:
+        if e in seen or isinstance(e, (Var, Const)):
+            return
+        seen.add(e)
+        if isinstance(e, UnOp):
+            walk(e.operand)
+        else:
+            walk(e.left)
+            walk(e.right)
+
+    walk(expr)
+    return len(seen)
+
+
+def map_expression(
+    builder: PipelineBuilder,
+    expr: Expr,
+    inputs: Dict[str, Operand],
+) -> Operand:
+    """Map *expr* onto functional units; returns the root's operand handle.
+
+    *inputs* supplies the stream source for every :class:`Var`.  Shared
+    subtrees (by structural equality) map to a single unit.
+    """
+    cache: Dict[Expr, Operand] = {}
+
+    def emit(e: Expr) -> Operand:
+        if e in cache:
+            return cache[e]
+        out: Operand
+        if isinstance(e, Var):
+            try:
+                out = inputs[e.name]
+            except KeyError:
+                raise ExprError(f"no input stream bound for variable {e.name!r}")
+        elif isinstance(e, Const):
+            out = builder.constant(e.value)
+        elif isinstance(e, UnOp):
+            child = emit(e.operand)
+            if OPCODES[e.opcode].uses_constant:
+                out = builder.apply(e.opcode, child, constant=e.constant)
+            else:
+                out = builder.apply(e.opcode, child)
+        elif isinstance(e, BinOp):
+            left = emit(e.left)
+            right = emit(e.right)
+            out = builder.apply(e.opcode, left, right)
+        else:  # pragma: no cover - defensive
+            raise ExprError(f"unknown expression node {e!r}")
+        cache[e] = out
+        return out
+
+    return emit(expr)
+
+
+def eval_expression(
+    expr: Expr, env: Dict[str, np.ndarray]
+) -> np.ndarray:
+    """Reference NumPy evaluation with the same semantics as the pipeline."""
+    if isinstance(expr, Var):
+        return np.asarray(env[expr.name], dtype=np.float64)
+    if isinstance(expr, Const):
+        lengths = {np.asarray(v).size for v in env.values()}
+        n = lengths.pop() if lengths else 1
+        return np.full(n, expr.value, dtype=np.float64)
+    if isinstance(expr, UnOp):
+        child = eval_expression(expr.operand, env)
+        info = OPCODES[expr.opcode]
+        if info.uses_constant:
+            return np.asarray(info.kernel(child, expr.constant), dtype=np.float64)
+        return np.asarray(info.kernel(child), dtype=np.float64)
+    if isinstance(expr, BinOp):
+        left = eval_expression(expr.left, env)
+        right = eval_expression(expr.right, env)
+        return np.asarray(
+            OPCODES[expr.opcode].kernel(left, right), dtype=np.float64
+        )
+    raise ExprError(f"unknown expression node {expr!r}")
+
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "BinOp",
+    "UnOp",
+    "ExprError",
+    "BINARY_OPS",
+    "UNARY_OPS",
+    "map_expression",
+    "eval_expression",
+    "expr_depth",
+    "expr_fu_count",
+]

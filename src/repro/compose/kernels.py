@@ -1,0 +1,259 @@
+"""Small kernel programs: the vector workloads the NSC was pitched on.
+
+Besides the Jacobi example, the paper's machine is a general reconfigurable
+vector engine; these builders produce compact one-pipeline programs used by
+the examples, the performance benchmarks (C1's utilization sweeps need
+pipelines of varying FU counts), and the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.arch.funcunit import Opcode
+from repro.arch.node import NodeConfig
+from repro.compose.builders import BuilderError, PipelineBuilder
+from repro.diagram.program import ExecPipeline, Halt, VisualProgram
+
+
+@dataclass(frozen=True)
+class KernelSetup:
+    """A built kernel program plus the names a host loads/reads."""
+
+    program: VisualProgram
+    inputs: Tuple[str, ...]
+    output: str
+    n: int
+    flops_per_element: int
+
+
+def build_saxpy_program(
+    node: NodeConfig, n: int, alpha: float = 2.0
+) -> KernelSetup:
+    """``y <- alpha * x + y``: the canonical two-unit pipeline (quickstart)."""
+    prog = VisualProgram(name=f"saxpy-{n}")
+    prog.declare("x", plane=0, length=n, initializer="user")
+    prog.declare("y", plane=1, length=n, initializer="user")
+    prog.declare("out", plane=2, length=n)
+    b = PipelineBuilder(node, prog, label="saxpy", vector_length=n)
+    x = b.read_var("x")
+    y = b.read_var("y")
+    ax = b.apply(Opcode.FSCALE, x, constant=alpha)
+    s = b.apply(Opcode.FADD, ax, y)
+    # a PASS unit decouples the adder (which reads plane 1) from the output
+    # plane: §3 allows each unit to touch only one memory plane
+    out = b.apply(Opcode.PASS, s)
+    b.write_var(out, "out")
+    b.build()
+    prog.add_control(ExecPipeline(0))
+    prog.add_control(Halt())
+    return KernelSetup(
+        program=prog, inputs=("x", "y"), output="out", n=n, flops_per_element=2
+    )
+
+
+def build_stream_max_program(node: NodeConfig, n: int) -> KernelSetup:
+    """Running maximum of a stream via a feedback loop on a min/max unit."""
+    prog = VisualProgram(name=f"stream-max-{n}")
+    prog.declare("x", plane=0, length=n, initializer="user")
+    prog.declare("out", plane=1, length=n)
+    b = PipelineBuilder(node, prog, label="running max", vector_length=n)
+    x = b.read_var("x")
+    m = b.apply(Opcode.MAX, x, b.feedback(float("-inf")))
+    out = b.apply(Opcode.PASS, m)  # decouple input plane from output plane
+    b.write_var(out, "out")
+    b.build()
+    prog.add_control(ExecPipeline(0))
+    prog.add_control(Halt())
+    return KernelSetup(
+        program=prog, inputs=("x",), output="out", n=n, flops_per_element=1
+    )
+
+
+def build_heat1d_program(
+    node: NodeConfig, n: int, r: float = 0.25, steps: int = 1
+) -> KernelSetup:
+    """Explicit 1-D heat smoother ``u' = u + r*(u[i-1] - 2u + u[i+1])`` with
+    boundary masking, iterated *steps* times by the sequencer."""
+    from repro.diagram.program import CacheSwap, Repeat, SwapVars
+
+    prog = VisualProgram(name=f"heat1d-{n}")
+    prog.declare("u", plane=0, length=n, initializer="user")
+    prog.declare("mask", plane=2, length=n, initializer="interior-mask")
+    prog.declare("invmask", plane=3, length=n, initializer="boundary-mask")
+    prog.declare("u_new", plane=1, length=n)
+
+    b0 = PipelineBuilder(node, prog, label="load masks", vector_length=n)
+    m_src = b0.read_var("mask")
+    i_src = b0.read_var("invmask")
+    b0.write_cache(m_src, cache=0, count=n)
+    b0.write_cache(i_src, cache=1, count=n)
+    b0.build()
+
+    b = PipelineBuilder(node, prog, label="heat smoother", vector_length=n)
+    u = b.read_var("u")
+    u0, up, um = b.through_sd(u, shifts=[0, +1, -1])
+    mask_c = b.read_cache(0, count=n)
+    inv_c = b.read_cache(1, count=n)
+    nsum = b.apply(Opcode.FADD, up, um)
+    two_u = b.apply(Opcode.FSCALE, u0, constant=2.0)
+    lap = b.apply(Opcode.FSUB, nsum, two_u)
+    ru = b.apply(Opcode.FSCALE, lap, constant=r)
+    unew = b.apply(Opcode.FADD, u0, ru)
+    masked = b.apply(Opcode.FMUL, unew, mask_c)
+    kept = b.apply(Opcode.FMUL, u0, inv_c)
+    out = b.apply(Opcode.FADD, masked, kept)
+    b.write_var(out, "u_new")
+    b.build()
+
+    prog.add_control(ExecPipeline(0))
+    prog.add_control(CacheSwap(caches=(0, 1)))
+    prog.add_control(
+        Repeat(body=(ExecPipeline(1), SwapVars("u", "u_new")), times=steps)
+    )
+    prog.add_control(Halt())
+    return KernelSetup(
+        program=prog,
+        inputs=("u", "mask", "invmask"),
+        output="u",
+        n=n,
+        flops_per_element=7,
+    )
+
+
+def build_chain_program(
+    node: NodeConfig, n: int, depth: int
+) -> KernelSetup:
+    """A dependent chain of *depth* adds: sweeps FU count for utilization
+    studies (one stream in, one out, ``depth`` active units)."""
+    if depth < 1:
+        raise BuilderError("chain depth must be >= 1")
+    prog = VisualProgram(name=f"chain-{depth}-{n}")
+    prog.declare("x", plane=0, length=n, initializer="user")
+    prog.declare("out", plane=1, length=n)
+    b = PipelineBuilder(node, prog, label=f"chain of {depth}", vector_length=n)
+    cur = b.apply(Opcode.FADDC, b.read_var("x"), constant=1.0)
+    for _ in range(depth - 1):
+        cur = b.apply(Opcode.FADDC, cur, constant=1.0)
+    out = b.apply(Opcode.PASS, cur)  # decouple input plane from output plane
+    b.write_var(out, "out")
+    b.build()
+    prog.add_control(ExecPipeline(0))
+    prog.add_control(Halt())
+    return KernelSetup(
+        program=prog, inputs=("x",), output="out", n=n,
+        flops_per_element=depth,
+    )
+
+
+def build_wide_program(
+    node: NodeConfig, n: int, lanes: int
+) -> KernelSetup:
+    """*lanes* independent scale-streams running in parallel pipelines:
+    the multiple-pipelines-per-instruction configuration of §2.
+
+    Lane *i* streams a variable from plane ``i`` through a scale unit and a
+    PASS unit into plane ``lanes + i``; all lanes share the single
+    instruction (two units per lane so each touches one plane, per §3).
+    """
+    params = node.params
+    if 2 * lanes > params.n_memory_planes:
+        raise BuilderError(
+            f"{lanes} lanes need {2 * lanes} planes; machine has "
+            f"{params.n_memory_planes}"
+        )
+    if 2 * lanes > node.n_fus:
+        raise BuilderError(
+            f"{lanes} lanes need {2 * lanes} functional units; machine has "
+            f"{node.n_fus}"
+        )
+    prog = VisualProgram(name=f"wide-{lanes}-{n}")
+    for lane in range(lanes):
+        prog.declare(f"x{lane}", plane=lane, length=n, initializer="user")
+        prog.declare(f"y{lane}", plane=lanes + lane, length=n)
+    b = PipelineBuilder(node, prog, label=f"{lanes} lanes", vector_length=n)
+    for lane in range(lanes):
+        x = b.read_var(f"x{lane}")
+        y = b.apply(Opcode.FSCALE, x, constant=float(lane + 1))
+        out = b.apply(Opcode.PASS, y)
+        b.write_var(out, f"y{lane}")
+    b.build()
+    prog.add_control(ExecPipeline(0))
+    prog.add_control(Halt())
+    return KernelSetup(
+        program=prog,
+        inputs=tuple(f"x{lane}" for lane in range(lanes)),
+        output="y0",
+        n=n,
+        flops_per_element=lanes,
+    )
+
+
+def build_chunked_scale_program(
+    node: NodeConfig,
+    n: int,
+    chunk: int,
+    alpha: float = 2.0,
+    cache: int = 0,
+) -> KernelSetup:
+    """``out = alpha * x`` streamed through a double-buffered cache in
+    chunks: the §2 overlap pattern made explicit.
+
+    For each chunk the program has a *load* pipeline (plane -> cache back
+    buffer) and a *compute* pipeline (cache front -> unit -> plane), with a
+    sequencer ``CacheSwap`` between them.  DMA windows are static per
+    instruction, so each chunk is its own pipeline pair — programs really
+    are "a series of pipeline diagrams" (§5), and the per-instruction
+    reconfiguration cost of chunking is measurable against the direct
+    single-pipeline stream.
+    """
+    from repro.diagram.program import CacheSwap
+
+    if chunk <= 0 or n % chunk != 0:
+        raise BuilderError(f"chunk {chunk} must evenly divide n={n}")
+    if chunk > node.params.cache_buffer_words:
+        raise BuilderError(
+            f"chunk of {chunk} words exceeds the cache buffer "
+            f"({node.params.cache_buffer_words})"
+        )
+    n_chunks = n // chunk
+    prog = VisualProgram(name=f"chunked-scale-{n}-by-{chunk}")
+    prog.declare("x", plane=0, length=n, initializer="user")
+    prog.declare("out", plane=1, length=n)
+
+    for i in range(n_chunks):
+        b_load = PipelineBuilder(
+            node, prog, label=f"load chunk {i}", vector_length=chunk
+        )
+        src = b_load.read_var("x", offset=i * chunk, count=chunk)
+        b_load.write_cache(src, cache=cache, count=chunk)
+        b_load.build()
+
+        b_comp = PipelineBuilder(
+            node, prog, label=f"compute chunk {i}", vector_length=chunk
+        )
+        data = b_comp.read_cache(cache, count=chunk)
+        scaled = b_comp.apply(Opcode.FSCALE, data, constant=alpha)
+        b_comp.write_var(scaled, "out", offset=i * chunk, count=chunk)
+        b_comp.build()
+
+    for i in range(n_chunks):
+        prog.add_control(ExecPipeline(2 * i))       # fill the back buffer
+        prog.add_control(CacheSwap(caches=(cache,)))
+        prog.add_control(ExecPipeline(2 * i + 1))   # consume the front
+    prog.add_control(Halt())
+    return KernelSetup(
+        program=prog, inputs=("x",), output="out", n=n, flops_per_element=1
+    )
+
+
+__all__ = [
+    "KernelSetup",
+    "build_saxpy_program",
+    "build_stream_max_program",
+    "build_heat1d_program",
+    "build_chain_program",
+    "build_wide_program",
+    "build_chunked_scale_program",
+]

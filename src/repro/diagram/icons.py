@@ -1,0 +1,204 @@
+"""Icons: the visual objects standing for architectural components.
+
+Paper §5: "visual objects, or icons, are used to represent architectural
+components of the NSC at a suitable level of abstraction ...  Subimages
+within each icon are also meaningful."  The prototype implemented the three
+ALS icon types (Fig. 4) — including the bypassed-doublet form — and noted
+that memory-plane and shift/delay icons "would be useful, but are not
+currently implemented"; we implement all of them.
+
+Icons are *semantic* objects (which device they denote, which pads they
+expose); their screen geometry lives in :mod:`repro.editor.canvas`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.arch.als import ALS_CLASSES, ALSKind, FU_INPUT_PORTS
+from repro.arch.switch import (
+    DeviceKind,
+    Endpoint,
+    cache_read,
+    cache_write,
+    fu_in,
+    fu_out,
+    mem_read,
+    mem_write,
+    sd_in,
+    sd_tap,
+)
+
+
+@dataclass(frozen=True)
+class PadSpec:
+    """One I/O pad on an icon: "short wires terminated by small black
+    circles" (§5).  ``is_input`` is from the device's point of view."""
+
+    endpoint: Endpoint
+    is_input: bool
+    label: str
+
+
+@dataclass(frozen=True)
+class Icon:
+    """Base icon: a device reference plus its pads."""
+
+    icon_id: str
+    device_kind: DeviceKind
+    device: int
+
+    def pads(self) -> Tuple[PadSpec, ...]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def input_pads(self) -> Tuple[PadSpec, ...]:
+        return tuple(p for p in self.pads() if p.is_input)
+
+    def output_pads(self) -> Tuple[PadSpec, ...]:
+        return tuple(p for p in self.pads() if not p.is_input)
+
+    @property
+    def title(self) -> str:
+        return self.icon_id
+
+
+@dataclass(frozen=True)
+class ALSIcon(Icon):
+    """An ALS icon (Fig. 4): one subimage box per functional unit.
+
+    ``bypassed_slots`` realizes the second doublet form of Fig. 4 —
+    "doublets may be configured to operate as singlets by bypassing one of
+    the functional units".  Pads of bypassed slots are not exposed.
+    """
+
+    kind: ALSKind = ALSKind.SINGLET
+    first_fu: int = 0
+    bypassed_slots: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        for s in self.bypassed_slots:
+            if not (0 <= s < self.kind.n_units):
+                raise ValueError(f"bypassed slot {s} out of range for {self.kind.value}")
+
+    @property
+    def active_slots(self) -> Tuple[int, ...]:
+        return tuple(
+            s for s in range(self.kind.n_units) if s not in self.bypassed_slots
+        )
+
+    def fu_index(self, slot: int) -> int:
+        return self.first_fu + slot
+
+    def pads(self) -> Tuple[PadSpec, ...]:
+        pads: List[PadSpec] = []
+        for slot in self.active_slots:
+            fu = self.fu_index(slot)
+            for port in FU_INPUT_PORTS:
+                pads.append(
+                    PadSpec(
+                        endpoint=fu_in(fu, port),
+                        is_input=True,
+                        label=f"u{slot}.{port}",
+                    )
+                )
+            pads.append(
+                PadSpec(endpoint=fu_out(fu), is_input=False, label=f"u{slot}.out")
+            )
+        return tuple(pads)
+
+    def subimages(self) -> Tuple[Tuple[int, bool, bool], ...]:
+        """Per-slot (slot, is_double_box, bypassed) for rendering Fig. 4:
+        'double box' units have integer/logical capability."""
+        cls = ALS_CLASSES[self.kind]
+        return tuple(
+            (s.position, s.is_double_box, s.position in self.bypassed_slots)
+            for s in cls.slots
+        )
+
+
+@dataclass(frozen=True)
+class MemoryPlaneIcon(Icon):
+    """A memory plane icon: one read pad, one write pad."""
+
+    def pads(self) -> Tuple[PadSpec, ...]:
+        return (
+            PadSpec(endpoint=mem_read(self.device), is_input=False, label="read"),
+            PadSpec(endpoint=mem_write(self.device), is_input=True, label="write"),
+        )
+
+
+@dataclass(frozen=True)
+class CacheIcon(Icon):
+    """A double-buffered cache icon: one read pad, one write pad."""
+
+    def pads(self) -> Tuple[PadSpec, ...]:
+        return (
+            PadSpec(endpoint=cache_read(self.device), is_input=False, label="read"),
+            PadSpec(endpoint=cache_write(self.device), is_input=True, label="write"),
+        )
+
+
+@dataclass(frozen=True)
+class ShiftDelayIcon(Icon):
+    """A shift/delay unit icon: one input pad and ``n_taps`` tap pads."""
+
+    n_taps: int = 8
+
+    def pads(self) -> Tuple[PadSpec, ...]:
+        pads: List[PadSpec] = [
+            PadSpec(endpoint=sd_in(self.device), is_input=True, label="in")
+        ]
+        for tap in range(self.n_taps):
+            pads.append(
+                PadSpec(
+                    endpoint=sd_tap(self.device, tap),
+                    is_input=False,
+                    label=f"tap{tap}",
+                )
+            )
+        return tuple(pads)
+
+
+def make_als_icon(
+    als_id: int,
+    kind: ALSKind,
+    first_fu: int,
+    bypassed_slots: Tuple[int, ...] = (),
+) -> ALSIcon:
+    prefix = {"singlet": "S", "doublet": "D", "triplet": "T"}[kind.value]
+    return ALSIcon(
+        icon_id=f"{prefix}{als_id}",
+        device_kind=DeviceKind.FU,
+        device=als_id,
+        kind=kind,
+        first_fu=first_fu,
+        bypassed_slots=bypassed_slots,
+    )
+
+
+def icon_for_endpoint_device(
+    kind: DeviceKind, device: int, n_taps: int = 8
+) -> Icon:
+    """Construct the non-ALS icon matching a device reference."""
+    if kind is DeviceKind.MEMORY:
+        return MemoryPlaneIcon(icon_id=f"M{device}", device_kind=kind, device=device)
+    if kind is DeviceKind.CACHE:
+        return CacheIcon(icon_id=f"C{device}", device_kind=kind, device=device)
+    if kind is DeviceKind.SHIFT_DELAY:
+        return ShiftDelayIcon(
+            icon_id=f"SD{device}", device_kind=kind, device=device, n_taps=n_taps
+        )
+    raise ValueError(f"use make_als_icon for {kind}")
+
+
+__all__ = [
+    "PadSpec",
+    "Icon",
+    "ALSIcon",
+    "MemoryPlaneIcon",
+    "CacheIcon",
+    "ShiftDelayIcon",
+    "make_als_icon",
+    "icon_for_endpoint_device",
+]

@@ -1,0 +1,46 @@
+"""The graphical editor, headless.
+
+Paper §4-§5 describe a Sun-3/SunView prototype: a control panel of icons and
+editor operations, a central drawing space, a message strip, pop-up menus on
+I/O pads, rubber-band wiring, and pop-up subwindows for DMA details.  The
+machine the prototype ran on is long gone; what the paper actually
+contributes is the *semantics* of that interaction, which this package
+implements as a headless model/controller with deterministic ASCII and SVG
+renderers.  Every interaction step in Figs. 5-11 has a corresponding
+:class:`EditorSession` call, and every screenshot figure has a renderer.
+"""
+
+from repro.editor.session import EditorSession, EditorError
+from repro.editor.canvas import Canvas, IconPlacement
+from repro.editor.commands import CommandStack, Command
+from repro.editor.menus import PopupMenu, MenuEntry, DMASubwindow
+from repro.editor.render_ascii import (
+    render_datapath,
+    render_icon_catalog,
+    render_pipeline_diagram,
+    render_window,
+    render_execution,
+)
+from repro.editor.render_svg import render_pipeline_svg
+from repro.editor.replay import replay_pipeline, replay_program, action_cost
+
+__all__ = [
+    "replay_pipeline",
+    "replay_program",
+    "action_cost",
+    "EditorSession",
+    "EditorError",
+    "Canvas",
+    "IconPlacement",
+    "CommandStack",
+    "Command",
+    "PopupMenu",
+    "MenuEntry",
+    "DMASubwindow",
+    "render_datapath",
+    "render_icon_catalog",
+    "render_pipeline_diagram",
+    "render_window",
+    "render_execution",
+    "render_pipeline_svg",
+]

@@ -1,0 +1,233 @@
+"""Canvas geometry: the display-management half of the editor's data.
+
+Paper §4 distinguishes data "needed solely to manage the graphical display,
+such as the position of images on the screen" from the semantic data; this
+module is that display half.  Coordinates are character cells (the ASCII
+renderer's units); the SVG renderer scales them.
+
+Icon layout: an ALS icon is a bordered box with one sub-box per functional
+unit ("double box" for integer-capable units, per Fig. 4); input pads sit on
+the left edge, output pads on the right, matching the prototype's "short
+wires terminated by small black circles".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.switch import Endpoint
+from repro.diagram.icons import Icon, PadSpec
+
+
+#: Character-cell geometry shared with the ASCII renderer.
+ICON_WIDTH = 14
+SLOT_HEIGHT = 4   # rows per functional-unit sub-box
+ICON_PAD_ROWS = 1  # border rows top and bottom
+
+
+class CanvasError(Exception):
+    """Placement outside the drawing area or on an unknown icon."""
+
+
+@dataclass(frozen=True)
+class IconPlacement:
+    """One icon at a position in the drawing space."""
+
+    icon: Icon
+    x: int
+    y: int
+
+    @property
+    def width(self) -> int:
+        return ICON_WIDTH
+
+    @property
+    def height(self) -> int:
+        n_slots = max(1, len(self.icon.output_pads()))
+        return 2 * ICON_PAD_ROWS + SLOT_HEIGHT * n_slots
+
+    def contains(self, px: int, py: int) -> bool:
+        return (
+            self.x <= px < self.x + self.width
+            and self.y <= py < self.y + self.height
+        )
+
+    def pad_position(self, pad: PadSpec) -> Tuple[int, int]:
+        """Cell coordinates of a pad's black circle."""
+        ins = self.icon.input_pads()
+        outs = self.icon.output_pads()
+        if pad.is_input:
+            index = ins.index(pad)
+            step = max(1, (self.height - 2) // max(1, len(ins)))
+            return (self.x - 1, self.y + 1 + index * step)
+        index = outs.index(pad)
+        step = max(1, (self.height - 2) // max(1, len(outs)))
+        return (self.x + self.width, self.y + 1 + index * step)
+
+
+@dataclass
+class RubberBand:
+    """The in-progress connection drag of Fig. 8."""
+
+    anchor: Endpoint
+    x: int
+    y: int
+
+
+class Canvas:
+    """The drawing space for one pipeline diagram."""
+
+    def __init__(self, width: int = 100, height: int = 40) -> None:
+        self.width = width
+        self.height = height
+        self.placements: Dict[str, IconPlacement] = {}
+        self.rubber_band: Optional[RubberBand] = None
+        #: display-side record of drawn wires (semantic truth lives in the
+        #: diagram's connection table)
+        self.wires: List[Tuple[Endpoint, Endpoint]] = []
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def place(self, icon: Icon, x: int, y: int) -> IconPlacement:
+        placement = IconPlacement(icon=icon, x=x, y=y)
+        self._check_bounds(placement)
+        if icon.icon_id in self.placements:
+            raise CanvasError(f"icon {icon.icon_id!r} is already placed")
+        self.placements[icon.icon_id] = placement
+        return placement
+
+    def move(self, icon_id: str, x: int, y: int) -> IconPlacement:
+        """The "dragging" step of Fig. 6."""
+        old = self._get(icon_id)
+        moved = replace(old, x=x, y=y)
+        self._check_bounds(moved)
+        self.placements[icon_id] = moved
+        return moved
+
+    def remove(self, icon_id: str) -> IconPlacement:
+        placement = self._get(icon_id)
+        del self.placements[icon_id]
+        self.wires = [
+            (s, k)
+            for (s, k) in self.wires
+            if not self._wire_touches(placement.icon, s, k)
+        ]
+        return placement
+
+    def _wire_touches(self, icon: Icon, s: Endpoint, k: Endpoint) -> bool:
+        eps = {p.endpoint for p in icon.pads()}
+        return s in eps or k in eps
+
+    def _get(self, icon_id: str) -> IconPlacement:
+        try:
+            return self.placements[icon_id]
+        except KeyError:
+            raise CanvasError(f"no icon {icon_id!r} on the canvas") from None
+
+    def _check_bounds(self, placement: IconPlacement) -> None:
+        if (
+            placement.x < 1
+            or placement.y < 0
+            or placement.x + placement.width > self.width - 1
+            or placement.y + placement.height > self.height
+        ):
+            raise CanvasError(
+                f"icon {placement.icon.icon_id!r} at ({placement.x},{placement.y}) "
+                f"falls outside the {self.width}x{self.height} drawing area"
+            )
+
+    # ------------------------------------------------------------------
+    # hit testing and pads
+    # ------------------------------------------------------------------
+    def hit_test(self, x: int, y: int) -> Optional[str]:
+        """Icon under the mouse pointer, topmost (latest placed) first."""
+        for icon_id in reversed(list(self.placements)):
+            if self.placements[icon_id].contains(x, y):
+                return icon_id
+        return None
+
+    def pad_at(self, x: int, y: int) -> Optional[PadSpec]:
+        """The I/O pad whose black circle is at (x, y), if any."""
+        for placement in self.placements.values():
+            for pad in placement.icon.pads():
+                if placement.pad_position(pad) == (x, y):
+                    return pad
+        return None
+
+    def endpoint_position(self, endpoint: Endpoint) -> Tuple[int, int]:
+        for placement in self.placements.values():
+            for pad in placement.icon.pads():
+                if pad.endpoint == endpoint:
+                    return placement.pad_position(pad)
+        raise CanvasError(f"{endpoint} has no pad on the canvas")
+
+    # ------------------------------------------------------------------
+    # rubber banding (Fig. 8)
+    # ------------------------------------------------------------------
+    def start_rubber_band(self, anchor: Endpoint) -> None:
+        x, y = self.endpoint_position(anchor)
+        self.rubber_band = RubberBand(anchor=anchor, x=x, y=y)
+
+    def drag_rubber_band(self, x: int, y: int) -> None:
+        if self.rubber_band is None:
+            raise CanvasError("no rubber band in progress")
+        self.rubber_band.x = x
+        self.rubber_band.y = y
+
+    def finish_rubber_band(self) -> Endpoint:
+        if self.rubber_band is None:
+            raise CanvasError("no rubber band in progress")
+        anchor = self.rubber_band.anchor
+        self.rubber_band = None
+        return anchor
+
+    def add_wire(self, source: Endpoint, sink: Endpoint) -> None:
+        self.wires.append((source, sink))
+
+    def remove_wire(self, source: Endpoint, sink: Endpoint) -> None:
+        try:
+            self.wires.remove((source, sink))
+        except ValueError:
+            raise CanvasError(f"no wire {source} -> {sink}") from None
+
+    def occupancy(self) -> float:
+        """Fraction of the drawing area covered by icons."""
+        covered = sum(
+            p.width * p.height for p in self.placements.values()
+        )
+        return covered / float(self.width * self.height)
+
+    def suggest_position(self, height: int = 14) -> Tuple[int, int]:
+        """A spot for the next icon of the given *height*: flow layout
+        left-to-right, wrapping to a new row, cascading with overlap when
+        the drawing area is full (overlap is legal; hit-testing is
+        topmost-first, like any window system)."""
+        x, y = 2, 1
+        for placement in self.placements.values():
+            candidate = placement.x + placement.width + 4
+            if candidate > x:
+                x = candidate
+                y = placement.y
+        if x + ICON_WIDTH >= self.width - 1:
+            x = 2
+            y = max(
+                (p.y + p.height + 2 for p in self.placements.values()),
+                default=1,
+            )
+        if y + height > self.height:
+            k = len(self.placements) % 8
+            x = min(2 + 4 * k, self.width - ICON_WIDTH - 2)
+            y = min(1 + 2 * k, max(1, self.height - height))
+        return x, y
+
+
+__all__ = [
+    "Canvas",
+    "CanvasError",
+    "IconPlacement",
+    "RubberBand",
+    "ICON_WIDTH",
+    "SLOT_HEIGHT",
+]

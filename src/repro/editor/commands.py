@@ -1,0 +1,79 @@
+"""Undoable editor commands.
+
+The paper's prototype offers "the usual operations found in an editor" (§4);
+any production editor also needs undo.  Commands pair a *do* and an *undo*
+closure; the stack replays them in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class CommandError(Exception):
+    """Nothing to undo/redo, or a command failed."""
+
+
+@dataclass
+class Command:
+    """One reversible editor operation."""
+
+    name: str
+    do: Callable[[], None]
+    undo: Callable[[], None]
+
+    def __repr__(self) -> str:
+        return f"Command({self.name!r})"
+
+
+class CommandStack:
+    """Classic undo/redo stack with bounded history."""
+
+    def __init__(self, limit: int = 1000) -> None:
+        self.limit = limit
+        self._done: List[Command] = []
+        self._undone: List[Command] = []
+
+    def execute(self, command: Command) -> None:
+        """Run *command* and record it; clears the redo history."""
+        command.do()
+        self._done.append(command)
+        if len(self._done) > self.limit:
+            self._done.pop(0)
+        self._undone.clear()
+
+    def undo(self) -> Command:
+        if not self._done:
+            raise CommandError("nothing to undo")
+        command = self._done.pop()
+        command.undo()
+        self._undone.append(command)
+        return command
+
+    def redo(self) -> Command:
+        if not self._undone:
+            raise CommandError("nothing to redo")
+        command = self._undone.pop()
+        command.do()
+        self._done.append(command)
+        return command
+
+    @property
+    def can_undo(self) -> bool:
+        return bool(self._done)
+
+    @property
+    def can_redo(self) -> bool:
+        return bool(self._undone)
+
+    @property
+    def history(self) -> List[str]:
+        return [c.name for c in self._done]
+
+    def clear(self) -> None:
+        self._done.clear()
+        self._undone.clear()
+
+
+__all__ = ["Command", "CommandStack", "CommandError"]

@@ -1,0 +1,161 @@
+"""Pop-up menus and subwindows: the information-hiding devices of §5.
+
+"Note that the use of pop-up menus and windows is crucial to our approach.
+By hiding ancillary information until it is needed, the amount of detail
+displayed in the pipeline diagrams is reduced to a manageable level.  Menus
+and subwindow templates also serve to prompt the user for needed information
+and remind him of his choices."
+
+Menus are built *through the checker*, so illegal entries are never offered
+(the error-prevention philosophy of §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.dma import DMASpec, DMASpecError, Direction
+from repro.arch.funcunit import Opcode
+from repro.arch.switch import DeviceKind, Endpoint
+from repro.checker.checker import Checker
+from repro.diagram.pipeline import PipelineDiagram
+
+
+class MenuError(Exception):
+    """Selection of an entry that is not on the menu."""
+
+
+@dataclass(frozen=True)
+class MenuEntry:
+    """One selectable line of a pop-up menu."""
+
+    label: str
+    value: object
+    enabled: bool = True
+
+
+@dataclass
+class PopupMenu:
+    """A pop-up menu as shown next to a pad or function unit."""
+
+    title: str
+    entries: List[MenuEntry] = field(default_factory=list)
+
+    def labels(self) -> List[str]:
+        return [e.label for e in self.entries]
+
+    def choose(self, label: str) -> object:
+        for entry in self.entries:
+            if entry.label == label:
+                if not entry.enabled:
+                    raise MenuError(f"menu entry {label!r} is disabled")
+                return entry.value
+        raise MenuError(f"no menu entry {label!r} in {self.title!r}")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def build_pad_menu(
+    checker: Checker, diagram: PipelineDiagram, sink: Endpoint
+) -> PopupMenu:
+    """The menu popped up by "mousing" on an input pad (§5): "external
+    connections to other function units, caches, memories, or shift/delay
+    units, or else internal connections for feedback loops or register file
+    data"."""
+    menu = PopupMenu(title=f"input for {sink}")
+    for source in checker.legal_sources_for(diagram, sink):
+        menu.entries.append(MenuEntry(label=str(source), value=source))
+    if sink.kind is DeviceKind.FU:
+        fu = sink.device
+        use = diagram.als_use_of_fu(fu)
+        if use is not None:
+            slot = use.slot_of(fu)
+            for route in checker.kb.internal_routes_into(use.kind, slot, sink.port):
+                menu.entries.append(
+                    MenuEntry(
+                        label=f"internal from unit {route.src_slot}",
+                        value=("internal", route.src_slot),
+                    )
+                )
+        menu.entries.append(
+            MenuEntry(label="register file constant...", value=("constant",))
+        )
+        menu.entries.append(
+            MenuEntry(label="feedback loop", value=("feedback",))
+        )
+    return menu
+
+
+def build_fu_op_menu(checker: Checker, fu: int) -> PopupMenu:
+    """The Fig. 10 menu: only operations this unit's circuitry supports."""
+    menu = PopupMenu(title=f"operation for fu{fu}")
+    for opcode in checker.legal_ops_for(fu):
+        menu.entries.append(MenuEntry(label=opcode.value, value=opcode))
+    return menu
+
+
+@dataclass
+class DMASubwindow:
+    """The Fig. 9 pop-up subwindow: "the cache or memory plane number,
+    variable name or starting address, stride, etc. are specified".
+
+    Fields are filled one at a time (as a user would), then
+    :meth:`to_spec` validates the whole form.
+    """
+
+    endpoint: Endpoint
+    variable: Optional[str] = None
+    offset: int = 0
+    stride: int = 1
+    count: Optional[int] = None
+    _filled: Dict[str, object] = field(default_factory=dict)
+
+    FIELDS = ("variable", "offset", "stride", "count")
+
+    def fill(self, field_name: str, value: object) -> None:
+        if field_name not in self.FIELDS:
+            raise MenuError(
+                f"the DMA subwindow has no field {field_name!r} "
+                f"(fields: {', '.join(self.FIELDS)})"
+            )
+        setattr(self, field_name, value)
+        self._filled[field_name] = value
+
+    @property
+    def direction(self) -> Direction:
+        return Direction.READ if self.endpoint.port == "read" else Direction.WRITE
+
+    def to_spec(self) -> DMASpec:
+        """Validate and produce the semantic DMA record."""
+        return DMASpec(
+            device_kind=self.endpoint.kind,
+            device=self.endpoint.device,
+            direction=self.direction,
+            variable=self.variable,
+            offset=int(self.offset),
+            stride=int(self.stride),
+            count=None if self.count is None else int(self.count),
+        )
+
+    def template(self) -> str:
+        """The prompt text of the subwindow (reminds the user of choices)."""
+        kind = "Cache" if self.endpoint.kind is DeviceKind.CACHE else "Plane"
+        return (
+            f"{kind} [{self.endpoint.device}]  ({self.direction.value})\n"
+            f"  Variable: {self.variable or '<address>'}\n"
+            f"  Offset:   {self.offset}\n"
+            f"  Stride:   {self.stride}\n"
+            f"  Count:    {self.count if self.count is not None else '<vector>'}"
+        )
+
+
+__all__ = [
+    "MenuEntry",
+    "PopupMenu",
+    "MenuError",
+    "build_pad_menu",
+    "build_fu_op_menu",
+    "DMASubwindow",
+]

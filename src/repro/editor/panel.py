@@ -1,0 +1,92 @@
+"""The control panel: icon palette and editor-operation buttons.
+
+Paper §5: "The right hand side is a 'control panel' area used to select
+icons and specify various editor operations" and "Control panel operations
+provide the usual editor operations to insert, delete, copy, and renumber
+pipelines, as well as to scroll forward or backward or jump to a specific
+pipeline."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.arch.als import ALSKind
+
+
+class PanelError(Exception):
+    """Unknown button or no icon selected."""
+
+
+class PaletteIcon(enum.Enum):
+    """Selectable icon buttons (Fig. 4 plus the extra device icons)."""
+
+    SINGLET = "singlet"
+    DOUBLET = "doublet"
+    DOUBLET_BYPASSED = "doublet-bypassed"  # the second doublet form
+    TRIPLET = "triplet"
+    MEMORY_PLANE = "memory-plane"
+    CACHE = "cache"
+    SHIFT_DELAY = "shift-delay"
+
+    @property
+    def als_kind(self) -> Optional[ALSKind]:
+        return {
+            "singlet": ALSKind.SINGLET,
+            "doublet": ALSKind.DOUBLET,
+            "doublet-bypassed": ALSKind.DOUBLET,
+            "triplet": ALSKind.TRIPLET,
+        }.get(self.value)
+
+    @property
+    def bypassed_slots(self) -> Tuple[int, ...]:
+        return (1,) if self is PaletteIcon.DOUBLET_BYPASSED else ()
+
+
+class PanelOp(enum.Enum):
+    """Editor-operation buttons."""
+
+    INSERT_PIPELINE = "insert"
+    DELETE_PIPELINE = "delete"
+    COPY_PIPELINE = "copy"
+    RENUMBER = "renumber"
+    SCROLL_FORWARD = "forward"
+    SCROLL_BACKWARD = "backward"
+    GOTO_PIPELINE = "goto"
+    SAVE = "save"
+    UNDO = "undo"
+    REDO = "redo"
+
+
+@dataclass
+class ControlPanel:
+    """Palette-selection state of the panel area."""
+
+    selected: Optional[PaletteIcon] = None
+
+    def buttons(self) -> List[str]:
+        """Everything visible in the panel, icons first."""
+        return [icon.value for icon in PaletteIcon] + [
+            op.value for op in PanelOp
+        ]
+
+    def select_icon(self, name: str) -> PaletteIcon:
+        """Mouse press on an icon button (Fig. 6 step one)."""
+        try:
+            self.selected = PaletteIcon(name)
+        except ValueError:
+            raise PanelError(f"no icon button {name!r} in the control panel") from None
+        return self.selected
+
+    def take_selection(self) -> PaletteIcon:
+        """Consume the selection when the drag completes."""
+        if self.selected is None:
+            raise PanelError("no icon selected in the control panel")
+        icon = self.selected
+        self.selected = None
+        return icon
+
+
+__all__ = ["ControlPanel", "PaletteIcon", "PanelOp", "PanelError"]

@@ -1,0 +1,399 @@
+"""Deterministic ASCII renderings of the paper's figures.
+
+The prototype drew on a Sun-3 bit-mapped display; these renderers emit the
+same information as character graphics so that every screenshot figure
+(Figs. 1, 4, 5, 6, 7, 8, 9, 10, 11) can be regenerated headlessly, diffed in
+tests, and printed by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.arch.als import ALS_CLASSES, ALSKind
+from repro.arch.node import NodeConfig
+from repro.arch.switch import DeviceKind, Endpoint
+from repro.diagram.icons import ALSIcon, Icon
+from repro.diagram.pipeline import InputModKind, PipelineDiagram
+from repro.editor.canvas import Canvas, ICON_WIDTH, SLOT_HEIGHT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.codegen.generator import PipelineImage
+    from repro.editor.session import EditorSession
+    from repro.sim.pipeline_exec import PipelineResult
+
+
+# ----------------------------------------------------------------------
+# character-grid helpers
+# ----------------------------------------------------------------------
+class _Grid:
+    def __init__(self, width: int, height: int) -> None:
+        self.width = width
+        self.height = height
+        self.cells = [[" "] * width for _ in range(height)]
+
+    def put(self, x: int, y: int, ch: str) -> None:
+        if 0 <= x < self.width and 0 <= y < self.height:
+            self.cells[y][x] = ch
+
+    def text(self, x: int, y: int, s: str) -> None:
+        for i, ch in enumerate(s):
+            self.put(x + i, y, ch)
+
+    def box(self, x: int, y: int, w: int, h: int, heavy: bool = False) -> None:
+        horiz = "=" if heavy else "-"
+        vert = "H" if heavy else "|"
+        for i in range(x + 1, x + w - 1):
+            self.put(i, y, horiz)
+            self.put(i, y + h - 1, horiz)
+        for j in range(y + 1, y + h - 1):
+            self.put(x, j, vert)
+            self.put(x + w - 1, j, vert)
+        for cx, cy in ((x, y), (x + w - 1, y), (x, y + h - 1), (x + w - 1, y + h - 1)):
+            self.put(cx, cy, "+")
+
+    def render(self) -> str:
+        return "\n".join("".join(row).rstrip() for row in self.cells)
+
+
+def _draw_als_icon(
+    grid: _Grid,
+    icon: ALSIcon,
+    x: int,
+    y: int,
+    ops: Optional[Dict[int, str]] = None,
+) -> None:
+    """An ALS icon: outer border, one sub-box per unit, double borders for
+    integer-capable units, dotted boxes for bypassed slots (Fig. 4)."""
+    n = icon.kind.n_units
+    height = 2 + SLOT_HEIGHT * n
+    grid.box(x, y, ICON_WIDTH, height)
+    grid.text(x + 2, y, f" {icon.icon_id} ")
+    for slot, double, bypassed in icon.subimages():
+        sy = y + 1 + SLOT_HEIGHT * slot
+        if bypassed:
+            for i in range(x + 2, x + ICON_WIDTH - 2):
+                grid.put(i, sy + 1, ".")
+                grid.put(i, sy + 2, ".")
+            grid.text(x + 3, sy + 1, "bypass")
+            continue
+        grid.box(x + 2, sy, ICON_WIDTH - 4, SLOT_HEIGHT - 1, heavy=double)
+        fu = icon.fu_index(slot)
+        label = f"u{slot}"
+        if ops and fu in ops:
+            label = ops[fu][: ICON_WIDTH - 6]
+        grid.text(x + 3, sy + 1, label)
+        # I/O pads: little circles on the borders
+        grid.put(x - 1, sy + 1, "o")   # input a
+        grid.put(x - 1, sy + 2, "o")   # input b
+        grid.put(x + ICON_WIDTH, sy + 1, "o")  # output
+
+
+def _draw_device_icon(grid: _Grid, icon: Icon, x: int, y: int) -> None:
+    n_out = max(1, len(icon.output_pads()))
+    height = 2 + SLOT_HEIGHT * n_out
+    grid.box(x, y, ICON_WIDTH, height)
+    grid.text(x + 2, y, f" {icon.icon_id} ")
+    for i, pad in enumerate(icon.input_pads()):
+        grid.put(x - 1, y + 1 + i * SLOT_HEIGHT, "o")
+        grid.text(x + 1, y + 1 + i * SLOT_HEIGHT, pad.label[:6])
+    for i, pad in enumerate(icon.output_pads()):
+        grid.put(x + ICON_WIDTH, y + 1 + i * SLOT_HEIGHT, "o")
+        grid.text(
+            x + ICON_WIDTH - 1 - len(pad.label[:6]), y + 1 + i * SLOT_HEIGHT,
+            pad.label[:6],
+        )
+
+
+# ----------------------------------------------------------------------
+# Fig. 4: the ALS icon catalog
+# ----------------------------------------------------------------------
+def render_icon_catalog() -> str:
+    """The singlet, both doublet forms, and the triplet (Fig. 4)."""
+    grid = _Grid(width=76, height=18)
+    catalog = [
+        (ALSIcon("singlet", DeviceKind.FU, 0, kind=ALSKind.SINGLET, first_fu=0), 2),
+        (ALSIcon("doublet", DeviceKind.FU, 1, kind=ALSKind.DOUBLET, first_fu=0), 20),
+        (
+            ALSIcon(
+                "doublet*",
+                DeviceKind.FU,
+                2,
+                kind=ALSKind.DOUBLET,
+                first_fu=0,
+                bypassed_slots=(1,),
+            ),
+            38,
+        ),
+        (ALSIcon("triplet", DeviceKind.FU, 3, kind=ALSKind.TRIPLET, first_fu=0), 56),
+    ]
+    for icon, x in catalog:
+        _draw_als_icon(grid, icon, x, 2)
+    grid.text(2, 16, "double borders: integer/logical units; dots: bypassed")
+    return grid.render()
+
+
+# ----------------------------------------------------------------------
+# Fig. 1: the simplified datapath diagram
+# ----------------------------------------------------------------------
+def render_datapath(node: NodeConfig) -> str:
+    """The Fig. 1 block diagram regenerated from the machine description."""
+    inv = node.inventory()
+    p = node.params
+    lines = [
+        "          +------------------------+",
+        "          |    Hyperspace Router   |",
+        "          +-----------+------------+",
+        "                      |",
+        "   +------------------+-------------------+",
+        f"   |  Double-Buffered Data Caches "
+        f"({inv['caches']} x {p.cache_buffer_words} words)  |".replace("  |", " |"),
+        "   +------------------+-------------------+",
+        "                      |",
+        "   +------------------+-------------------+      "
+        "+----------------------+",
+        "   |            Switch Network             |------|   Memory Planes"
+        f"      |",
+        "   |               (FLONET)                |      "
+        f"|  {inv['memory_planes']} x {inv['memory_plane_mbytes']} MB"
+        f" ({inv['node_memory_gbytes']:.0f} GB)   |",
+        "   +--+--------------+--------------+-----+      "
+        "+----------------------+",
+        "      |              |              |",
+        "+-----+----+   +-----+-----+   +----+------+   +------------------+",
+        f"| Singlets |   | Doublets  |   | Triplets  |   | Shift/Delay x {inv['shift_delay_units']}  |",
+        f"|   x {inv['als']['singlets']:<3}  |   |   x {inv['als']['doublets']:<3}   |"
+        f"   |   x {inv['als']['triplets']:<3}   |   +------------------+",
+        "+----------+   +-----------+   +-----------+",
+        f"            {inv['functional_units']} functional units; "
+        f"peak {inv['peak_mflops']:.0f} MFLOPS/node",
+    ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pipeline diagrams (Figs. 2, 7, 11)
+# ----------------------------------------------------------------------
+def _op_labels(diagram: PipelineDiagram) -> Dict[int, str]:
+    return {fu: a.opcode.value for fu, a in diagram.fu_ops.items()}
+
+
+def render_canvas(
+    canvas: Canvas, diagram: Optional[PipelineDiagram] = None
+) -> str:
+    """Draw the canvas contents: icons at their positions plus a wire list."""
+    grid = _Grid(canvas.width, canvas.height)
+    ops = _op_labels(diagram) if diagram is not None else {}
+    for placement in canvas.placements.values():
+        icon = placement.icon
+        if isinstance(icon, ALSIcon):
+            _draw_als_icon(grid, icon, placement.x, placement.y, ops)
+        else:
+            _draw_device_icon(grid, icon, placement.x, placement.y)
+    if canvas.rubber_band is not None:
+        rb = canvas.rubber_band
+        grid.put(rb.x, rb.y, "*")
+        grid.text(rb.x + 1, rb.y, f"<- from {rb.anchor}")
+    body = grid.render()
+    legend = _wire_legend(canvas, diagram)
+    return body + ("\n" + legend if legend else "")
+
+
+def _wire_legend(canvas: Canvas, diagram: Optional[PipelineDiagram]) -> str:
+    wires = diagram.connections if diagram is not None else canvas.wires
+    if not wires and (diagram is None or not diagram.input_mods):
+        return ""
+    lines = ["wires:"]
+    for i, (src, sink) in enumerate(wires, start=1):
+        lines.append(f"  w{i}: {src} -> {sink}")
+    if diagram is not None:
+        for (fu, port), mod in sorted(diagram.input_mods.items()):
+            if mod.kind is InputModKind.CONSTANT:
+                lines.append(f"  rf: const {mod.value} -> fu{fu}.{port}")
+            elif mod.kind is InputModKind.FEEDBACK:
+                lines.append(
+                    f"  rf: feedback(init {mod.value}) -> fu{fu}.{port}"
+                )
+            else:
+                lines.append(
+                    f"  in: unit {mod.src_slot} -> fu{fu}.{port} (hardwired)"
+                )
+    return "\n".join(lines)
+
+
+def auto_layout(diagram: PipelineDiagram, width: int = 118) -> Canvas:
+    """Deterministic layout of a diagram's icons: memory/cache icons in the
+    left column, shift/delay units next, ALSs flowing left-to-right in rows
+    — the dataflow orientation of the hand-drawn Fig. 2."""
+    from repro.diagram.icons import CacheIcon, MemoryPlaneIcon, ShiftDelayIcon
+
+    step_x = ICON_WIDTH + 6
+    als_x0 = 40
+    per_row = max(1, (width - als_x0 - 2) // step_x)
+    als_ids = sorted(diagram.als_uses)
+    row_h = 2 + 3 * SLOT_HEIGHT + 2  # tallest ALS icon plus a gap
+    n_rows = (len(als_ids) + per_row - 1) // per_row if als_ids else 0
+
+    device_eps = diagram.memory_endpoints() + diagram.cache_endpoints()
+    device_ids: List[Tuple[str, DeviceKind, int]] = []
+    for ep in device_eps:
+        prefix = "M" if ep.kind is DeviceKind.MEMORY else "C"
+        entry = (f"{prefix}{ep.device}", ep.kind, ep.device)
+        if entry not in device_ids:
+            device_ids.append(entry)
+    sd_units = sorted({unit for (unit, _tap) in diagram.sd_taps})
+    sd_heights = []
+    for unit in sd_units:
+        n_taps = max(tap for (u, tap) in diagram.sd_taps if u == unit) + 1
+        sd_heights.append(2 + SLOT_HEIGHT * max(1, n_taps))
+
+    height = max(
+        1 + len(device_ids) * 8,
+        1 + sum(h + 1 for h in sd_heights),
+        1 + n_rows * row_h,
+        12,
+    ) + 2
+    canvas = Canvas(width=width, height=height)
+
+    y = 1
+    for icon_id, kind, device in device_ids:
+        cls = MemoryPlaneIcon if kind is DeviceKind.MEMORY else CacheIcon
+        canvas.place(cls(icon_id, kind, device), 2, y)
+        y += 8
+    y = 1
+    for unit, h in zip(sd_units, sd_heights):
+        n_taps = max(tap for (u, tap) in diagram.sd_taps if u == unit) + 1
+        canvas.place(
+            ShiftDelayIcon(f"SD{unit}", DeviceKind.SHIFT_DELAY, unit, n_taps=n_taps),
+            20,
+            y,
+        )
+        y += h + 1
+    for i, als_id in enumerate(als_ids):
+        use = diagram.als_uses[als_id]
+        icon = ALSIcon(
+            _als_name(use.kind, als_id),
+            DeviceKind.FU,
+            als_id,
+            kind=use.kind,
+            first_fu=use.first_fu,
+            bypassed_slots=use.bypassed_slots,
+        )
+        col, row = i % per_row, i // per_row
+        canvas.place(icon, als_x0 + col * step_x, 1 + row * row_h)
+    return canvas
+
+
+def render_pipeline_diagram(
+    diagram: PipelineDiagram, node: Optional[NodeConfig] = None
+) -> str:
+    """A self-laid-out pipeline diagram (no canvas needed): the Fig. 2 /
+    Fig. 11 view regenerated purely from semantic data."""
+    canvas = auto_layout(diagram)
+
+    header = [f"pipeline {diagram.number}: {diagram.label or '(unlabeled)'}"]
+    if diagram.vector_length is not None:
+        header.append(f"vector length {diagram.vector_length}")
+    body = render_canvas(canvas, diagram)
+    extras: List[str] = []
+    for ep, spec in sorted(diagram.dma.items(), key=lambda kv: kv[0].key):
+        extras.append(f"dma: {spec.describe()}")
+    for (unit, tap), shift in sorted(diagram.sd_taps.items()):
+        extras.append(f"sd[{unit}].tap{tap}: shift {shift:+d}")
+    if diagram.condition is not None:
+        c = diagram.condition
+        extras.append(
+            f"condition: fu{c.fu} {c.comparison} {c.threshold:g} "
+            f"(raises condition interrupt)"
+        )
+    return "\n".join(header) + "\n" + body + (
+        "\n" + "\n".join(extras) if extras else ""
+    )
+
+
+def _als_name(kind: ALSKind, als_id: int) -> str:
+    prefix = {"singlet": "S", "doublet": "D", "triplet": "T"}[kind.value]
+    return f"{prefix}{als_id}"
+
+
+# ----------------------------------------------------------------------
+# Fig. 5: the display window
+# ----------------------------------------------------------------------
+def render_window(session: "EditorSession") -> str:
+    """The full window: message strip, control-flow region, drawing space,
+    control panel."""
+    strip = f"[ {session.message or 'ready'} ]"
+    panel_lines = ["CONTROL PANEL", "-------------"]
+    panel_lines += [f" [{b}]" for b in session.panel.buttons()]
+    panel_lines += [
+        "",
+        f"pipeline {session.current + 1}/{len(session.program.pipelines)}",
+        f"actions: {session.action_count}",
+    ]
+    left_lines = ["DECLARATIONS", "------------"]
+    for decl in session.program.declarations.values():
+        left_lines.append(f" {decl.name}[{decl.length}] @p{decl.plane}")
+    left_lines += ["", "CONTROL FLOW", "------------"]
+    for op in session.program.effective_control():
+        left_lines.append(f" {type(op).__name__}")
+    center = render_canvas(session.canvas, session.diagram).splitlines()
+
+    left_w = max((len(s) for s in left_lines), default=12) + 1
+    panel_w = max(len(s) for s in panel_lines) + 1
+    height = max(len(center), len(left_lines), len(panel_lines))
+    rows: List[str] = []
+    for i in range(height):
+        lft = left_lines[i] if i < len(left_lines) else ""
+        mid = center[i] if i < len(center) else ""
+        pnl = panel_lines[i] if i < len(panel_lines) else ""
+        rows.append(
+            f"{lft:<{left_w}}|{mid:<{session.canvas.width}}|{pnl:<{panel_w}}"
+        )
+    width = len(rows[0]) if rows else 80
+    top = strip + "-" * max(0, width - len(strip))
+    return top + "\n" + "\n".join(r.rstrip() for r in rows)
+
+
+# ----------------------------------------------------------------------
+# C4 extension: execution visualization (the proposed debugger)
+# ----------------------------------------------------------------------
+def render_execution(
+    image: "PipelineImage", result: "PipelineResult"
+) -> str:
+    """"each new instruction would display the corresponding pipeline
+    diagram, annotated to show data values flowing through the pipeline"
+    (§6).  Requires a result captured with ``keep_outputs=True``."""
+    lines = [
+        f"executing pipeline {image.number}: {image.label or '(unlabeled)'}",
+        f"  vector length {image.vector_length}, "
+        f"{result.cycles} cycles, {result.flops} flops",
+    ]
+    for fu in image.fu_order:
+        opcode, constant = image.fu_ops[fu]
+        stream = result.fu_outputs.get(fu)
+        if stream is None or stream.size == 0:
+            annot = "(stream not captured)"
+        else:
+            head = ", ".join(f"{v:.6g}" for v in stream[:3])
+            annot = f"[{head}{', ...' if stream.size > 3 else ''}]"
+            annot += f" last={stream[-1]:.6g}"
+        const = f" const={constant:g}" if constant else ""
+        lines.append(f"  fu{fu:<3} {opcode.value:<8}{const} -> {annot}")
+    if image.condition is not None and result.condition_value is not None:
+        verdict = "TRUE" if result.condition_fired else "false"
+        lines.append(
+            f"  condition fu{image.condition.fu} "
+            f"{image.condition.comparison} {image.condition.threshold:g}: "
+            f"value {result.condition_value:.6g} -> {verdict}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "render_icon_catalog",
+    "render_datapath",
+    "render_canvas",
+    "render_pipeline_diagram",
+    "render_window",
+    "render_execution",
+]

@@ -1,0 +1,124 @@
+"""SVG rendering of pipeline diagrams.
+
+The ASCII renderers regenerate the figures for terminals and tests; this
+module emits the same scene as standalone SVG for inclusion in reports.
+Output is deterministic (stable iteration order, fixed precision) so
+snapshots can be compared in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+from xml.sax.saxutils import escape
+
+from repro.arch.switch import DeviceKind
+from repro.diagram.icons import ALSIcon
+from repro.diagram.pipeline import PipelineDiagram
+from repro.editor.canvas import Canvas, ICON_WIDTH, SLOT_HEIGHT
+
+#: pixels per character cell
+CELL = 8
+
+
+def _rect(x: float, y: float, w: float, h: float, **attrs: str) -> str:
+    extra = "".join(f' {k.replace("_", "-")}="{v}"' for k, v in attrs.items())
+    return (
+        f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}"'
+        f' fill="none" stroke="black"{extra}/>'
+    )
+
+
+def _text(x: float, y: float, s: str, size: int = 10) -> str:
+    return (
+        f'<text x="{x:.1f}" y="{y:.1f}" font-family="monospace" '
+        f'font-size="{size}">{escape(s)}</text>'
+    )
+
+
+def _line(x1: float, y1: float, x2: float, y2: float, dashed: bool = False) -> str:
+    dash = ' stroke-dasharray="4 2"' if dashed else ""
+    return (
+        f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+        f'stroke="black"{dash}/>'
+    )
+
+
+def _circle(x: float, y: float, r: float = 2.5) -> str:
+    return f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r:.1f}" fill="black"/>'
+
+
+def render_canvas_svg(
+    canvas: Canvas, diagram: Optional[PipelineDiagram] = None
+) -> str:
+    """Render a canvas (placed icons + wires) to an SVG document string."""
+    width = canvas.width * CELL
+    height = canvas.height * CELL
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+    ]
+    ops: Dict[int, str] = {}
+    if diagram is not None:
+        ops = {fu: a.opcode.value for fu, a in diagram.fu_ops.items()}
+
+    for placement in canvas.placements.values():
+        icon = placement.icon
+        px, py = placement.x * CELL, placement.y * CELL
+        pw, ph = placement.width * CELL, placement.height * CELL
+        parts.append(_rect(px, py, pw, ph))
+        parts.append(_text(px + 4, py - 2, icon.title))
+        if isinstance(icon, ALSIcon):
+            for slot, double, bypassed in icon.subimages():
+                sy = py + (1 + SLOT_HEIGHT * slot) * CELL
+                sw = (ICON_WIDTH - 4) * CELL
+                sh = (SLOT_HEIGHT - 1) * CELL
+                if bypassed:
+                    parts.append(
+                        _rect(px + 2 * CELL, sy, sw, sh, stroke_dasharray="3 3")
+                    )
+                    parts.append(_text(px + 3 * CELL, sy + sh / 2, "bypass"))
+                    continue
+                parts.append(_rect(px + 2 * CELL, sy, sw, sh))
+                if double:
+                    parts.append(
+                        _rect(px + 2 * CELL + 2, sy + 2, sw - 4, sh - 4)
+                    )
+                fu = icon.fu_index(slot)
+                label = ops.get(fu, f"u{slot}")
+                parts.append(_text(px + 3 * CELL, sy + sh / 2 + 3, label))
+        for pad in icon.pads():
+            cx, cy = placement.pad_position(pad)
+            parts.append(_circle(cx * CELL + CELL / 2, cy * CELL + CELL / 2))
+
+    # wires: straight pad-to-pad segments (the prototype's rubber-band look)
+    wires = diagram.connections if diagram is not None else canvas.wires
+    for src, sink in wires:
+        try:
+            x1, y1 = canvas.endpoint_position(src)
+            x2, y2 = canvas.endpoint_position(sink)
+        except Exception:
+            continue  # endpoint has no placed icon; legend-only wire
+        parts.append(
+            _line(
+                x1 * CELL + CELL / 2,
+                y1 * CELL + CELL / 2,
+                x2 * CELL + CELL / 2,
+                y2 * CELL + CELL / 2,
+            )
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_pipeline_svg(
+    diagram: PipelineDiagram, canvas: Optional[Canvas] = None
+) -> str:
+    """SVG for a diagram; lays out a scratch canvas when none is given."""
+    if canvas is None:
+        from repro.editor.render_ascii import auto_layout
+
+        canvas = auto_layout(diagram)
+    return render_canvas_svg(canvas, diagram)
+
+
+__all__ = ["render_canvas_svg", "render_pipeline_svg", "CELL"]

@@ -1,0 +1,133 @@
+"""Replaying semantic diagrams through the interactive session.
+
+Two uses, both from the paper:
+
+- §6 suggests the environment "might also be useful as a back end to a
+  compiler, displaying the results of the compilation process" — a program
+  produced by :mod:`repro.compose` (our embryonic compiler) is imported
+  into an :class:`~repro.editor.session.EditorSession`, icon by icon and
+  wire by wire, as if a user had drawn it;
+- benchmark C2 measures programming effort as *user actions*; replaying a
+  diagram counts exactly the select/drag/wire/menu/pop-up interactions the
+  drawing requires.
+
+Every step goes through the session's checked public API, so a diagram that
+could not have been drawn legally fails to replay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.arch.switch import DeviceKind, fu_in
+from repro.diagram.pipeline import PipelineDiagram
+from repro.diagram.program import VisualProgram
+from repro.editor.panel import PaletteIcon
+from repro.editor.session import EditorError, EditorSession
+
+
+class ReplayError(Exception):
+    """The diagram cannot be reproduced through legal editor interactions."""
+
+
+def _palette_name(kind_value: str, bypassed: tuple) -> str:
+    if kind_value == "doublet" and bypassed:
+        return PaletteIcon.DOUBLET_BYPASSED.value
+    return kind_value
+
+
+def replay_pipeline(session: EditorSession, diagram: PipelineDiagram) -> None:
+    """Re-perform *diagram* in the session's current (empty) pipeline."""
+    current = session.diagram
+    if current.als_uses or current.connections:
+        raise ReplayError("replay target pipeline is not empty")
+    session.diagram.label = diagram.label
+    session.diagram.vector_length = diagram.vector_length
+
+    # Figs. 6-7: place every ALS (lowest id first so the session's
+    # first-free allocation lands on the same concrete ALS)
+    for als_id in sorted(diagram.als_uses):
+        use = diagram.als_uses[als_id]
+        session.select_icon(_palette_name(use.kind.value, use.bypassed_slots))
+        icon_height = 2 + 4 * use.kind.n_units
+        icon = session.drag_to(*session.canvas.suggest_position(icon_height))
+        if icon is None:
+            raise ReplayError(session.message)
+        if icon.device != als_id:
+            raise ReplayError(
+                f"allocation mismatch: diagram uses ALS {als_id}, session "
+                f"allocated {icon.device} (place ALSs in id order)"
+            )
+
+    # shift/delay taps (the pop-ups behind the SD icon)
+    for (unit, tap), shift in sorted(diagram.sd_taps.items()):
+        if not session.set_sd_tap(unit, tap, shift).ok:
+            raise ReplayError(session.message)
+
+    # Fig. 8: wires
+    for source, sink in diagram.connections:
+        if not session.connect(source, sink).ok:
+            raise ReplayError(session.message)
+
+    # register-file sources and delays
+    for (fu, port), mod in sorted(diagram.input_mods.items()):
+        if not session.set_input_mod(fu, port, mod).ok:
+            raise ReplayError(session.message)
+    for (fu, port), cycles in sorted(diagram.delays.items()):
+        if not session.set_delay(fu, port, cycles).ok:
+            raise ReplayError(session.message)
+
+    # Fig. 9: DMA pop-ups, one field fill per specified field
+    for endpoint, spec in sorted(diagram.dma.items(), key=lambda kv: kv[0].key):
+        sub = session.dma_popup(endpoint)
+        if spec.variable is not None:
+            session.fill_dma_field(sub, "variable", spec.variable)
+        if spec.offset:
+            session.fill_dma_field(sub, "offset", spec.offset)
+        if spec.stride != 1:
+            session.fill_dma_field(sub, "stride", spec.stride)
+        if spec.count is not None:
+            session.fill_dma_field(sub, "count", spec.count)
+        if not session.commit_dma(sub).ok:
+            raise ReplayError(session.message)
+
+    # Fig. 10: operations
+    for fu, assign in sorted(diagram.fu_ops.items()):
+        if not session.assign_op(fu, assign.opcode, assign.constant).ok:
+            raise ReplayError(session.message)
+
+    if diagram.condition is not None:
+        cond = diagram.condition
+        if not session.set_condition(cond.fu, cond.comparison, cond.threshold).ok:
+            raise ReplayError(session.message)
+
+
+def replay_program(
+    program: VisualProgram, session: EditorSession | None = None
+) -> EditorSession:
+    """Import a whole program; returns the session (action_count populated)."""
+    if session is None:
+        session = EditorSession()
+    session.program.name = program.name
+    for name, decl in program.declarations.items():
+        if name not in session.program.declarations:
+            if not session.declare_variable(
+                name, decl.plane, decl.length, decl.initializer
+            ).ok:
+                raise ReplayError(session.message)
+    for i, diagram in enumerate(program.pipelines):
+        if i > 0:
+            session.new_pipeline()
+        replay_pipeline(session, diagram)
+    for op in program.control:
+        session.program.add_control(op)
+        session.action_count += 1
+    return session
+
+
+def action_cost(program: VisualProgram) -> int:
+    """User actions needed to draw *program* from scratch (C2's metric)."""
+    return replay_program(program).action_count
+
+
+__all__ = ["replay_pipeline", "replay_program", "action_cost", "ReplayError"]

@@ -1,0 +1,27 @@
+"""Cycle-level simulation of NSC nodes executing generated microcode.
+
+The paper's prototype stopped at semantic data structures because "there is
+no means of running actual NSC programs" (§4) — the hardware was never
+finished.  This package supplies that missing substrate: vector streams are
+pumped through the configured pipeline (NumPy-vectorized, one element per
+cycle in the timing model), DMA engines move plane/cache data, the
+sequencer walks the control script reacting to completion and condition
+interrupts, and metrics report achieved MFLOPS against the 640 MFLOPS/node
+peak.  A hypercube layer reproduces the 64-node system claim.
+"""
+
+from repro.sim.machine import NSCMachine
+from repro.sim.metrics import RunMetrics
+from repro.sim.sequencer import SequencerResult
+from repro.sim.pipeline_exec import PipelineResult, execute_image
+from repro.sim.multinode import MultiNodeStencil, MultiNodeResult
+
+__all__ = [
+    "NSCMachine",
+    "RunMetrics",
+    "SequencerResult",
+    "PipelineResult",
+    "execute_image",
+    "MultiNodeStencil",
+    "MultiNodeResult",
+]

@@ -1,0 +1,134 @@
+"""Vector-stream semantics of functional units.
+
+Streams are NumPy arrays; one element notionally flows per cycle.  Whole
+streams are evaluated with vectorized kernels (the HPC-Python idiom: keep
+the per-element loop inside NumPy), with a measured fast path for the
+feedback-loop reductions used by the Jacobi residual check.
+
+Feedback semantics: with a feedback loop on port *p*,
+``out[i] = f(x[i], out[i-1])`` and ``out[-1]`` is the initial value held in
+the register file.  Accumulating ufuncs (add, multiply, maximum, minimum)
+evaluate this without a Python loop; other operations fall back to an
+explicit loop, kept correct rather than fast.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.arch.funcunit import OPCODES, Opcode
+from repro.arch.shift_delay import shift_stream
+
+
+class StreamError(Exception):
+    """Ill-formed stream evaluation request."""
+
+
+#: Ufuncs with an ``accumulate`` usable for feedback evaluation.
+_ACCUMULATING = {
+    Opcode.FADD: np.add,
+    Opcode.FMUL: np.multiply,
+    Opcode.MAX: np.maximum,
+    Opcode.MIN: np.minimum,
+}
+
+
+def apply_skew(stream: np.ndarray, skew: int) -> np.ndarray:
+    """Residual misalignment: a stream arriving *skew* cycles early presents
+    element ``i + skew`` when element ``i`` of the late stream arrives."""
+    if skew == 0:
+        return stream
+    return shift_stream(stream, skew)
+
+
+def eval_plain(
+    opcode: Opcode,
+    a: np.ndarray,
+    b: Optional[np.ndarray] = None,
+    constant: float = 0.0,
+) -> np.ndarray:
+    """Evaluate a non-feedback operation over whole streams."""
+    info = OPCODES[opcode]
+    a = np.asarray(a, dtype=np.float64)
+    if info.uses_constant:
+        return np.asarray(info.kernel(a, constant), dtype=np.float64)
+    if info.arity == 1:
+        return np.asarray(info.kernel(a), dtype=np.float64)
+    if b is None:
+        raise StreamError(f"{opcode.value} needs two operands")
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise StreamError(
+            f"operand length mismatch for {opcode.value}: {a.size} vs {b.size}"
+        )
+    return np.asarray(info.kernel(a, b), dtype=np.float64)
+
+
+def eval_feedback(
+    opcode: Opcode,
+    x: np.ndarray,
+    feedback_port: str,
+    init: float = 0.0,
+) -> np.ndarray:
+    """Evaluate ``out[i] = f(x[i], out[i-1])`` (or with operands swapped when
+    the feedback loop enters port a)."""
+    info = OPCODES[opcode]
+    if info.arity != 2:
+        raise StreamError(f"feedback requires a binary operation, not {opcode.value}")
+    if feedback_port not in ("a", "b"):
+        raise StreamError(f"feedback port must be 'a' or 'b', got {feedback_port!r}")
+    x = np.asarray(x, dtype=np.float64)
+    n = x.size
+    if n == 0:
+        return x.copy()
+
+    ufunc = _ACCUMULATING.get(opcode)
+    if ufunc is not None:
+        # commutative: operand order does not matter
+        seeded = np.empty(n + 1, dtype=np.float64)
+        seeded[0] = init
+        seeded[1:] = x
+        return ufunc.accumulate(seeded)[1:]
+    if opcode in (Opcode.MAXABS, Opcode.MINABS):
+        base = np.maximum if opcode is Opcode.MAXABS else np.minimum
+        seeded = np.empty(n + 1, dtype=np.float64)
+        seeded[0] = abs(init)
+        seeded[1:] = np.abs(x)
+        return base.accumulate(seeded)[1:]
+
+    # general (possibly non-commutative) fallback
+    kernel = info.kernel
+    out = np.empty(n, dtype=np.float64)
+    prev = np.float64(init)
+    if feedback_port == "b":
+        for i in range(n):
+            prev = np.float64(kernel(x[i], prev))
+            out[i] = prev
+    else:
+        for i in range(n):
+            prev = np.float64(kernel(prev, x[i]))
+            out[i] = prev
+    return out
+
+
+def detect_exceptions(stream: np.ndarray) -> list[str]:
+    """Exception flags a hardware unit would raise for this result stream."""
+    flags: list[str] = []
+    finite = np.isfinite(stream)
+    if not finite.all():
+        if np.isinf(stream).any():
+            flags.append("overflow")
+        if np.isnan(stream).any():
+            flags.append("invalid")
+    return flags
+
+
+__all__ = [
+    "StreamError",
+    "apply_skew",
+    "eval_plain",
+    "eval_feedback",
+    "detect_exceptions",
+]

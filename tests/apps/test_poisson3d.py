@@ -1,0 +1,96 @@
+"""NumPy reference applications: machine semantics and physics."""
+
+import numpy as np
+import pytest
+
+from repro.apps.poisson3d import (
+    jacobi_reference_run,
+    jacobi_step_flat,
+    manufactured_solution,
+    poisson_residual,
+)
+from repro.compose.jacobi import interior_masks
+
+
+class TestStep:
+    def test_boundary_preserved(self, grid6):
+        shape = (6, 6, 6)
+        mask, invmask = interior_masks(shape)
+        out, _res = jacobi_step_flat(
+            grid6, np.zeros(216), mask, invmask, shape, 0.2
+        )
+        out3 = out.reshape(6, 6, 6)
+        np.testing.assert_allclose(out3[0], grid6[0])
+        np.testing.assert_allclose(out3[:, :, -1], grid6[:, :, -1])
+
+    def test_interior_is_neighbour_average_when_f_zero(self):
+        shape = (5, 5, 5)
+        u = np.zeros(shape)
+        u[2, 2, 1] = 6.0  # one neighbour of (2,2,2) in x
+        mask, invmask = interior_masks(shape)
+        out, _ = jacobi_step_flat(u, np.zeros(125), mask, invmask, shape, 0.25)
+        out3 = out.reshape(5, 5, 5)
+        assert out3[2, 2, 2] == pytest.approx(1.0)  # 6/6
+
+    def test_residual_is_max_update(self, grid6):
+        shape = (6, 6, 6)
+        mask, invmask = interior_masks(shape)
+        out, res = jacobi_step_flat(
+            grid6, np.zeros(216), mask, invmask, shape, 0.2
+        )
+        assert res == pytest.approx(np.max(np.abs(out - grid6.reshape(-1))))
+
+    def test_source_term_shifts_fixed_point(self):
+        shape = (5, 5, 5)
+        mask, invmask = interior_masks(shape)
+        f = np.full(125, -1.0)
+        out, _ = jacobi_step_flat(
+            np.zeros(125), f, mask, invmask, shape, 0.5
+        )
+        assert out.reshape(5, 5, 5)[2, 2, 2] == pytest.approx(0.25 / 6)
+
+
+class TestRun:
+    def test_zero_rhs_decays_to_zero(self, grid6):
+        u, iters, history = jacobi_reference_run(
+            grid6, np.zeros(216), (6, 6, 6), 0.2, eps=1e-8
+        )
+        assert np.max(np.abs(u)) < 1e-6
+        assert history == sorted(history, reverse=True) or iters > 1
+
+    def test_residual_history_monotone_tail(self, grid6):
+        _u, _iters, history = jacobi_reference_run(
+            grid6, np.zeros(216), (6, 6, 6), 0.2, eps=1e-8
+        )
+        tail = history[5:]
+        assert all(a >= b for a, b in zip(tail, tail[1:]))
+
+    def test_iteration_bound_respected(self, grid6):
+        _u, iters, history = jacobi_reference_run(
+            grid6, np.zeros(216), (6, 6, 6), 0.2, eps=0.0, max_iterations=12
+        )
+        assert iters == 12 and len(history) == 12
+
+
+class TestManufactured:
+    def test_analytic_relation(self):
+        u_star, f, h = manufactured_solution((9, 9, 9))
+        np.testing.assert_allclose(f, -3 * np.pi**2 * u_star)
+
+    def test_boundaries_are_zero(self):
+        u_star, _f, _h = manufactured_solution((9, 9, 9))
+        assert np.max(np.abs(u_star[0])) < 1e-12
+        assert np.max(np.abs(u_star[:, -1])) < 1e-12
+
+    def test_discrete_residual_of_analytic_solution_is_small(self):
+        u_star, f, h = manufactured_solution((17, 17, 17))
+        # truncation error of the 7-point stencil: O(h^2 * |u''''|)
+        assert poisson_residual(u_star, f, (17, 17, 17), h) < 2.0
+
+    def test_jacobi_converges_to_analytic(self):
+        shape = (7, 7, 7)
+        u_star, f, h = manufactured_solution(shape)
+        u, _iters, _hist = jacobi_reference_run(
+            np.zeros(shape), f, shape, h, eps=1e-11, max_iterations=5000
+        )
+        assert np.max(np.abs(u.reshape(shape) - u_star)) < 0.07

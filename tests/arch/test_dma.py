@@ -1,0 +1,104 @@
+"""DMA specifications, programs, and controllers."""
+
+import pytest
+
+from repro.arch.dma import (
+    DMAController,
+    DMAProgram,
+    DMASpec,
+    DMASpecError,
+    Direction,
+)
+from repro.arch.params import NSCParameters
+from repro.arch.switch import DeviceKind
+
+
+def _spec(**kw):
+    base = dict(
+        device_kind=DeviceKind.MEMORY,
+        device=0,
+        direction=Direction.READ,
+        variable="u",
+    )
+    base.update(kw)
+    return DMASpec(**base)
+
+
+class TestSpec:
+    def test_symbolic_spec(self):
+        spec = _spec()
+        assert spec.is_symbolic
+        assert "u+0" in spec.describe()
+
+    def test_absolute_spec(self):
+        spec = _spec(variable=None, offset=4096)
+        assert not spec.is_symbolic
+        assert "@4096" in spec.describe()
+
+    def test_only_memory_and_cache(self):
+        with pytest.raises(DMASpecError):
+            _spec(device_kind=DeviceKind.FU)
+        with pytest.raises(DMASpecError):
+            _spec(device_kind=DeviceKind.SHIFT_DELAY)
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(DMASpecError):
+            _spec(stride=0)
+
+    def test_negative_stride_allowed(self):
+        assert _spec(stride=-1).stride == -1
+
+    def test_negative_absolute_offset_rejected(self):
+        with pytest.raises(DMASpecError):
+            _spec(variable=None, offset=-1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DMASpecError):
+            _spec(count=-1)
+
+    def test_validate_against_plane_range(self):
+        p = NSCParameters()
+        _spec(device=15).validate_against(p)
+        with pytest.raises(DMASpecError, match="out of range"):
+            _spec(device=16).validate_against(p)
+
+    def test_validate_against_cache_range(self):
+        p = NSCParameters()
+        spec = _spec(device_kind=DeviceKind.CACHE, device=16, variable=None)
+        with pytest.raises(DMASpecError, match="out of range"):
+            spec.validate_against(p)
+
+
+class TestProgram:
+    def test_cycle_model_memory(self):
+        p = NSCParameters()
+        prog = DMAProgram(spec=_spec(), base_offset=0, count=100)
+        assert prog.cycles(p) == p.dma_startup_cycles + p.memory_latency + 100
+
+    def test_cycle_model_cache_is_cheaper(self):
+        p = NSCParameters()
+        mem = DMAProgram(spec=_spec(), base_offset=0, count=100)
+        cache = DMAProgram(
+            spec=_spec(device_kind=DeviceKind.CACHE, variable=None),
+            base_offset=0,
+            count=100,
+        )
+        assert cache.cycles(p) < mem.cycles(p)
+
+
+class TestController:
+    def test_load_and_complete(self):
+        ctl = DMAController(DeviceKind.MEMORY, 0)
+        prog = DMAProgram(spec=_spec(), base_offset=0, count=10)
+        ctl.load(prog)
+        assert ctl.program is prog
+        ctl.complete(10)
+        assert ctl.program is None
+        assert ctl.transfers_completed == 1
+        assert ctl.words_moved == 10
+
+    def test_wrong_device_rejected(self):
+        ctl = DMAController(DeviceKind.MEMORY, 1)
+        prog = DMAProgram(spec=_spec(device=0), base_offset=0, count=10)
+        with pytest.raises(DMASpecError, match="loaded into controller"):
+            ctl.load(prog)

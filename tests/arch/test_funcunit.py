@@ -1,0 +1,133 @@
+"""Functional-unit opcodes: capabilities, kernels, and menu filtering."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arch.funcunit import (
+    FUCapability,
+    OPCODES,
+    Opcode,
+    opinfo,
+    ops_for_capability,
+    scalar_eval,
+)
+
+
+class TestRegistry:
+    def test_every_opcode_registered(self):
+        assert set(OPCODES) == set(Opcode)
+
+    def test_arity_is_one_or_two(self):
+        for info in OPCODES.values():
+            assert info.arity in (1, 2)
+
+    def test_fp_ops_count_flops(self):
+        assert OPCODES[Opcode.FADD].flops == 1
+        assert OPCODES[Opcode.FMUL].flops == 1
+
+    def test_integer_ops_count_no_flops(self):
+        assert OPCODES[Opcode.IADD].flops == 0
+        assert OPCODES[Opcode.IAND].flops == 0
+
+    def test_pass_is_free(self):
+        assert OPCODES[Opcode.PASS].flops == 0
+
+    def test_constant_ops_flagged(self):
+        assert OPCODES[Opcode.FSCALE].uses_constant
+        assert OPCODES[Opcode.FADDC].uses_constant
+        assert not OPCODES[Opcode.FADD].uses_constant
+
+    def test_latency_keys_are_param_fields(self):
+        from repro.arch.params import NSCParameters
+
+        p = NSCParameters()
+        for info in OPCODES.values():
+            assert isinstance(getattr(p, info.latency_key), int)
+
+
+class TestCapabilityFiltering:
+    """The asymmetry of §3: integer and min/max circuitry is scarce."""
+
+    def test_fp_only_unit_gets_no_integer_ops(self):
+        ops = ops_for_capability(FUCapability.FP)
+        assert Opcode.FADD in ops
+        assert Opcode.IADD not in ops
+        assert Opcode.MAX not in ops
+
+    def test_int_unit_gets_fp_and_integer(self):
+        ops = ops_for_capability(FUCapability.FP | FUCapability.INT_LOGICAL)
+        assert Opcode.FADD in ops
+        assert Opcode.IADD in ops
+        assert Opcode.MAX not in ops
+
+    def test_minmax_unit_gets_fp_and_minmax(self):
+        ops = ops_for_capability(FUCapability.FP | FUCapability.MINMAX)
+        assert Opcode.MAX in ops
+        assert Opcode.IADD not in ops
+
+    def test_capability_labels(self):
+        assert FUCapability.FP.label == "fp"
+        assert (FUCapability.FP | FUCapability.MINMAX).label == "fp+minmax"
+
+
+class TestKernels:
+    @pytest.mark.parametrize(
+        "opcode,a,b,expected",
+        [
+            (Opcode.FADD, 2.0, 3.0, 5.0),
+            (Opcode.FSUB, 2.0, 3.0, -1.0),
+            (Opcode.FMUL, 2.0, 3.0, 6.0),
+            (Opcode.FDIV, 6.0, 3.0, 2.0),
+            (Opcode.MAX, 2.0, 3.0, 3.0),
+            (Opcode.MIN, 2.0, 3.0, 2.0),
+            (Opcode.MAXABS, -5.0, 3.0, 5.0),
+            (Opcode.MINABS, -5.0, 3.0, 3.0),
+            (Opcode.FCMP_LT, 1.0, 2.0, 1.0),
+            (Opcode.FCMP_GE, 1.0, 2.0, 0.0),
+            (Opcode.IADD, 2.0, 3.0, 5.0),
+            (Opcode.IAND, 6.0, 3.0, 2.0),
+            (Opcode.IOR, 6.0, 3.0, 7.0),
+            (Opcode.IXOR, 6.0, 3.0, 5.0),
+            (Opcode.ISHL, 1.0, 4.0, 16.0),
+            (Opcode.ISHR, 16.0, 4.0, 1.0),
+        ],
+    )
+    def test_binary_semantics(self, opcode, a, b, expected):
+        assert scalar_eval(opcode, a, b) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "opcode,a,expected",
+        [
+            (Opcode.FNEG, 2.0, -2.0),
+            (Opcode.FABS, -2.0, 2.0),
+            (Opcode.FSQRT, 9.0, 3.0),
+            (Opcode.FRECIP, 4.0, 0.25),
+            (Opcode.PASS, 7.0, 7.0),
+            (Opcode.INOT, 0.0, -1.0),
+        ],
+    )
+    def test_unary_semantics(self, opcode, a, expected):
+        assert scalar_eval(opcode, a) == pytest.approx(expected)
+
+    def test_constant_ops(self):
+        assert scalar_eval(Opcode.FSCALE, 3.0, constant=2.5) == pytest.approx(7.5)
+        assert scalar_eval(Opcode.FADDC, 3.0, constant=2.5) == pytest.approx(5.5)
+
+    def test_division_by_zero_yields_inf_not_exception(self):
+        assert math.isinf(scalar_eval(Opcode.FDIV, 1.0, 0.0))
+
+    def test_sqrt_of_negative_yields_nan(self):
+        assert math.isnan(scalar_eval(Opcode.FSQRT, -1.0))
+
+    def test_kernels_vectorize(self):
+        a = np.arange(10, dtype=np.float64)
+        b = np.ones(10)
+        out = OPCODES[Opcode.FADD].kernel(a, b)
+        np.testing.assert_allclose(out, a + 1)
+
+    def test_opinfo_lookup(self):
+        info = opinfo(Opcode.MAX)
+        assert info.capability is FUCapability.MINMAX
+        assert info.mnemonic == "max"

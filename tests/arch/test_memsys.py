@@ -1,0 +1,143 @@
+"""Memory planes, variable allocation, double-buffered caches."""
+
+import numpy as np
+import pytest
+
+from repro.arch.memsys import (
+    AllocationError,
+    DoubleBufferedCache,
+    MemoryPlane,
+    PlaneMemory,
+    Variable,
+)
+from repro.arch.params import NSCParameters
+
+
+@pytest.fixture()
+def mem() -> PlaneMemory:
+    return PlaneMemory(NSCParameters())
+
+
+class TestMemoryPlane:
+    def test_read_write_roundtrip(self):
+        plane = MemoryPlane(0, 1 << 20)
+        plane.write(100, np.arange(10.0))
+        np.testing.assert_allclose(plane.read(100, 10), np.arange(10.0))
+
+    def test_strided_access(self):
+        plane = MemoryPlane(0, 1 << 20)
+        plane.write(0, np.arange(5.0), stride=3)
+        np.testing.assert_allclose(plane.read(0, 5, stride=3), np.arange(5.0))
+        # the gaps stay zero
+        assert plane.read(1, 1)[0] == 0.0
+
+    def test_uninitialized_reads_zero(self):
+        plane = MemoryPlane(0, 1 << 20)
+        np.testing.assert_allclose(plane.read(50, 4), np.zeros(4))
+
+    def test_capacity_enforced(self):
+        plane = MemoryPlane(0, 128)
+        with pytest.raises(AllocationError):
+            plane.write(120, np.arange(20.0))
+
+    def test_negative_address_rejected(self):
+        plane = MemoryPlane(0, 128)
+        with pytest.raises(AllocationError):
+            plane.read(-1, 4)
+
+    def test_lazy_growth_does_not_lose_data(self):
+        plane = MemoryPlane(0, 1 << 20)
+        plane.write(0, np.ones(4))
+        plane.write(10_000, np.full(4, 2.0))
+        np.testing.assert_allclose(plane.read(0, 4), np.ones(4))
+
+    def test_empty_read(self):
+        plane = MemoryPlane(0, 128)
+        assert plane.read(0, 0).size == 0
+
+
+class TestVariables:
+    def test_declare_and_rw(self, mem):
+        mem.declare("u", plane=0, length=100)
+        mem.write_var("u", np.arange(100.0))
+        np.testing.assert_allclose(mem.read_var("u"), np.arange(100.0))
+
+    def test_auto_placement_packs_per_plane(self, mem):
+        a = mem.declare("a", plane=0, length=10)
+        b = mem.declare("b", plane=0, length=10)
+        c = mem.declare("c", plane=1, length=10)
+        assert a.offset == 0
+        assert b.offset == 10
+        assert c.offset == 0
+
+    def test_overlap_rejected(self, mem):
+        mem.declare("a", plane=0, length=10, offset=0)
+        with pytest.raises(AllocationError, match="overlaps"):
+            mem.declare("b", plane=0, length=10, offset=5)
+
+    def test_duplicate_name_rejected(self, mem):
+        mem.declare("a", plane=0, length=10)
+        with pytest.raises(AllocationError, match="already"):
+            mem.declare("a", plane=1, length=10)
+
+    def test_unknown_plane_rejected(self, mem):
+        with pytest.raises(AllocationError):
+            mem.declare("a", plane=99, length=10)
+
+    def test_undeclared_lookup_rejected(self, mem):
+        with pytest.raises(AllocationError, match="undeclared"):
+            mem.lookup("nope")
+
+    def test_wrong_size_write_rejected(self, mem):
+        mem.declare("a", plane=0, length=10)
+        with pytest.raises(AllocationError):
+            mem.write_var("a", np.zeros(5))
+
+    def test_plane_capacity_enforced(self, mem):
+        words = mem.params.memory_plane_words
+        with pytest.raises(AllocationError, match="exceeds"):
+            mem.declare("big", plane=0, length=words + 1)
+
+    def test_variable_overlap_predicate(self):
+        a = Variable("a", 0, 0, 10)
+        b = Variable("b", 0, 10, 10)
+        c = Variable("c", 0, 5, 10)
+        d = Variable("d", 1, 5, 10)
+        assert not a.overlaps(b)
+        assert a.overlaps(c)
+        assert not a.overlaps(d)
+
+
+class TestDoubleBufferedCache:
+    def test_swap_exchanges_roles(self):
+        cache = DoubleBufferedCache(0, 16)
+        cache.load_back(np.arange(4.0))
+        assert cache.front[0] == 0.0
+        cache.swap()
+        np.testing.assert_allclose(cache.front[:4], np.arange(4.0))
+        assert cache.swaps == 1
+
+    def test_front_rw(self):
+        cache = DoubleBufferedCache(0, 16)
+        cache.write_front(2, np.ones(3))
+        np.testing.assert_allclose(cache.read_front(2, 3), np.ones(3))
+
+    def test_front_and_back_independent(self):
+        cache = DoubleBufferedCache(0, 16)
+        cache.write_front(0, np.ones(4))
+        cache.load_back(np.full(4, 9.0))
+        np.testing.assert_allclose(cache.front[:4], np.ones(4))
+
+    def test_bounds_enforced(self):
+        cache = DoubleBufferedCache(0, 16)
+        with pytest.raises(AllocationError):
+            cache.read_front(10, 10)
+        with pytest.raises(AllocationError):
+            cache.write_front(15, np.ones(2))
+        with pytest.raises(AllocationError):
+            cache.load_back(np.ones(17))
+
+    def test_strided_front_access(self):
+        cache = DoubleBufferedCache(0, 16)
+        cache.write_front(0, np.arange(4.0), stride=2)
+        np.testing.assert_allclose(cache.read_front(0, 4, stride=2), np.arange(4.0))

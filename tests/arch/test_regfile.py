@@ -1,0 +1,93 @@
+"""Register files: constant slots, circular delay queues, capacity."""
+
+import pytest
+
+from repro.arch.regfile import (
+    RegisterFileAllocator,
+    RegisterFileOverflow,
+)
+
+
+class TestConstants:
+    def test_allocate_constant(self):
+        rf = RegisterFileAllocator(capacity=8)
+        slot = rf.alloc_constant(3.5)
+        assert slot.value == 3.5
+        assert rf.words_used == 1
+
+    def test_equal_constants_are_shared(self):
+        rf = RegisterFileAllocator(capacity=8)
+        a = rf.alloc_constant(2.0)
+        b = rf.alloc_constant(2.0)
+        assert a is b
+        assert rf.words_used == 1
+
+    def test_distinct_constants_use_distinct_words(self):
+        rf = RegisterFileAllocator(capacity=8)
+        rf.alloc_constant(1.0)
+        rf.alloc_constant(2.0)
+        assert rf.words_used == 2
+
+    def test_overflow(self):
+        rf = RegisterFileAllocator(capacity=2)
+        rf.alloc_constant(1.0)
+        rf.alloc_constant(2.0)
+        with pytest.raises(RegisterFileOverflow):
+            rf.alloc_constant(3.0)
+
+
+class TestDelayQueues:
+    def test_queue_consumes_length_words(self):
+        rf = RegisterFileAllocator(capacity=16)
+        rf.alloc_delay("a", 5)
+        assert rf.words_used == 5
+        assert rf.delay_for_port("a") == 5
+        assert rf.delay_for_port("b") == 0
+
+    def test_two_ports_two_queues(self):
+        rf = RegisterFileAllocator(capacity=16)
+        rf.alloc_delay("a", 3)
+        rf.alloc_delay("b", 4)
+        assert rf.words_used == 7
+
+    def test_duplicate_port_rejected(self):
+        rf = RegisterFileAllocator(capacity=16)
+        rf.alloc_delay("a", 3)
+        with pytest.raises(RegisterFileOverflow, match="already"):
+            rf.alloc_delay("a", 2)
+
+    def test_zero_delay_rejected(self):
+        rf = RegisterFileAllocator(capacity=16)
+        with pytest.raises(ValueError):
+            rf.alloc_delay("a", 0)
+
+    def test_capacity_shared_with_constants(self):
+        rf = RegisterFileAllocator(capacity=8)
+        rf.alloc_constant(1.0)
+        rf.alloc_delay("a", 7)
+        assert rf.words_free == 0
+        with pytest.raises(RegisterFileOverflow):
+            rf.alloc_delay("b", 1)
+
+    def test_overlong_delay_rejected(self):
+        rf = RegisterFileAllocator(capacity=8)
+        with pytest.raises(RegisterFileOverflow):
+            rf.alloc_delay("a", 9)
+
+
+class TestLifecycle:
+    def test_reset(self):
+        rf = RegisterFileAllocator(capacity=8)
+        rf.alloc_constant(1.0)
+        rf.alloc_delay("a", 2)
+        rf.reset()
+        assert rf.words_used == 0
+
+    def test_snapshot(self):
+        rf = RegisterFileAllocator(capacity=8)
+        rf.alloc_constant(1.5)
+        rf.alloc_delay("b", 2)
+        snap = rf.snapshot()
+        assert snap["capacity"] == 8
+        assert (0, 1.5) in snap["constants"]
+        assert (1, 2, "b") in snap["queues"]

@@ -1,0 +1,101 @@
+"""Hypercube topology and hyperspace router."""
+
+import pytest
+
+from repro.arch.params import NSCParameters
+from repro.arch.router import (
+    HypercubeTopology,
+    HyperspaceRouter,
+    Message,
+    RoutingError,
+)
+
+
+class TestTopology:
+    def test_node_count(self):
+        assert HypercubeTopology(6).n_nodes == 64
+        assert HypercubeTopology(0).n_nodes == 1
+
+    def test_neighbors_differ_by_one_bit(self):
+        topo = HypercubeTopology(4)
+        for nbr in topo.neighbors(5):
+            assert bin(nbr ^ 5).count("1") == 1
+
+    def test_neighbor_count_equals_dim(self):
+        topo = HypercubeTopology(5)
+        assert len(topo.neighbors(0)) == 5
+
+    def test_distance_is_hamming(self):
+        topo = HypercubeTopology(6)
+        assert topo.distance(0, 63) == 6
+        assert topo.distance(5, 5) == 0
+
+    def test_ecube_route_endpoints_and_length(self):
+        topo = HypercubeTopology(6)
+        path = topo.route(3, 60)
+        assert path[0] == 3 and path[-1] == 60
+        assert len(path) == topo.distance(3, 60) + 1
+
+    def test_ecube_route_hops_are_links(self):
+        topo = HypercubeTopology(6)
+        path = topo.route(0, 45)
+        for a, b in zip(path, path[1:]):
+            assert bin(a ^ b).count("1") == 1
+
+    def test_links_counted_once(self):
+        topo = HypercubeTopology(3)
+        links = list(topo.links())
+        assert len(links) == 3 * 8 // 2
+        assert len(set(links)) == len(links)
+
+    def test_bad_node_rejected(self):
+        topo = HypercubeTopology(3)
+        with pytest.raises(RoutingError):
+            topo.neighbors(8)
+        with pytest.raises(RoutingError):
+            topo.route(0, -1)
+
+
+class TestRouter:
+    def _router(self, dim=3):
+        return HyperspaceRouter(NSCParameters(hypercube_dim=dim))
+
+    def test_local_delivery_is_free(self):
+        r = self._router()
+        assert r.send(Message(src=2, dst=2, words=100)) == 0
+        assert r.messages_sent == 0
+
+    def test_latency_grows_with_distance(self):
+        r = self._router()
+        near = r.send(Message(src=0, dst=1, words=64))
+        far = r.send(Message(src=0, dst=7, words=64))
+        assert far > near
+
+    def test_latency_grows_with_size(self):
+        r = self._router()
+        small = r.send(Message(src=0, dst=1, words=16))
+        big = r.send(Message(src=0, dst=1, words=1600))
+        assert big > small
+
+    def test_traffic_accounting(self):
+        r = self._router()
+        r.send(Message(src=0, dst=3, words=10))  # 2 hops
+        assert r.total_words == 20  # charged per link
+        busiest = r.busiest_link()
+        assert busiest is not None
+        assert busiest[1].words == 10
+
+    def test_exchange_contention_extends_makespan(self):
+        r1 = self._router()
+        solo = r1.exchange([Message(src=0, dst=1, words=128)])
+        r2 = self._router()
+        both = r2.exchange(
+            [
+                Message(src=0, dst=1, words=128),
+                Message(src=0, dst=1, words=128),
+            ]
+        )
+        assert both > solo
+
+    def test_exchange_empty(self):
+        assert self._router().exchange([]) == 0

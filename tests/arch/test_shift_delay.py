@@ -1,0 +1,94 @@
+"""Shift/delay units: tap configuration and stream-shift semantics."""
+
+import numpy as np
+import pytest
+
+from repro.arch.params import NSCParameters
+from repro.arch.shift_delay import (
+    ShiftDelayError,
+    ShiftDelayUnit,
+    make_units,
+    shift_stream,
+)
+
+
+class TestShiftStream:
+    def test_zero_shift_is_identity(self):
+        x = np.arange(5.0)
+        np.testing.assert_allclose(shift_stream(x, 0), x)
+
+    def test_positive_shift_looks_forward(self):
+        x = np.arange(5.0)
+        np.testing.assert_allclose(shift_stream(x, 2), [2, 3, 4, 0, 0])
+
+    def test_negative_shift_looks_backward(self):
+        x = np.arange(5.0)
+        np.testing.assert_allclose(shift_stream(x, -2), [0, 0, 0, 1, 2])
+
+    def test_shift_beyond_length_fills(self):
+        x = np.arange(3.0)
+        np.testing.assert_allclose(shift_stream(x, 10), [0, 0, 0])
+        np.testing.assert_allclose(shift_stream(x, -10), [0, 0, 0])
+
+    def test_custom_fill(self):
+        x = np.arange(3.0)
+        np.testing.assert_allclose(shift_stream(x, 2, fill=-1.0), [2, -1, -1])
+
+    def test_empty_stream(self):
+        assert shift_stream(np.zeros(0), 3).size == 0
+
+    def test_stencil_identity(self):
+        """shift(+1)[i] == x[i+1]: the neighbour-gathering property."""
+        x = np.random.default_rng(0).random(20)
+        shifted = shift_stream(x, 1)
+        np.testing.assert_allclose(shifted[:-1], x[1:])
+
+
+class TestUnit:
+    def test_configure_and_apply(self):
+        unit = ShiftDelayUnit(0, n_taps=4, max_shift=16)
+        unit.configure_tap(0, 0)
+        unit.configure_tap(1, +1)
+        x = np.arange(6.0)
+        np.testing.assert_allclose(unit.apply(x, 0), x)
+        np.testing.assert_allclose(unit.apply(x, 1), shift_stream(x, 1))
+
+    def test_tap_out_of_range(self):
+        unit = ShiftDelayUnit(0, n_taps=2, max_shift=16)
+        with pytest.raises(ShiftDelayError, match="tap"):
+            unit.configure_tap(2, 0)
+
+    def test_shift_out_of_range(self):
+        unit = ShiftDelayUnit(0, n_taps=2, max_shift=16)
+        with pytest.raises(ShiftDelayError, match="exceeds"):
+            unit.configure_tap(0, 17)
+
+    def test_unconfigured_tap_rejected(self):
+        unit = ShiftDelayUnit(0, n_taps=2, max_shift=16)
+        with pytest.raises(ShiftDelayError, match="not configured"):
+            unit.apply(np.zeros(4), 0)
+
+    def test_reconfiguration_overwrites(self):
+        unit = ShiftDelayUnit(0, n_taps=2, max_shift=16)
+        unit.configure_tap(0, 1)
+        unit.configure_tap(0, 2)
+        assert unit.tap_shift(0) == 2
+
+    def test_configured_taps_sorted(self):
+        unit = ShiftDelayUnit(0, n_taps=4, max_shift=16)
+        unit.configure_tap(3, 1)
+        unit.configure_tap(0, -1)
+        assert [t.tap for t in unit.configured_taps] == [0, 3]
+
+    def test_reset(self):
+        unit = ShiftDelayUnit(0, n_taps=2, max_shift=16)
+        unit.configure_tap(0, 1)
+        unit.reset()
+        assert unit.configured_taps == []
+
+    def test_make_units_matches_params(self):
+        p = NSCParameters()
+        units = make_units(p)
+        assert len(units) == p.n_shift_delay_units
+        assert units[0].n_taps == p.shift_delay_taps
+        assert units[0].max_shift == p.shift_delay_max_shift

@@ -1,0 +1,115 @@
+"""Switch network: endpoint inventory and crosspoint derivation."""
+
+import pytest
+
+from repro.arch.params import NSCParameters
+from repro.arch.switch import (
+    DeviceKind,
+    Endpoint,
+    SwitchNetwork,
+    SwitchRouteError,
+    cache_read,
+    cache_write,
+    fu_in,
+    fu_out,
+    mem_read,
+    mem_write,
+    sd_in,
+    sd_tap,
+)
+
+
+@pytest.fixture(scope="module")
+def switch() -> SwitchNetwork:
+    return SwitchNetwork(NSCParameters(), n_fus=32)
+
+
+class TestInventory:
+    def test_source_count(self, switch):
+        p = NSCParameters()
+        expected = 32 + p.n_memory_planes + p.n_caches + (
+            p.n_shift_delay_units * p.shift_delay_taps
+        )
+        assert len(switch.sources) == expected
+
+    def test_sink_count(self, switch):
+        p = NSCParameters()
+        expected = 64 + p.n_memory_planes + p.n_caches + p.n_shift_delay_units
+        assert len(switch.sinks) == expected
+
+    def test_fu_out_is_source_not_sink(self, switch):
+        assert switch.is_source(fu_out(0))
+        assert not switch.is_sink(fu_out(0))
+
+    def test_fu_in_is_sink_not_source(self, switch):
+        assert switch.is_sink(fu_in(0, "a"))
+        assert not switch.is_source(fu_in(0, "a"))
+
+    def test_memory_ports(self, switch):
+        assert switch.is_source(mem_read(15))
+        assert switch.is_sink(mem_write(15))
+        assert not switch.is_source(mem_read(16))
+
+    def test_cache_and_sd_ports(self, switch):
+        assert switch.is_source(cache_read(0))
+        assert switch.is_sink(cache_write(0))
+        assert switch.is_sink(sd_in(1))
+        assert switch.is_source(sd_tap(1, 7))
+        assert not switch.is_source(sd_tap(2, 0))
+
+
+class TestEndpointType:
+    def test_str_forms(self):
+        assert str(fu_out(3)) == "fu3.out"
+        assert str(mem_read(2)) == "mem[2].read"
+        assert str(sd_tap(0, 1)) == "sd[0].tap1"
+
+    def test_ordering_is_stable(self):
+        eps = [mem_read(2), fu_out(1), cache_read(0)]
+        assert sorted(eps) == sorted(eps, key=lambda e: e.key)
+
+    def test_bad_fu_port_rejected(self):
+        with pytest.raises(ValueError):
+            fu_in(0, "c")
+
+    def test_hashable(self):
+        assert len({fu_out(0), fu_out(0), fu_out(1)}) == 2
+
+
+class TestRouting:
+    def test_derive_simple_route(self, switch):
+        settings = switch.derive_settings([(mem_read(0), fu_in(0, "a"))])
+        assert len(settings) == 1
+        assert str(settings[0]) == "mem[0].read -> fu0.a"
+
+    def test_unknown_source_rejected(self, switch):
+        with pytest.raises(SwitchRouteError, match="not a switch source"):
+            switch.derive_settings([(fu_in(0, "a"), fu_in(0, "b"))])
+
+    def test_unknown_sink_rejected(self, switch):
+        with pytest.raises(SwitchRouteError, match="not a switch sink"):
+            switch.derive_settings([(fu_out(0), fu_out(1))])
+
+    def test_doubly_driven_sink_rejected(self, switch):
+        with pytest.raises(SwitchRouteError, match="already driven"):
+            switch.derive_settings(
+                [
+                    (mem_read(0), fu_in(0, "a")),
+                    (mem_read(1), fu_in(0, "a")),
+                ]
+            )
+
+    def test_fanout_limit(self, switch):
+        limit = NSCParameters().switch_max_fanout
+        conns = [(fu_out(0), fu_in(i + 1, "a")) for i in range(limit)]
+        switch.derive_settings(conns)  # at the limit: fine
+        conns.append((fu_out(0), fu_in(limit + 1, "b")))
+        with pytest.raises(SwitchRouteError, match="fan-out"):
+            switch.derive_settings(conns)
+
+    def test_fanout_counted_per_source(self, switch):
+        conns = [
+            (fu_out(0), fu_in(1, "a")),
+            (fu_out(2), fu_in(1, "b")),
+        ]
+        assert len(switch.derive_settings(conns)) == 2

@@ -1,0 +1,82 @@
+"""MachineKnowledge: the query layer and its subset-machine retargeting."""
+
+import pytest
+
+from repro.arch.als import ALSKind
+from repro.arch.funcunit import FUCapability, Opcode
+from repro.arch.node import NodeConfig
+from repro.arch.params import SUBSET_PARAMS
+from repro.arch.switch import fu_in, fu_out, mem_read
+from repro.checker.knowledge import MachineKnowledge
+
+
+@pytest.fixture(scope="module")
+def kb() -> MachineKnowledge:
+    return MachineKnowledge(NodeConfig())
+
+
+@pytest.fixture(scope="module")
+def subset_kb() -> MachineKnowledge:
+    return MachineKnowledge(NodeConfig(SUBSET_PARAMS))
+
+
+class TestQueries:
+    def test_fu_existence(self, kb):
+        assert kb.fu_exists(31)
+        assert not kb.fu_exists(32)
+        assert not kb.fu_exists(-1)
+
+    def test_fu_supports(self, kb):
+        assert kb.fu_supports(0, Opcode.IADD)  # singlet: integer capable
+        assert not kb.fu_supports(0, Opcode.MAX)
+        assert not kb.fu_supports(99, Opcode.FADD)
+
+    def test_legal_ops_for_missing_fu_empty(self, kb):
+        assert kb.legal_ops_for_fu(99) == []
+
+    def test_als_matches(self, kb):
+        assert kb.als_matches(0, ALSKind.SINGLET, 0)
+        assert not kb.als_matches(0, ALSKind.DOUBLET, 0)
+        assert not kb.als_matches(99, ALSKind.SINGLET, 0)
+
+    def test_device_existence(self, kb):
+        assert kb.plane_exists(15) and not kb.plane_exists(16)
+        assert kb.cache_exists(15) and not kb.cache_exists(16)
+        assert kb.sd_unit_exists(1) and not kb.sd_unit_exists(2)
+        assert kb.sd_tap_exists(0, 7) and not kb.sd_tap_exists(0, 8)
+
+    def test_switch_delegation(self, kb):
+        assert kb.is_switch_source(mem_read(0))
+        assert kb.is_switch_sink(fu_in(0, "a"))
+        assert not kb.is_switch_source(fu_in(0, "a"))
+
+    def test_describe_mentions_peak(self, kb):
+        assert "640 MFLOPS" in kb.describe()
+
+
+class TestSubsetRetargeting:
+    """§4: machine-design changes absorbed 'merely by updating the
+    knowledge base' — same rule code, different parameters."""
+
+    def test_subset_has_fewer_fus(self, subset_kb):
+        assert not subset_kb.fu_exists(16)
+
+    def test_subset_has_fewer_planes(self, subset_kb):
+        assert subset_kb.plane_exists(7)
+        assert not subset_kb.plane_exists(8)
+
+    def test_subset_has_no_triplets(self, subset_kb):
+        assert subset_kb.node.als_of_kind(ALSKind.TRIPLET) == []
+
+    def test_same_rule_objects_work_on_both(self, kb, subset_kb):
+        from repro.checker.rules import ALL_RULES
+        from repro.diagram.pipeline import PipelineDiagram
+
+        d = PipelineDiagram()
+        d.add_als(0, ALSKind.DOUBLET, first_fu=0)
+        for rule in ALL_RULES:
+            rule.check(d, subset_kb)  # must not raise
+        # the full machine's ALS 0 is a singlet, so the same diagram fails
+        from repro.checker.rules import ALSPlacementRule
+
+        assert ALSPlacementRule().check(d, kb)

@@ -1,0 +1,83 @@
+"""Textual micro-assembler: faithfulness and the effort-proxy counts."""
+
+import pytest
+
+from repro.arch.node import NodeConfig
+from repro.codegen.asmtext import (
+    assembly_token_count,
+    disassemble_program,
+    disassemble_word,
+    parse_assembly,
+)
+from repro.codegen.generator import MicrocodeGenerator
+from repro.compose.jacobi import build_jacobi_program
+from repro.compose.kernels import build_saxpy_program
+
+
+@pytest.fixture(scope="module")
+def jacobi_machine_program():
+    node = NodeConfig()
+    setup = build_jacobi_program(node, (5, 5, 5))
+    return MicrocodeGenerator(node).generate(setup.program)
+
+
+class TestDisassembly:
+    def test_every_nonzero_field_listed(self, jacobi_machine_program):
+        image = jacobi_machine_program.images[1]
+        lines = disassemble_word(image.microword, image.number)
+        set_lines = [l for l in lines if l.strip().startswith("set ")]
+        assert len(set_lines) == len(image.microword.nonzero_fields())
+
+    def test_program_text_mentions_every_instruction(self, jacobi_machine_program):
+        text = disassemble_program(jacobi_machine_program)
+        assert ".instruction 0" in text
+        assert ".instruction 1" in text
+        assert ".var u plane 0" in text
+
+    def test_opcode_rendered_mnemonically(self, jacobi_machine_program):
+        text = disassemble_program(jacobi_machine_program)
+        assert "maxabs" in text
+        assert "fscale" in text
+
+    def test_negative_shift_rendered_signed(self, jacobi_machine_program):
+        text = disassemble_program(jacobi_machine_program)
+        assert "set sd0.tap2.shift -1" in text
+
+    def test_threshold_rendered_as_float(self, jacobi_machine_program):
+        text = disassemble_program(jacobi_machine_program)
+        assert "seq.cond.threshold 1e-06" in text
+
+
+class TestParser:
+    def test_round_trip_field_count(self, jacobi_machine_program):
+        text = disassemble_program(jacobi_machine_program)
+        parsed = parse_assembly(text)
+        for image in jacobi_machine_program.images:
+            assert len(parsed[image.number]) == len(
+                image.microword.nonzero_fields()
+            )
+
+    def test_stray_assignment_rejected(self):
+        with pytest.raises(ValueError, match="outside instruction"):
+            parse_assembly("set fu0.opcode fadd")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ValueError, match="unrecognized"):
+            parse_assembly(".instruction 0\nfrobnicate\n.end")
+
+
+class TestEffortProxy:
+    def test_token_count_positive_and_meaningful(self, jacobi_machine_program):
+        tokens = assembly_token_count(jacobi_machine_program)
+        # 2 instructions with dozens of fields each: hundreds of tokens
+        assert tokens > 200
+
+    def test_bigger_program_needs_more_tokens(self):
+        node = NodeConfig()
+        small = MicrocodeGenerator(node).generate(
+            build_saxpy_program(node, 32).program
+        )
+        big = MicrocodeGenerator(node).generate(
+            build_jacobi_program(node, (5, 5, 5)).program
+        )
+        assert assembly_token_count(big) > assembly_token_count(small)

@@ -1,0 +1,136 @@
+"""Microword layout and encoding: the few-thousand-bit claim of §3."""
+
+import pytest
+
+from repro.arch.node import NodeConfig
+from repro.arch.params import SUBSET_PARAMS
+from repro.codegen.microword import (
+    CMP_CODES,
+    FieldError,
+    Microword,
+    MicrowordLayout,
+    SourceTable,
+    bits_to_float,
+    float_to_bits,
+)
+
+
+@pytest.fixture(scope="module")
+def layout() -> MicrowordLayout:
+    node = NodeConfig()
+    return MicrowordLayout(node.params, node.n_fus, sorted(node.switch.sources))
+
+
+class TestLayout:
+    def test_a_few_thousand_bits(self, layout):
+        """§3: 'a few thousand bits of information per instruction'."""
+        assert 2_000 <= layout.total_bits <= 8_000
+
+    def test_dozens_of_field_groups(self, layout):
+        """§3: 'encoded in dozens of separate fields'."""
+        groups = layout.field_groups()
+        assert len(groups) >= 36  # 32 FU groups + mem + cache + sd + seq
+
+    def test_fields_are_disjoint_and_cover_word(self, layout):
+        cursor = 0
+        for field in layout.fields:
+            assert field.offset == cursor
+            cursor += field.width
+        assert cursor == layout.total_bits
+
+    def test_unknown_field_rejected(self, layout):
+        with pytest.raises(FieldError):
+            layout.field("fu99.opcode")
+
+    def test_subset_machine_has_smaller_word(self, layout):
+        node = NodeConfig(SUBSET_PARAMS)
+        small = MicrowordLayout(node.params, node.n_fus, sorted(node.switch.sources))
+        assert small.total_bits < layout.total_bits
+
+
+class TestSourceTable:
+    def test_zero_means_none(self, layout):
+        assert layout.source_table.id_of(None) == 0
+        assert layout.source_table.endpoint_of(0) is None
+
+    def test_round_trip(self, layout):
+        from repro.arch.switch import fu_out
+
+        sel = layout.source_table.id_of(fu_out(5))
+        assert layout.source_table.endpoint_of(sel) == fu_out(5)
+
+    def test_unknown_endpoint_rejected(self, layout):
+        from repro.arch.switch import fu_in
+
+        with pytest.raises(FieldError):
+            layout.source_table.id_of(fu_in(0, "a"))
+
+    def test_unknown_selector_rejected(self, layout):
+        with pytest.raises(FieldError):
+            layout.source_table.endpoint_of(9999)
+
+    def test_width_covers_all_sources(self, layout):
+        table = layout.source_table
+        assert (1 << table.width) > len(table)
+
+
+class TestWordValues:
+    def test_set_get(self, layout):
+        word = layout.new_word()
+        word.set("fu0.opcode", 5)
+        assert word.get("fu0.opcode") == 5
+        assert word.get("fu1.opcode") == 0  # unset defaults to zero
+
+    def test_range_enforced(self, layout):
+        word = layout.new_word()
+        with pytest.raises(FieldError):
+            word.set("fu0.opcode", 64)  # 6-bit field
+        with pytest.raises(FieldError):
+            word.set("fu0.opcode", -1)
+
+    def test_signed_round_trip(self, layout):
+        word = layout.new_word()
+        word.set_signed("mem0.dma.stride", -36)
+        assert word.get_signed("mem0.dma.stride") == -36
+
+    def test_signed_range_enforced(self, layout):
+        word = layout.new_word()
+        with pytest.raises(FieldError):
+            word.set_signed("mem0.dma.stride", 1 << 20)
+
+    def test_float_round_trip(self, layout):
+        word = layout.new_word()
+        word.set_float("seq.cond.threshold", 1e-6)
+        assert word.get_float("seq.cond.threshold") == 1e-6
+
+    def test_float_bits_helpers(self):
+        for v in (0.0, 1.5, -2.25, 1e-300):
+            assert bits_to_float(float_to_bits(v)) == v
+
+
+class TestEncoding:
+    def test_encode_decode_round_trip(self, layout):
+        word = layout.new_word()
+        word.set("fu3.opcode", 7)
+        word.set("fu3.a.delay", 12)
+        word.set_signed("sd0.tap1.shift", -36)
+        word.set("seq.vector_length", 4096)
+        word.set_float("seq.cond.threshold", 1e-6)
+        raw = word.encode()
+        back = Microword.decode(layout, raw)
+        assert back == word
+        assert back.get_signed("sd0.tap1.shift") == -36
+        assert back.get_float("seq.cond.threshold") == 1e-6
+
+    def test_encoded_size(self, layout):
+        raw = layout.new_word().encode()
+        assert len(raw) == (layout.total_bits + 7) // 8
+
+    def test_nonzero_fields(self, layout):
+        word = layout.new_word()
+        word.set("fu0.opcode", 1)
+        word.set("fu1.opcode", 0)
+        assert word.nonzero_fields() == [("fu0.opcode", 1)]
+
+    def test_cmp_codes_complete(self):
+        assert set(CMP_CODES) == {"lt", "le", "gt", "ge"}

@@ -1,0 +1,118 @@
+"""Expression mapping: trees onto units, CSE, reference semantics."""
+
+import numpy as np
+import pytest
+
+from repro.arch.funcunit import Opcode
+from repro.arch.node import NodeConfig
+from repro.codegen.generator import MicrocodeGenerator
+from repro.compose.builders import PipelineBuilder
+from repro.compose.exprmap import (
+    BinOp,
+    Const,
+    ExprError,
+    UnOp,
+    Var,
+    eval_expression,
+    expr_depth,
+    expr_fu_count,
+    map_expression,
+)
+from repro.diagram.program import ExecPipeline, Halt, VisualProgram
+from repro.sim.machine import NSCMachine
+
+
+def _run_expr(expr, inputs, n=32, seed=3):
+    """Map, generate, simulate; return (simulated, reference)."""
+    node = NodeConfig()
+    prog = VisualProgram(name="expr")
+    rng = np.random.default_rng(seed)
+    env = {}
+    for i, name in enumerate(inputs):
+        prog.declare(name, plane=i, length=n)
+        env[name] = rng.uniform(0.5, 2.0, size=n)
+    prog.declare("result", plane=len(inputs), length=n)
+    b = PipelineBuilder(node, prog, label="expr", vector_length=n)
+    bound = {name: b.read_var(name) for name in inputs}
+    root = map_expression(b, expr, bound)
+    out = b.apply(Opcode.PASS, root)
+    b.write_var(out, "result")
+    b.build()
+    prog.add_control(ExecPipeline(0))
+    prog.add_control(Halt())
+    machine = NSCMachine(node)
+    machine.load_program(MicrocodeGenerator(node).generate(prog))
+    for name, values in env.items():
+        machine.set_variable(name, values)
+    machine.run()
+    return machine.get_variable("result"), eval_expression(expr, env)
+
+
+class TestStructure:
+    def test_depth_and_count(self):
+        e = BinOp(Opcode.FADD, Var("a"), UnOp(Opcode.FNEG, Var("b")))
+        assert expr_depth(e) == 2
+        assert expr_fu_count(e) == 2
+
+    def test_shared_subtree_counted_once(self):
+        shared = BinOp(Opcode.FMUL, Var("a"), Var("a"))
+        e = BinOp(Opcode.FADD, shared, shared)
+        assert expr_fu_count(e) == 2
+
+    def test_wrong_category_rejected(self):
+        with pytest.raises(ExprError):
+            BinOp(Opcode.FABS, Var("a"), Var("b"))
+        with pytest.raises(ExprError):
+            UnOp(Opcode.FADD, Var("a"))
+
+    def test_unbound_variable_rejected(self):
+        node = NodeConfig()
+        prog = VisualProgram()
+        b = PipelineBuilder(node, prog, vector_length=8)
+        with pytest.raises(ExprError, match="no input stream"):
+            map_expression(b, Var("ghost"), {})
+
+
+class TestSharedMapping:
+    def test_cse_reuses_units(self):
+        node = NodeConfig()
+        prog = VisualProgram()
+        prog.declare("a", plane=0, length=8)
+        b = PipelineBuilder(node, prog, vector_length=8)
+        a = b.read_var("a")
+        shared = UnOp(Opcode.FNEG, Var("a"))
+        e = BinOp(Opcode.FADD, shared, shared)
+        map_expression(b, e, {"a": a})
+        assert len(b.diagram.fu_ops) == 2  # fneg once + fadd
+
+
+class TestSemantics:
+    def test_simple_sum(self):
+        sim, ref = _run_expr(BinOp(Opcode.FADD, UnOp(Opcode.FNEG, Var("a")),
+                                   Var("b")), ["a", "b"])
+        np.testing.assert_allclose(sim, ref)
+
+    def test_nested_tree(self):
+        e = BinOp(
+            Opcode.FMUL,
+            BinOp(Opcode.FADD, UnOp(Opcode.FABS, Var("a")),
+                  UnOp(Opcode.FSCALE, Var("b"), constant=2.0)),
+            UnOp(Opcode.FADDC, Var("a"), constant=1.0),
+        )
+        sim, ref = _run_expr(e, ["a", "b"])
+        np.testing.assert_allclose(sim, ref)
+
+    def test_minmax_tree(self):
+        e = BinOp(
+            Opcode.MAX,
+            UnOp(Opcode.FNEG, Var("a")),
+            BinOp(Opcode.MIN, UnOp(Opcode.FABS, Var("b")),
+                  UnOp(Opcode.FABS, Var("c"))),
+        )
+        sim, ref = _run_expr(e, ["a", "b", "c"])
+        np.testing.assert_allclose(sim, ref)
+
+    def test_constants(self):
+        e = BinOp(Opcode.FADD, UnOp(Opcode.FABS, Var("a")), Const(2.5))
+        sim, ref = _run_expr(e, ["a"])
+        np.testing.assert_allclose(sim, ref)

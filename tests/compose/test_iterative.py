@@ -1,0 +1,126 @@
+"""Red-black Gauss-Seidel / SOR: structure, numerics, convergence shape."""
+
+import numpy as np
+import pytest
+
+from repro.arch.node import NodeConfig
+from repro.checker.checker import Checker
+from repro.codegen.generator import MicrocodeGenerator
+from repro.compose.builders import BuilderError
+from repro.compose.iterative import (
+    build_rbsor_program,
+    color_masks,
+    load_rbsor_inputs,
+    rbsor_reference_run,
+)
+from repro.compose.jacobi import build_jacobi_program, load_jacobi_inputs
+from repro.sim.machine import NSCMachine
+
+
+@pytest.fixture(scope="module")
+def node() -> NodeConfig:
+    return NodeConfig()
+
+
+def _run(node, setup, u0, f):
+    machine = NSCMachine(node)
+    machine.load_program(MicrocodeGenerator(node).generate(setup.program))
+    load_rbsor_inputs(machine, setup, u0, f)
+    return machine, machine.run()
+
+
+class TestColorMasks:
+    def test_masks_partition_the_interior(self):
+        shape = (5, 6, 7)
+        red, black = color_masks(shape)
+        from repro.compose.jacobi import interior_masks
+
+        interior, _ = interior_masks(shape)
+        np.testing.assert_allclose(red + black, interior)
+
+    def test_no_same_color_neighbours(self):
+        shape = (5, 5, 5)
+        red, _ = color_masks(shape)
+        r = red.reshape(5, 5, 5)
+        interior = r[1:-1, 1:-1, 1:-1]
+        for axis, shift in ((0, 1), (1, 1), (2, 1)):
+            shifted = np.roll(r, shift, axis=axis)[1:-1, 1:-1, 1:-1]
+            assert not np.any((interior == 1) & (shifted == 1))
+
+
+class TestStructure:
+    def test_three_pipelines(self, node):
+        setup = build_rbsor_program(node, (5, 5, 5))
+        labels = [p.label for p in setup.program.pipelines]
+        assert labels == ["load colour caches", "red phase", "black phase"]
+
+    def test_program_checks_clean(self, node):
+        setup = build_rbsor_program(node, (5, 5, 5))
+        report = Checker(node).check_program(setup.program)
+        assert report.ok, report.format()
+
+    def test_invalid_omega_rejected(self, node):
+        with pytest.raises(BuilderError, match="omega"):
+            build_rbsor_program(node, (5, 5, 5), omega=2.5)
+        with pytest.raises(BuilderError, match="omega"):
+            build_rbsor_program(node, (5, 5, 5), omega=0.0)
+
+    def test_fixed_sweeps_mode(self, node, grid6):
+        setup = build_rbsor_program(node, (6, 6, 6), fixed_sweeps=4)
+        machine, result = _run(node, setup, grid6, np.zeros((6, 6, 6)))
+        # 1 cache load + 4 sweeps x 2 phases
+        assert result.instructions_issued == 9
+
+
+class TestNumerics:
+    def test_matches_reference_exactly(self, node, grid6):
+        setup = build_rbsor_program(node, (6, 6, 6), omega=1.0, eps=1e-5)
+        machine, result = _run(node, setup, grid6, np.zeros((6, 6, 6)))
+        ref, sweeps, _ = rbsor_reference_run(
+            grid6, np.zeros(216), (6, 6, 6), setup.h, omega=1.0, eps=1e-5
+        )
+        assert result.converged
+        assert result.loop_iterations[setup.black_pipeline] == sweeps
+        np.testing.assert_array_equal(machine.get_variable("u"), ref)
+
+    def test_overrelaxed_matches_reference(self, node, grid6):
+        setup = build_rbsor_program(node, (6, 6, 6), omega=1.5, eps=1e-5)
+        machine, result = _run(node, setup, grid6, np.zeros((6, 6, 6)))
+        ref, sweeps, _ = rbsor_reference_run(
+            grid6, np.zeros(216), (6, 6, 6), setup.h, omega=1.5, eps=1e-5
+        )
+        assert result.loop_iterations[setup.black_pipeline] == sweeps
+        np.testing.assert_array_equal(machine.get_variable("u"), ref)
+
+    def test_boundaries_pinned(self, node, grid6):
+        setup = build_rbsor_program(node, (6, 6, 6), fixed_sweeps=3)
+        machine, _ = _run(node, setup, grid6, np.zeros((6, 6, 6)))
+        u = machine.get_variable("u").reshape(6, 6, 6)
+        np.testing.assert_allclose(u[0], 0.0)
+        np.testing.assert_allclose(u[:, -1], 0.0)
+
+
+class TestConvergenceShape:
+    """The classic ordering: Jacobi slower than GS slower than SOR."""
+
+    def _sweeps(self, node, u0, builder, **kw):
+        shape = (6, 6, 6)
+        f = np.zeros(shape)
+        if builder == "jacobi":
+            setup = build_jacobi_program(node, shape, eps=1e-5)
+            machine = NSCMachine(node)
+            machine.load_program(
+                MicrocodeGenerator(node).generate(setup.program)
+            )
+            load_jacobi_inputs(machine, setup, u0, f)
+            result = machine.run()
+            return result.loop_iterations[setup.update_pipeline]
+        setup = build_rbsor_program(node, shape, eps=1e-5, **kw)
+        machine, result = _run(node, setup, u0, f)
+        return result.loop_iterations[setup.black_pipeline]
+
+    def test_gs_beats_jacobi_beats_nothing(self, node, grid6):
+        jacobi = self._sweeps(node, grid6, "jacobi")
+        gs = self._sweeps(node, grid6, "rbsor", omega=1.0)
+        sor = self._sweeps(node, grid6, "rbsor", omega=1.5)
+        assert sor < gs < jacobi

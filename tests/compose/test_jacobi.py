@@ -1,0 +1,149 @@
+"""The paper's running example: program structure and numerics."""
+
+import numpy as np
+import pytest
+
+from repro.apps.poisson3d import (
+    jacobi_reference_run,
+    manufactured_solution,
+    poisson_residual,
+)
+from repro.arch.funcunit import Opcode
+from repro.arch.node import NodeConfig
+from repro.arch.params import NSCParameters
+from repro.checker.checker import Checker
+from repro.codegen.generator import MicrocodeGenerator
+from repro.compose.builders import BuilderError
+from repro.compose.jacobi import (
+    build_jacobi_program,
+    interior_masks,
+    jacobi_grid_index,
+    load_jacobi_inputs,
+)
+from repro.sim.machine import NSCMachine
+
+
+@pytest.fixture(scope="module")
+def node() -> NodeConfig:
+    return NodeConfig()
+
+
+class TestProgramStructure:
+    def test_two_pipelines(self, node):
+        setup = build_jacobi_program(node, (5, 5, 5))
+        assert len(setup.program.pipelines) == 2
+        assert setup.program.pipelines[0].label == "load mask caches"
+
+    def test_program_checks_clean(self, node):
+        setup = build_jacobi_program(node, (5, 5, 5))
+        report = Checker(node).check_program(setup.program)
+        assert report.ok, report.format()
+
+    def test_seven_neighbour_taps(self, node):
+        setup = build_jacobi_program(node, (4, 5, 6))
+        taps = setup.program.pipelines[1].sd_taps
+        shifts = sorted(taps.values())
+        assert shifts == sorted([0, 1, -1, 4, -4, 20, -20])
+
+    def test_residual_unit_is_minmax_with_feedback(self, node):
+        from repro.diagram.pipeline import InputModKind
+
+        setup = build_jacobi_program(node, (5, 5, 5))
+        d = setup.program.pipelines[1]
+        assert d.fu_ops[setup.residual_fu].opcode is Opcode.MAXABS
+        fb = [
+            mod
+            for (fu, _p), mod in d.input_mods.items()
+            if fu == setup.residual_fu and mod.kind is InputModKind.FEEDBACK
+        ]
+        assert len(fb) == 1
+
+    def test_condition_on_residual(self, node):
+        setup = build_jacobi_program(node, (5, 5, 5), eps=1e-8)
+        cond = setup.program.pipelines[1].condition
+        assert cond.fu == setup.residual_fu
+        assert cond.threshold == 1e-8
+
+    def test_grid_too_small_rejected(self, node):
+        with pytest.raises(BuilderError):
+            build_jacobi_program(node, (2, 5, 5))
+
+    def test_grid_exceeding_cache_rejected(self, node):
+        with pytest.raises(BuilderError, match="cache buffer"):
+            build_jacobi_program(node, (30, 30, 30))
+
+    def test_bigger_cache_param_allows_bigger_grid(self):
+        params = NSCParameters(cache_buffer_words=64 * 1024)
+        big_node = NodeConfig(params)
+        setup = build_jacobi_program(big_node, (30, 30, 30))
+        assert setup.n_points == 27_000
+
+    def test_grid_index_convention(self):
+        assert jacobi_grid_index(1, 0, 0, (4, 4, 4)) == 1
+        assert jacobi_grid_index(0, 1, 0, (4, 4, 4)) == 4
+        assert jacobi_grid_index(0, 0, 1, (4, 4, 4)) == 16
+        with pytest.raises(IndexError):
+            jacobi_grid_index(4, 0, 0, (4, 4, 4))
+
+    def test_interior_masks_complementary(self):
+        mask, invmask = interior_masks((4, 5, 6))
+        np.testing.assert_allclose(mask + invmask, 1.0)
+        assert mask.sum() == (4 - 2) * (5 - 2) * (6 - 2)
+
+
+class TestNumerics:
+    def test_simulated_run_matches_reference_exactly(self, node, grid6):
+        """The headline fidelity claim: simulator == NumPy reference."""
+        setup = build_jacobi_program(node, (6, 6, 6), eps=1e-5)
+        machine = NSCMachine(node)
+        machine.load_program(MicrocodeGenerator(node).generate(setup.program))
+        f = np.zeros((6, 6, 6))
+        load_jacobi_inputs(machine, setup, grid6, f)
+        result = machine.run()
+        ref, iters, _ = jacobi_reference_run(
+            grid6, f, (6, 6, 6), setup.h, eps=1e-5
+        )
+        assert result.converged
+        assert result.loop_iterations[1] == iters
+        np.testing.assert_array_equal(machine.get_variable("u"), ref)
+
+    def test_solves_manufactured_poisson_problem(self, node):
+        """Physics: the iterate approaches the analytic solution."""
+        shape = (9, 9, 9)
+        u_star, f, h = manufactured_solution(shape)
+        setup = build_jacobi_program(node, shape, h=h, eps=1e-10,
+                                     max_iterations=4000)
+        machine = NSCMachine(node)
+        machine.load_program(MicrocodeGenerator(node).generate(setup.program))
+        load_jacobi_inputs(machine, setup, np.zeros(shape), f)
+        result = machine.run()
+        assert result.converged
+        u = machine.get_variable("u").reshape(9, 9, 9)
+        err = np.max(np.abs(u - u_star))
+        # second-order discretization error on a coarse grid
+        assert err < 0.05
+        assert poisson_residual(u, f, shape, h) < 1.0
+
+    def test_nonuniform_shape(self, node):
+        shape = (4, 6, 8)
+        rng = np.random.default_rng(1)
+        u0 = rng.random(shape[::-1])
+        mask3 = np.zeros(shape[::-1])
+        mask3[1:-1, 1:-1, 1:-1] = 1
+        u0 *= mask3
+        f = np.zeros(shape[::-1])
+        setup = build_jacobi_program(node, shape, eps=1e-4)
+        machine = NSCMachine(node)
+        machine.load_program(MicrocodeGenerator(node).generate(setup.program))
+        load_jacobi_inputs(machine, setup, u0, f)
+        result = machine.run()
+        ref, iters, _ = jacobi_reference_run(u0, f, shape, setup.h, eps=1e-4)
+        assert result.loop_iterations[1] == iters
+        np.testing.assert_array_equal(machine.get_variable("u"), ref)
+
+    def test_load_inputs_validates_shape(self, node):
+        setup = build_jacobi_program(node, (5, 5, 5))
+        machine = NSCMachine(node)
+        machine.load_program(MicrocodeGenerator(node).generate(setup.program))
+        with pytest.raises(ValueError, match="points"):
+            load_jacobi_inputs(machine, setup, np.zeros(10), np.zeros(125))

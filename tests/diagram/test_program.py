@@ -1,0 +1,134 @@
+"""VisualProgram: declarations, pipeline editing ops, control flow."""
+
+import pytest
+
+from repro.diagram.pipeline import ConditionSpec, PipelineDiagram
+from repro.diagram.program import (
+    CacheSwap,
+    Declaration,
+    ExecPipeline,
+    Halt,
+    LoopUntil,
+    ProgramError,
+    Repeat,
+    SwapVars,
+    VisualProgram,
+)
+
+
+@pytest.fixture()
+def prog() -> VisualProgram:
+    p = VisualProgram(name="t")
+    p.insert_pipeline(PipelineDiagram(label="a"))
+    p.insert_pipeline(PipelineDiagram(label="b"))
+    return p
+
+
+class TestDeclarations:
+    def test_declare(self, prog):
+        decl = prog.declare("u", plane=0, length=64)
+        assert decl.name == "u"
+
+    def test_duplicate_rejected(self, prog):
+        prog.declare("u", plane=0, length=64)
+        with pytest.raises(ProgramError):
+            prog.declare("u", plane=1, length=64)
+
+    def test_bad_declaration_rejected(self):
+        with pytest.raises(ProgramError):
+            Declaration(name="", plane=0, length=4)
+        with pytest.raises(ProgramError):
+            Declaration(name="x", plane=0, length=0)
+        with pytest.raises(ProgramError):
+            Declaration(name="x", plane=-1, length=4)
+
+
+class TestPipelineOps:
+    """The control-panel operations of §5."""
+
+    def test_insert_renumbers(self, prog):
+        prog.insert_pipeline(PipelineDiagram(label="c"), at=1)
+        assert [p.label for p in prog.pipelines] == ["a", "c", "b"]
+        assert [p.number for p in prog.pipelines] == [0, 1, 2]
+
+    def test_delete_renumbers(self, prog):
+        prog.delete_pipeline(0)
+        assert [p.label for p in prog.pipelines] == ["b"]
+        assert prog.pipelines[0].number == 0
+
+    def test_copy_lands_after_original(self, prog):
+        idx = prog.copy_pipeline(0)
+        assert idx == 1
+        assert [p.label for p in prog.pipelines] == ["a", "a", "b"]
+
+    def test_copy_to_explicit_position(self, prog):
+        prog.copy_pipeline(0, to=2)
+        assert [p.label for p in prog.pipelines] == ["a", "b", "a"]
+
+    def test_copies_are_independent(self, prog):
+        prog.copy_pipeline(0)
+        prog.pipelines[1].label = "changed"
+        assert prog.pipelines[0].label == "a"
+
+    def test_bad_indices(self, prog):
+        with pytest.raises(ProgramError):
+            prog.delete_pipeline(5)
+        with pytest.raises(ProgramError):
+            prog.insert_pipeline(PipelineDiagram(), at=9)
+
+
+class TestControlFlow:
+    def test_exec_validates_index(self, prog):
+        prog.add_control(ExecPipeline(1))
+        with pytest.raises(ProgramError):
+            prog.add_control(ExecPipeline(5))
+
+    def test_loop_until_requires_condition(self, prog):
+        with pytest.raises(ProgramError, match="no condition"):
+            prog.add_control(
+                LoopUntil(body=(ExecPipeline(0),), condition_pipeline=0)
+            )
+        prog.pipelines[0].set_condition(
+            ConditionSpec(fu=0, comparison="lt", threshold=1e-6)
+        )
+        prog.add_control(
+            LoopUntil(body=(ExecPipeline(0),), condition_pipeline=0)
+        )
+
+    def test_nested_bodies_validated(self, prog):
+        with pytest.raises(ProgramError):
+            prog.add_control(Repeat(body=(ExecPipeline(9),), times=2))
+
+    def test_swap_vars_validated(self, prog):
+        prog.declare("u", plane=0, length=8)
+        prog.declare("v", plane=1, length=8)
+        prog.declare("w", plane=2, length=16)
+        prog.add_control(SwapVars("u", "v"))
+        with pytest.raises(ProgramError, match="undeclared"):
+            prog.add_control(SwapVars("u", "zz"))
+        with pytest.raises(ProgramError, match="equal lengths"):
+            prog.add_control(SwapVars("u", "w"))
+
+    def test_repeat_negative_rejected(self):
+        with pytest.raises(ProgramError):
+            Repeat(body=(), times=-1)
+
+    def test_loop_until_bounds(self):
+        with pytest.raises(ProgramError):
+            LoopUntil(body=(), condition_pipeline=0, max_iterations=0)
+
+    def test_default_control_runs_all_then_halts(self, prog):
+        ops = prog.default_control()
+        assert ops == [ExecPipeline(0), ExecPipeline(1), Halt()]
+
+    def test_effective_control_prefers_explicit(self, prog):
+        prog.add_control(ExecPipeline(1))
+        assert prog.effective_control() == [ExecPipeline(1)]
+
+    def test_cache_swap_accepted(self, prog):
+        prog.add_control(CacheSwap(caches=(0, 1)))
+
+    def test_stats(self, prog):
+        stats = prog.stats()
+        assert stats["pipelines"] == 2
+        assert stats["control_ops"] == 3  # default: 2 execs + halt

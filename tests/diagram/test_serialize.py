@@ -1,0 +1,87 @@
+"""Save/load: full round-trips of programs and pipelines."""
+
+import json
+
+import pytest
+
+from repro.arch.node import NodeConfig
+from repro.compose.jacobi import build_jacobi_program
+from repro.compose.kernels import build_saxpy_program
+from repro.diagram import serialize
+from repro.diagram.program import LoopUntil, VisualProgram
+from repro.arch.switch import Endpoint, DeviceKind
+
+
+def _jacobi_prog() -> VisualProgram:
+    return build_jacobi_program(NodeConfig(), (5, 5, 5)).program
+
+
+class TestRoundTrip:
+    def test_jacobi_program_round_trips(self):
+        prog = _jacobi_prog()
+        text = serialize.dumps(prog)
+        back = serialize.loads(text)
+        assert serialize.program_to_dict(back) == serialize.program_to_dict(prog)
+
+    def test_saxpy_round_trips(self):
+        prog = build_saxpy_program(NodeConfig(), 64).program
+        back = serialize.loads(serialize.dumps(prog))
+        assert serialize.program_to_dict(back) == serialize.program_to_dict(prog)
+
+    def test_loaded_program_still_generates_microcode(self):
+        from repro.codegen.generator import MicrocodeGenerator
+
+        node = NodeConfig()
+        prog = serialize.loads(serialize.dumps(_jacobi_prog()))
+        machine_prog = MicrocodeGenerator(node).generate(prog)
+        assert len(machine_prog.images) == 2
+
+    def test_control_flow_survives(self):
+        prog = _jacobi_prog()
+        back = serialize.loads(serialize.dumps(prog))
+        loops = [op for op in back.control if isinstance(op, LoopUntil)]
+        assert len(loops) == 1
+        assert loops[0].condition_pipeline == 1
+
+    def test_condition_survives(self):
+        prog = _jacobi_prog()
+        back = serialize.loads(serialize.dumps(prog))
+        cond = back.pipelines[1].condition
+        assert cond is not None and cond.comparison == "lt"
+
+    def test_file_round_trip(self, tmp_path):
+        prog = _jacobi_prog()
+        path = str(tmp_path / "prog.json")
+        serialize.save(prog, path)
+        back = serialize.load(path)
+        assert back.name == prog.name
+
+
+class TestEndpoints:
+    def test_endpoint_round_trip(self):
+        ep = Endpoint(DeviceKind.SHIFT_DELAY, 1, "tap3")
+        assert serialize.endpoint_from_dict(serialize.endpoint_to_dict(ep)) == ep
+
+    def test_bad_endpoint_rejected(self):
+        with pytest.raises(serialize.SerializationError):
+            serialize.endpoint_from_dict({"kind": "nope", "device": 0, "port": "a"})
+
+
+class TestErrors:
+    def test_bad_json(self):
+        with pytest.raises(serialize.SerializationError, match="invalid JSON"):
+            serialize.loads("{not json")
+
+    def test_wrong_format_marker(self):
+        with pytest.raises(serialize.SerializationError, match="not a serialized"):
+            serialize.loads(json.dumps({"format": "something-else"}))
+
+    def test_corrupt_pipeline_record(self):
+        prog_dict = serialize.program_to_dict(_jacobi_prog())
+        del prog_dict["pipelines"][0]["als_uses"]
+        with pytest.raises(serialize.SerializationError):
+            serialize.program_from_dict(prog_dict)
+
+    def test_unknown_control_op(self):
+        with pytest.raises(serialize.SerializationError):
+            serialize.control_from_dict({"op": "mystery"})

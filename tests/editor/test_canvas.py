@@ -1,0 +1,135 @@
+"""Canvas: placement, hit testing, pads, rubber banding."""
+
+import pytest
+
+from repro.arch.als import ALSKind
+from repro.arch.switch import DeviceKind, fu_in, fu_out
+from repro.diagram.icons import make_als_icon, icon_for_endpoint_device
+from repro.editor.canvas import Canvas, CanvasError, ICON_WIDTH
+
+
+@pytest.fixture()
+def canvas() -> Canvas:
+    return Canvas(width=100, height=40)
+
+
+@pytest.fixture()
+def doublet():
+    return make_als_icon(4, ALSKind.DOUBLET, first_fu=4)
+
+
+class TestPlacement:
+    def test_place_and_lookup(self, canvas, doublet):
+        placement = canvas.place(doublet, 10, 5)
+        assert placement.width == ICON_WIDTH
+        assert canvas.placements["D4"] is placement
+
+    def test_duplicate_placement_rejected(self, canvas, doublet):
+        canvas.place(doublet, 10, 5)
+        with pytest.raises(CanvasError, match="already placed"):
+            canvas.place(doublet, 30, 5)
+
+    def test_out_of_bounds_rejected(self, canvas, doublet):
+        with pytest.raises(CanvasError, match="outside"):
+            canvas.place(doublet, 95, 5)
+        with pytest.raises(CanvasError):
+            canvas.place(doublet, 10, 38)
+
+    def test_move(self, canvas, doublet):
+        canvas.place(doublet, 10, 5)
+        moved = canvas.move("D4", 30, 8)
+        assert (moved.x, moved.y) == (30, 8)
+
+    def test_move_unknown_rejected(self, canvas):
+        with pytest.raises(CanvasError, match="no icon"):
+            canvas.move("Z9", 0, 0)
+
+    def test_remove_scrubs_wires(self, canvas, doublet):
+        canvas.place(doublet, 10, 5)
+        canvas.add_wire(fu_out(4), fu_in(5, "a"))
+        canvas.remove("D4")
+        assert canvas.wires == []
+
+    def test_occupancy(self, canvas, doublet):
+        assert canvas.occupancy() == 0.0
+        canvas.place(doublet, 10, 5)
+        assert 0 < canvas.occupancy() < 1
+
+    def test_suggest_position_flows_right_then_wraps(self, canvas):
+        icons = [make_als_icon(i, ALSKind.SINGLET, i) for i in range(4)]
+        positions = []
+        for icon in icons:
+            x, y = canvas.suggest_position()
+            canvas.place(icon, x, y)
+            positions.append((x, y))
+        xs = [p[0] for p in positions]
+        assert xs == sorted(xs) or positions[-1][1] > positions[0][1]
+
+
+class TestHitTesting:
+    def test_hit_inside_icon(self, canvas, doublet):
+        canvas.place(doublet, 10, 5)
+        assert canvas.hit_test(12, 6) == "D4"
+        assert canvas.hit_test(80, 30) is None
+
+    def test_topmost_wins(self, canvas):
+        a = make_als_icon(0, ALSKind.SINGLET, 0)
+        b = make_als_icon(1, ALSKind.SINGLET, 1)
+        canvas.place(a, 10, 5)
+        canvas.place(b, 12, 6)  # overlapping, placed later
+        assert canvas.hit_test(13, 7) == "S1"
+
+    def test_pad_positions_distinct(self, canvas, doublet):
+        placement = canvas.place(doublet, 10, 5)
+        positions = {placement.pad_position(p) for p in doublet.pads()}
+        assert len(positions) == len(doublet.pads())
+
+    def test_pad_at_finds_pad(self, canvas, doublet):
+        placement = canvas.place(doublet, 10, 5)
+        pad = doublet.pads()[0]
+        x, y = placement.pad_position(pad)
+        assert canvas.pad_at(x, y) == pad
+        assert canvas.pad_at(0, 0) is None
+
+    def test_endpoint_position(self, canvas, doublet):
+        canvas.place(doublet, 10, 5)
+        x, y = canvas.endpoint_position(fu_out(4))
+        assert x == 10 + ICON_WIDTH
+        with pytest.raises(CanvasError):
+            canvas.endpoint_position(fu_out(20))
+
+
+class TestRubberBand:
+    def test_full_gesture(self, canvas, doublet):
+        canvas.place(doublet, 10, 5)
+        canvas.start_rubber_band(fu_out(4))
+        canvas.drag_rubber_band(50, 20)
+        assert canvas.rubber_band.x == 50
+        anchor = canvas.finish_rubber_band()
+        assert anchor == fu_out(4)
+        assert canvas.rubber_band is None
+
+    def test_drag_without_start_rejected(self, canvas):
+        with pytest.raises(CanvasError):
+            canvas.drag_rubber_band(1, 1)
+        with pytest.raises(CanvasError):
+            canvas.finish_rubber_band()
+
+    def test_wire_bookkeeping(self, canvas):
+        canvas.add_wire(fu_out(4), fu_in(5, "a"))
+        canvas.remove_wire(fu_out(4), fu_in(5, "a"))
+        assert canvas.wires == []
+        with pytest.raises(CanvasError):
+            canvas.remove_wire(fu_out(4), fu_in(5, "a"))
+
+
+class TestDeviceIconGeometry:
+    def test_sd_icon_is_tall(self, canvas):
+        icon = icon_for_endpoint_device(DeviceKind.SHIFT_DELAY, 0, n_taps=8)
+        placement = canvas.place(icon, 10, 2)
+        assert placement.height > 30
+
+    def test_memory_icon_is_short(self, canvas):
+        icon = icon_for_endpoint_device(DeviceKind.MEMORY, 0)
+        placement = canvas.place(icon, 10, 2)
+        assert placement.height <= 8

@@ -1,0 +1,84 @@
+"""Undo/redo command stack."""
+
+import pytest
+
+from repro.editor.commands import Command, CommandError, CommandStack
+
+
+def _counter_command(state, name="inc"):
+    return Command(
+        name=name,
+        do=lambda: state.__setitem__("n", state["n"] + 1),
+        undo=lambda: state.__setitem__("n", state["n"] - 1),
+    )
+
+
+class TestStack:
+    def test_execute_applies(self):
+        state = {"n": 0}
+        stack = CommandStack()
+        stack.execute(_counter_command(state))
+        assert state["n"] == 1
+
+    def test_undo_reverses(self):
+        state = {"n": 0}
+        stack = CommandStack()
+        stack.execute(_counter_command(state))
+        stack.undo()
+        assert state["n"] == 0
+
+    def test_redo_reapplies(self):
+        state = {"n": 0}
+        stack = CommandStack()
+        stack.execute(_counter_command(state))
+        stack.undo()
+        stack.redo()
+        assert state["n"] == 1
+
+    def test_new_command_clears_redo(self):
+        state = {"n": 0}
+        stack = CommandStack()
+        stack.execute(_counter_command(state))
+        stack.undo()
+        stack.execute(_counter_command(state, "other"))
+        assert not stack.can_redo
+        with pytest.raises(CommandError):
+            stack.redo()
+
+    def test_empty_undo_rejected(self):
+        with pytest.raises(CommandError):
+            CommandStack().undo()
+
+    def test_history_names(self):
+        state = {"n": 0}
+        stack = CommandStack()
+        stack.execute(_counter_command(state, "a"))
+        stack.execute(_counter_command(state, "b"))
+        assert stack.history == ["a", "b"]
+
+    def test_history_bounded(self):
+        state = {"n": 0}
+        stack = CommandStack(limit=3)
+        for i in range(5):
+            stack.execute(_counter_command(state, f"c{i}"))
+        assert len(stack.history) == 3
+        assert stack.history == ["c2", "c3", "c4"]
+
+    def test_undo_order_is_lifo(self):
+        log = []
+        stack = CommandStack()
+        for name in ("first", "second"):
+            stack.execute(
+                Command(name, do=lambda: None,
+                        undo=lambda n=name: log.append(n))
+            )
+        stack.undo()
+        stack.undo()
+        assert log == ["second", "first"]
+
+    def test_clear(self):
+        state = {"n": 0}
+        stack = CommandStack()
+        stack.execute(_counter_command(state))
+        stack.clear()
+        assert not stack.can_undo and not stack.can_redo

@@ -1,0 +1,126 @@
+"""Pop-up menus and the Fig. 9 DMA subwindow."""
+
+import pytest
+
+from repro.arch.als import ALSKind
+from repro.arch.dma import Direction
+from repro.arch.funcunit import Opcode
+from repro.arch.node import NodeConfig
+from repro.arch.switch import cache_read, fu_in, mem_read, mem_write
+from repro.checker.checker import Checker
+from repro.diagram.pipeline import PipelineDiagram
+from repro.editor.menus import (
+    DMASubwindow,
+    MenuError,
+    PopupMenu,
+    MenuEntry,
+    build_fu_op_menu,
+    build_pad_menu,
+)
+
+
+@pytest.fixture()
+def checker() -> Checker:
+    return Checker(NodeConfig())
+
+
+@pytest.fixture()
+def diagram() -> PipelineDiagram:
+    d = PipelineDiagram()
+    d.add_als(4, ALSKind.DOUBLET, first_fu=4)
+    return d
+
+
+class TestPopupMenu:
+    def test_choose_by_label(self):
+        menu = PopupMenu(title="t", entries=[MenuEntry("x", 42)])
+        assert menu.choose("x") == 42
+
+    def test_unknown_label_rejected(self):
+        menu = PopupMenu(title="t")
+        with pytest.raises(MenuError):
+            menu.choose("nope")
+
+    def test_disabled_entry_rejected(self):
+        menu = PopupMenu(title="t", entries=[MenuEntry("x", 1, enabled=False)])
+        with pytest.raises(MenuError, match="disabled"):
+            menu.choose("x")
+
+
+class TestPadMenu:
+    def test_menu_lists_external_and_internal_choices(self, checker, diagram):
+        """§5: 'external connections to other function units, caches,
+        memories, or shift/delay units, or else internal connections for
+        feedback loops or register file data'."""
+        menu = build_pad_menu(checker, diagram, fu_in(5, "a"))
+        labels = menu.labels()
+        assert "mem[0].read" in labels
+        assert "cache[0].read" in labels
+        assert "internal from unit 0" in labels
+        assert "feedback loop" in labels
+        assert "register file constant..." in labels
+
+    def test_illegal_sources_not_offered(self, checker, diagram):
+        diagram.set_fu_op(4, Opcode.FADD)
+        diagram.connect(mem_read(0), fu_in(4, "a"))
+        menu = build_pad_menu(checker, diagram, fu_in(4, "b"))
+        labels = menu.labels()
+        assert "mem[1].read" not in labels  # second plane for fu4
+        assert "mem[0].read" in labels
+
+    def test_memory_write_pad_menu(self, checker, diagram):
+        menu = build_pad_menu(checker, diagram, mem_write(3))
+        # no internal/feedback entries for a non-FU pad
+        assert "feedback loop" not in menu.labels()
+        assert any(l.startswith("fu") for l in menu.labels())
+
+
+class TestFuOpMenu:
+    def test_menu_filtered_by_capability(self, checker):
+        """Fig. 10: the menu shows only what the unit can perform."""
+        int_menu = build_fu_op_menu(checker, 4)  # integer-capable
+        mm_menu = build_fu_op_menu(checker, 5)   # min/max-capable
+        assert "iadd" in int_menu.labels()
+        assert "max" not in int_menu.labels()
+        assert "max" in mm_menu.labels()
+        assert "iadd" not in mm_menu.labels()
+
+    def test_choose_returns_opcode(self, checker):
+        menu = build_fu_op_menu(checker, 4)
+        assert menu.choose("fadd") is Opcode.FADD
+
+
+class TestDMASubwindow:
+    def test_fill_and_commit(self):
+        sub = DMASubwindow(endpoint=mem_read(3))
+        sub.fill("variable", "u")
+        sub.fill("offset", 10_000)
+        sub.fill("stride", 4)
+        spec = sub.to_spec()
+        assert spec.device == 3
+        assert spec.direction is Direction.READ
+        assert spec.offset == 10_000
+        assert spec.stride == 4
+
+    def test_write_pad_gets_write_direction(self):
+        sub = DMASubwindow(endpoint=mem_write(3))
+        assert sub.direction is Direction.WRITE
+
+    def test_unknown_field_rejected(self):
+        sub = DMASubwindow(endpoint=mem_read(3))
+        with pytest.raises(MenuError, match="no field"):
+            sub.fill("color", "red")
+
+    def test_template_reminds_choices(self):
+        """§5: subwindow templates 'remind him of his choices'."""
+        sub = DMASubwindow(endpoint=mem_read(3))
+        sub.fill("variable", "u")
+        sub.fill("stride", 4)
+        text = sub.template()
+        assert "Plane [3]" in text
+        assert "u" in text
+        assert "4" in text
+
+    def test_cache_template(self):
+        sub = DMASubwindow(endpoint=cache_read(7))
+        assert "Cache [7]" in sub.template()

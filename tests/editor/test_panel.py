@@ -1,0 +1,59 @@
+"""The control panel: palette buttons and selection protocol."""
+
+import pytest
+
+from repro.arch.als import ALSKind
+from repro.editor.panel import (
+    ControlPanel,
+    PaletteIcon,
+    PanelError,
+    PanelOp,
+)
+
+
+class TestPalette:
+    def test_every_figure4_form_present(self):
+        values = {icon.value for icon in PaletteIcon}
+        assert {"singlet", "doublet", "doublet-bypassed", "triplet"} <= values
+
+    def test_device_icons_present(self):
+        """§5 lists memory planes and shift/delay units as 'other icons
+        which would be useful' — we provide them."""
+        values = {icon.value for icon in PaletteIcon}
+        assert {"memory-plane", "cache", "shift-delay"} <= values
+
+    def test_als_kind_mapping(self):
+        assert PaletteIcon.SINGLET.als_kind is ALSKind.SINGLET
+        assert PaletteIcon.DOUBLET_BYPASSED.als_kind is ALSKind.DOUBLET
+        assert PaletteIcon.MEMORY_PLANE.als_kind is None
+
+    def test_bypassed_slots(self):
+        assert PaletteIcon.DOUBLET_BYPASSED.bypassed_slots == (1,)
+        assert PaletteIcon.DOUBLET.bypassed_slots == ()
+
+
+class TestSelectionProtocol:
+    def test_select_then_take(self):
+        panel = ControlPanel()
+        panel.select_icon("triplet")
+        assert panel.take_selection() is PaletteIcon.TRIPLET
+        # selection is consumed
+        with pytest.raises(PanelError, match="no icon selected"):
+            panel.take_selection()
+
+    def test_reselect_replaces(self):
+        panel = ControlPanel()
+        panel.select_icon("singlet")
+        panel.select_icon("doublet")
+        assert panel.take_selection() is PaletteIcon.DOUBLET
+
+    def test_unknown_button(self):
+        with pytest.raises(PanelError, match="no icon button"):
+            ControlPanel().select_icon("hexlet")
+
+    def test_buttons_cover_editor_operations(self):
+        """§5: insert, delete, copy, renumber, scroll, goto."""
+        buttons = ControlPanel().buttons()
+        for op in PanelOp:
+            assert op.value in buttons
+        assert "insert" in buttons and "renumber" in buttons

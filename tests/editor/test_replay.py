@@ -1,0 +1,67 @@
+"""Diagram replay: the compiler-back-end mode and the C2 action counter."""
+
+import pytest
+
+from repro.arch.node import NodeConfig
+from repro.compose.jacobi import build_jacobi_program
+from repro.compose.kernels import build_saxpy_program
+from repro.diagram.serialize import program_to_dict
+from repro.editor.replay import ReplayError, action_cost, replay_program
+from repro.editor.session import EditorSession
+
+
+@pytest.fixture(scope="module")
+def node() -> NodeConfig:
+    return NodeConfig()
+
+
+class TestReplay:
+    def test_replayed_program_is_semantically_identical(self, node):
+        setup = build_jacobi_program(node, (6, 6, 6))
+        session = replay_program(setup.program, EditorSession(node=node))
+        assert program_to_dict(session.program) == program_to_dict(setup.program)
+
+    def test_replayed_program_checks_clean(self, node):
+        setup = build_jacobi_program(node, (6, 6, 6))
+        session = replay_program(setup.program, EditorSession(node=node))
+        assert session.check_all().ok
+
+    def test_geometry_created_for_every_als(self, node):
+        setup = build_jacobi_program(node, (6, 6, 6))
+        session = replay_program(setup.program, EditorSession(node=node))
+        session.goto(1)
+        assert len(session.canvas.placements) == len(
+            setup.program.pipelines[1].als_uses
+        )
+
+    def test_action_cost_scales_with_program_size(self, node):
+        small = action_cost(build_saxpy_program(node, 64).program)
+        big = action_cost(build_jacobi_program(node, (6, 6, 6)).program)
+        assert 0 < small < big
+
+    def test_action_cost_is_deterministic(self, node):
+        prog = build_saxpy_program(node, 64).program
+        assert action_cost(prog) == action_cost(prog)
+
+    def test_replay_into_dirty_pipeline_rejected(self, node):
+        setup = build_saxpy_program(node, 64)
+        session = EditorSession(node=node)
+        session.select_icon("doublet")
+        session.drag_to(40, 2)
+        from repro.editor.replay import replay_pipeline
+
+        with pytest.raises(ReplayError, match="not empty"):
+            replay_pipeline(session, setup.program.pipelines[0])
+
+    def test_illegal_diagram_fails_to_replay(self, node):
+        from repro.arch.funcunit import Opcode
+
+        setup = build_saxpy_program(node, 64)
+        # corrupt: put a min/max op on an integer-capable unit
+        diagram = setup.program.pipelines[0]
+        fu = sorted(diagram.fu_ops)[0]
+        diagram.fu_ops[fu] = diagram.fu_ops[fu].__class__(
+            fu=fu, opcode=Opcode.MAX, constant=0.0
+        )
+        with pytest.raises(ReplayError):
+            replay_program(setup.program, EditorSession(node=node))

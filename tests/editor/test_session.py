@@ -1,0 +1,257 @@
+"""EditorSession: the scripted interaction of §5, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.arch.funcunit import Opcode
+from repro.arch.switch import DeviceKind, fu_in, fu_out, mem_read, mem_write
+from repro.diagram.pipeline import InputMod, InputModKind
+from repro.editor.session import EditorError, EditorSession
+
+
+@pytest.fixture()
+def session() -> EditorSession:
+    return EditorSession()
+
+
+class TestIconWorkflow:
+    """Figs. 6-7: select in the control panel, drag into the drawing area."""
+
+    def test_select_then_drag_places_als(self, session):
+        session.select_icon("triplet")
+        icon = session.drag_to(40, 2)
+        assert icon is not None and icon.icon_id.startswith("T")
+        assert len(session.diagram.als_uses) == 1
+        assert "placed" in session.message
+
+    def test_each_drag_allocates_a_fresh_als(self, session):
+        ids = set()
+        for _ in range(4):
+            session.select_icon("doublet")
+            ids.add(session.drag_to(*session.canvas.suggest_position()).icon_id)
+        assert len(ids) == 4
+
+    def test_machine_exhaustion_reported(self, session):
+        for i in range(4):
+            session.select_icon("triplet")
+            assert session.drag_to(2 + 20 * i, 2) is not None
+        session.select_icon("triplet")
+        assert session.drag_to(82, 2) is None
+        assert "no free triplet" in session.message
+
+    def test_bypassed_doublet_palette_entry(self, session):
+        session.select_icon("doublet-bypassed")
+        icon = session.drag_to(40, 2)
+        assert icon.bypassed_slots == (1,)
+
+    def test_drag_without_selection_fails_softly(self, session):
+        assert session.drag_to(40, 2) is None
+        assert "no icon selected" in session.message
+
+    def test_unknown_palette_icon_raises(self, session):
+        with pytest.raises(EditorError):
+            session.select_icon("quadlet")
+
+    def test_place_device_icons(self, session):
+        assert session.place_device(DeviceKind.MEMORY, 0, 2, 2) is not None
+        assert session.place_device(DeviceKind.CACHE, 3, 2, 10) is not None
+        assert session.place_device(DeviceKind.MEMORY, 99, 2, 20) is None
+        assert "no mem numbered 99" in session.message
+
+    def test_move_icon(self, session):
+        session.select_icon("singlet")
+        icon = session.drag_to(20, 2)
+        assert session.move_icon(icon.icon_id, 40, 4)
+        assert session.canvas.placements[icon.icon_id].x == 40
+
+
+class TestWiring:
+    """Fig. 8: rubber-band connections vetted by the checker."""
+
+    def _place_doublet(self, session):
+        session.select_icon("doublet")
+        return session.drag_to(40, 2)
+
+    def test_legal_connection_commits(self, session):
+        icon = self._place_doublet(session)
+        fu = icon.first_fu
+        report = session.connect(mem_read(0), fu_in(fu, "a"))
+        assert report.ok
+        assert (mem_read(0), fu_in(fu, "a")) in session.diagram.connections
+
+    def test_illegal_connection_rolls_back(self, session):
+        icon = self._place_doublet(session)
+        fu = icon.first_fu
+        session.connect(mem_read(0), fu_in(fu, "a"))
+        report = session.connect(mem_read(1), fu_in(fu, "a"))
+        assert not report.ok
+        assert len(session.diagram.connections) == 1
+        assert "already driven" in session.message
+
+    def test_rubber_band_gesture(self, session):
+        icon = self._place_doublet(session)
+        session.place_device(DeviceKind.MEMORY, 1, 2, 2)
+        fu = icon.first_fu
+        session.start_connection(fu_out(fu))
+        report = session.finish_connection(mem_write(1))
+        assert report.ok
+        assert (fu_out(fu), mem_write(1)) in session.diagram.connections
+
+    def test_rubber_band_needs_placed_pad(self, session):
+        with pytest.raises(EditorError):
+            session.start_connection(fu_out(4))
+
+    def test_disconnect(self, session):
+        icon = self._place_doublet(session)
+        fu = icon.first_fu
+        session.connect(mem_read(0), fu_in(fu, "a"))
+        assert session.disconnect(mem_read(0), fu_in(fu, "a"))
+        assert session.diagram.connections == []
+
+    def test_pad_menu_offers_legal_sources(self, session):
+        icon = self._place_doublet(session)
+        menu = session.pad_menu(fu_in(icon.first_fu, "a"))
+        assert len(menu) > 0
+
+    def test_input_mods(self, session):
+        icon = self._place_doublet(session)
+        fu = icon.first_fu
+        report = session.set_input_mod(
+            fu, "b", InputMod(InputModKind.CONSTANT, value=6.0)
+        )
+        assert report.ok
+        assert session.diagram.input_mods[(fu, "b")].value == 6.0
+
+    def test_mod_conflicts_with_wire(self, session):
+        icon = self._place_doublet(session)
+        fu = icon.first_fu
+        session.connect(mem_read(0), fu_in(fu, "a"))
+        report = session.set_input_mod(
+            fu, "a", InputMod(InputModKind.CONSTANT, value=1.0)
+        )
+        assert not report.ok
+
+    def test_set_delay_bounds(self, session):
+        icon = self._place_doublet(session)
+        fu = icon.first_fu
+        assert session.set_delay(fu, "a", 5).ok
+        assert not session.set_delay(fu, "a", 10_000).ok
+
+
+class TestFUProgramming:
+    """Fig. 10: operation menus."""
+
+    def test_assign_op_via_checker(self, session):
+        session.select_icon("doublet")
+        icon = session.drag_to(40, 2)
+        fu = icon.first_fu
+        assert session.assign_op(fu, Opcode.IADD).ok
+        assert not session.assign_op(fu, Opcode.MAX).ok  # wrong circuitry
+        assert session.diagram.fu_ops[fu].opcode is Opcode.IADD
+
+    def test_menu_matches_capability(self, session):
+        session.select_icon("doublet")
+        icon = session.drag_to(40, 2)
+        menu = session.fu_menu(icon.first_fu)
+        assert "iadd" in menu.labels()
+
+
+class TestDMAWorkflow:
+    """Fig. 9: the pop-up subwindow."""
+
+    def test_full_popup_flow(self, session):
+        session.declare_variable("u", 0, 128)
+        sub = session.dma_popup(mem_read(0))
+        session.fill_dma_field(sub, "variable", "u")
+        session.fill_dma_field(sub, "stride", 2)
+        assert session.commit_dma(sub).ok
+        assert session.diagram.dma[mem_read(0)].stride == 2
+
+    def test_undeclared_variable_refused(self, session):
+        sub = session.dma_popup(mem_read(0))
+        session.fill_dma_field(sub, "variable", "ghost")
+        assert not session.commit_dma(sub).ok
+        assert "not declared" in session.message
+
+    def test_popup_only_for_memory_or_cache(self, session):
+        with pytest.raises(EditorError):
+            session.dma_popup(fu_in(4, "a"))
+
+
+class TestPipelinePanelOps:
+    def test_new_delete_copy_goto(self, session):
+        session.new_pipeline("second")
+        assert session.current == 1
+        session.copy_pipeline()
+        assert len(session.program.pipelines) == 3
+        session.goto(0)
+        assert session.current == 0
+        session.delete_pipeline(2)
+        assert len(session.program.pipelines) == 2
+
+    def test_cannot_delete_last_pipeline(self, session):
+        session.delete_pipeline()
+        assert len(session.program.pipelines) == 1
+        assert "cannot delete" in session.message
+
+    def test_scrolling_clamps(self, session):
+        session.scroll_backward()
+        assert session.current == 0
+        session.new_pipeline()
+        session.scroll_forward()
+        assert session.current == 1
+        session.scroll_forward()
+        assert session.current == 1
+
+    def test_canvases_track_pipelines(self, session):
+        session.select_icon("singlet")
+        session.drag_to(20, 2)
+        session.new_pipeline()
+        assert len(session.canvas.placements) == 0
+        session.goto(0)
+        assert len(session.canvas.placements) == 1
+
+
+class TestUndoRedo:
+    def test_undo_place(self, session):
+        session.select_icon("doublet")
+        session.drag_to(40, 2)
+        assert session.undo()
+        assert session.diagram.als_uses == {}
+        assert session.canvas.placements == {}
+        assert session.redo()
+        assert len(session.diagram.als_uses) == 1
+
+    def test_undo_connection(self, session):
+        session.select_icon("doublet")
+        icon = session.drag_to(40, 2)
+        session.connect(mem_read(0), fu_in(icon.first_fu, "a"))
+        session.undo()
+        assert session.diagram.connections == []
+
+    def test_undo_empty_reports(self, session):
+        assert not session.undo()
+        assert "nothing to undo" in session.message
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, session, tmp_path):
+        session.declare_variable("u", 0, 64)
+        session.select_icon("triplet")
+        icon = session.drag_to(40, 2)
+        session.assign_op(icon.first_fu, Opcode.FADD)
+        session.connect(mem_read(0), fu_in(icon.first_fu, "a"))
+        path = str(tmp_path / "session.json")
+        session.save(path)
+        loaded = EditorSession.load(path)
+        assert "u" in loaded.program.declarations
+        assert len(loaded.diagram.als_uses) == 1
+        assert loaded.diagram.fu_ops[icon.first_fu].opcode is Opcode.FADD
+        # geometry restored too
+        assert icon.icon_id in loaded.canvases[0].placements
+
+    def test_action_counting(self, session):
+        before = session.action_count
+        session.select_icon("singlet")
+        session.drag_to(20, 2)
+        assert session.action_count == before + 2

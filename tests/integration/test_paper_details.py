@@ -1,0 +1,121 @@
+"""Small architectural details the paper states explicitly."""
+
+import numpy as np
+import pytest
+
+from repro.arch.als import ALSKind
+from repro.arch.funcunit import Opcode
+from repro.arch.node import NodeConfig
+from repro.arch.switch import fu_in, fu_out, mem_read, mem_write
+from repro.arch.dma import DMASpec, Direction
+from repro.arch.switch import DeviceKind
+from repro.checker.checker import Checker
+from repro.codegen.generator import MicrocodeGenerator
+from repro.diagram.pipeline import PipelineDiagram
+from repro.diagram.program import ExecPipeline, Halt, VisualProgram
+from repro.sim.machine import NSCMachine
+
+
+@pytest.fixture(scope="module")
+def node() -> NodeConfig:
+    return NodeConfig()
+
+
+class TestScalarsAreVectorsOfLengthOne:
+    """§2: 'Scalars are treated as vectors of length one.'"""
+
+    def test_length_one_pipeline_runs(self, node):
+        prog = VisualProgram(name="scalar")
+        prog.declare("x", plane=0, length=1)
+        prog.declare("out", plane=1, length=1)
+        d = PipelineDiagram(label="scalar negate")
+        d.add_als(12, ALSKind.TRIPLET, first_fu=20)
+        d.set_fu_op(20, Opcode.FNEG)       # slot 0 routes into slot 2 port a
+        d.set_fu_op(22, Opcode.PASS)
+        d.connect(mem_read(0), fu_in(20, "a"))
+        from repro.diagram.pipeline import InputMod, InputModKind
+
+        d.set_input_mod(22, "a", InputMod(InputModKind.INTERNAL, src_slot=0))
+        d.connect(fu_out(22), mem_write(1))
+        d.set_dma(
+            mem_read(0),
+            DMASpec(device_kind=DeviceKind.MEMORY, device=0,
+                    direction=Direction.READ, variable="x"),
+        )
+        d.set_dma(
+            mem_write(1),
+            DMASpec(device_kind=DeviceKind.MEMORY, device=1,
+                    direction=Direction.WRITE, variable="out"),
+        )
+        d.vector_length = 1
+        prog.insert_pipeline(d)
+        prog.add_control(ExecPipeline(0))
+        prog.add_control(Halt())
+
+        assert Checker(node).check_program(prog).ok
+        machine = NSCMachine(node)
+        machine.load_program(MicrocodeGenerator(node).generate(prog))
+        machine.set_variable("x", np.array([7.5]))
+        result = machine.run()
+        assert machine.get_variable("out")[0] == -7.5
+        # a scalar still pays the full pipeline fill
+        assert result.total_cycles > node.params.instruction_reconfig_cycles
+
+    def test_pass_input_b_unused_warning_only(self, node):
+        # PASS is unary; wiring b anyway is a warning, not an error
+        d = PipelineDiagram()
+        d.add_als(4, ALSKind.DOUBLET, first_fu=4)
+        d.set_fu_op(4, Opcode.PASS)
+        d.connect(mem_read(0), fu_in(4, "a"))
+        d.connect(mem_read(0), fu_in(4, "b"))
+        report = Checker(node).check_pipeline(d)
+        assert any(w.rule == "inputs-fed" for w in report.warnings)
+
+
+class TestBypassedDoubletExecution:
+    """Fig. 4's second doublet form, all the way through execution."""
+
+    def test_bypassed_doublet_runs(self, node):
+        prog = VisualProgram(name="bypass")
+        n = 16
+        prog.declare("x", plane=0, length=n)
+        prog.declare("out", plane=1, length=n)
+        d = PipelineDiagram(label="bypassed doublet")
+        d.add_als(4, ALSKind.DOUBLET, first_fu=4, bypassed_slots=(1,))
+        d.set_fu_op(4, Opcode.FABS)
+        d.connect(mem_read(0), fu_in(4, "a"))
+        # a second (plain) doublet stages the output plane
+        d.add_als(5, ALSKind.DOUBLET, first_fu=6, bypassed_slots=(1,))
+        d.set_fu_op(6, Opcode.PASS)
+        d.connect(fu_out(4), fu_in(6, "a"))
+        d.connect(fu_out(6), mem_write(1))
+        d.set_dma(
+            mem_read(0),
+            DMASpec(device_kind=DeviceKind.MEMORY, device=0,
+                    direction=Direction.READ, variable="x"),
+        )
+        d.set_dma(
+            mem_write(1),
+            DMASpec(device_kind=DeviceKind.MEMORY, device=1,
+                    direction=Direction.WRITE, variable="out"),
+        )
+        d.vector_length = n
+        prog.insert_pipeline(d)
+        prog.add_control(ExecPipeline(0))
+        prog.add_control(Halt())
+
+        report = Checker(node).check_program(prog)
+        assert report.ok, report.format()
+        machine = NSCMachine(node)
+        machine.load_program(MicrocodeGenerator(node).generate(prog))
+        x = np.linspace(-3, 3, n)
+        machine.set_variable("x", x)
+        machine.run()
+        np.testing.assert_allclose(machine.get_variable("out"), np.abs(x))
+
+    def test_bypassed_slot_cannot_be_used(self, node):
+        d = PipelineDiagram()
+        d.add_als(4, ALSKind.DOUBLET, first_fu=4, bypassed_slots=(1,))
+        report = Checker(node).check_fu_op(d, 5, Opcode.MAX)
+        assert not report.ok
+        assert "bypassed" in report.first_error_message()

@@ -1,0 +1,95 @@
+"""The §6 trade-off study substrate: the same programs on the subset machine.
+
+"One approach to reducing the complexity is to use a simpler architectural
+model, perhaps a subset of the NSC.  The tradeoff here is between
+performance and programmability."
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.node import NodeConfig
+from repro.arch.params import NSCParameters, SUBSET_PARAMS
+from repro.codegen.generator import MicrocodeGenerator
+from repro.compose.jacobi import build_jacobi_program, load_jacobi_inputs
+from repro.sim.machine import NSCMachine
+
+
+@pytest.fixture(scope="module")
+def machines():
+    full = NodeConfig()
+    subset = NodeConfig(SUBSET_PARAMS)
+    return full, subset
+
+
+def _run_jacobi(node, shape, u0, eps=1e-4):
+    setup = build_jacobi_program(node, shape, eps=eps)
+    machine = NSCMachine(node)
+    machine.load_program(MicrocodeGenerator(node).generate(setup.program))
+    load_jacobi_inputs(machine, setup, u0, np.zeros(shape[::-1]))
+    result = machine.run()
+    return machine, result
+
+
+class TestSubsetCorrectness:
+    def test_jacobi_runs_identically_on_subset(self, machines, rng):
+        """Same answers, different machine — programs are retargeted by
+        rebuilding against the subset's knowledge base."""
+        full, subset = machines
+        shape = (6, 6, 6)
+        u0 = rng.random(shape)
+        u0[0] = u0[-1] = 0
+        u0[:, 0] = u0[:, -1] = 0
+        u0[:, :, 0] = u0[:, :, -1] = 0
+        m_full, r_full = _run_jacobi(full, shape, u0)
+        m_sub, r_sub = _run_jacobi(subset, shape, u0)
+        np.testing.assert_array_equal(
+            m_full.get_variable("u"), m_sub.get_variable("u")
+        )
+        assert r_full.loop_iterations == r_sub.loop_iterations
+
+
+class TestSubsetTradeoff:
+    def test_subset_is_slower_in_wall_clock(self, machines, rng):
+        """Performance side of the trade-off: fewer units and planes mean
+        less concurrency and a lower peak."""
+        full, subset = machines
+        assert (
+            subset.params.peak_mflops_per_node
+            < full.params.peak_mflops_per_node
+        )
+
+    def test_subset_word_is_smaller(self, machines):
+        """Programmability side: the subset's microword is much smaller —
+        fewer fields to get wrong."""
+        full, subset = machines
+        full_layout = MicrocodeGenerator(full).layout
+        subset_layout = MicrocodeGenerator(subset).layout
+        assert subset_layout.total_bits < 0.7 * full_layout.total_bits
+        assert subset_layout.n_fields < full_layout.n_fields
+
+    def test_subset_has_fewer_menu_entries(self, machines):
+        """Fewer legal choices at every pad: easier to program."""
+        from repro.checker.checker import Checker
+        from repro.diagram.pipeline import PipelineDiagram
+        from repro.arch.als import ALSKind
+        from repro.arch.switch import fu_in
+
+        full, subset = machines
+        d_full = PipelineDiagram()
+        d_full.add_als(4, ALSKind.DOUBLET, first_fu=4)
+        d_sub = PipelineDiagram()
+        d_sub.add_als(0, ALSKind.DOUBLET, first_fu=0)
+        n_full = len(Checker(full).legal_sources_for(d_full, fu_in(4, "a")))
+        n_sub = len(Checker(subset).legal_sources_for(d_sub, fu_in(0, "a")))
+        assert n_sub < n_full
+
+    def test_wide_workload_does_not_fit_subset(self, machines):
+        """Capacity limit: a 8-lane workload exceeds the subset's planes."""
+        from repro.compose.builders import BuilderError
+        from repro.compose.kernels import build_wide_program
+
+        _full, subset = machines
+        with pytest.raises(BuilderError):
+            build_wide_program(subset, 64, lanes=8)
+        build_wide_program(subset, 64, lanes=4)  # fits

@@ -1,0 +1,123 @@
+"""Property-based tests on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.params import NSCParameters
+from repro.arch.regfile import RegisterFileAllocator, RegisterFileOverflow
+from repro.arch.router import HypercubeTopology
+from repro.arch.shift_delay import shift_stream
+from repro.sim.multinode import gray_code
+
+
+class TestShiftStreamProperties:
+    @given(
+        data=st.lists(st.floats(-1e6, 1e6), min_size=0, max_size=64),
+        shift=st.integers(-70, 70),
+    )
+    def test_interior_elements_preserved(self, data, shift):
+        """output[i] == input[i+shift] wherever i+shift is in range."""
+        x = np.asarray(data, dtype=np.float64)
+        out = shift_stream(x, shift)
+        assert out.size == x.size
+        for i in range(x.size):
+            j = i + shift
+            if 0 <= j < x.size:
+                assert out[i] == x[j]
+            else:
+                assert out[i] == 0.0
+
+    @given(
+        data=st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=32),
+        a=st.integers(-8, 8),
+        b=st.integers(-8, 8),
+    )
+    def test_same_sign_shifts_compose(self, data, a, b):
+        """shift(a) then shift(b) == shift(a+b) when a and b do not change
+        direction (no fill values re-enter the window)."""
+        if a * b < 0:
+            return
+        x = np.asarray(data, dtype=np.float64)
+        two_step = shift_stream(shift_stream(x, a), b)
+        one_step = shift_stream(x, a + b)
+        np.testing.assert_array_equal(two_step, one_step)
+
+    @given(data=st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=32))
+    def test_zero_shift_identity(self, data):
+        x = np.asarray(data, dtype=np.float64)
+        np.testing.assert_array_equal(shift_stream(x, 0), x)
+
+
+class TestRegfileProperties:
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("const"), st.floats(-100, 100,
+                                                      allow_nan=False)),
+                st.tuples(st.just("delay"), st.integers(1, 20)),
+            ),
+            max_size=20,
+        )
+    )
+    def test_usage_never_exceeds_capacity(self, ops):
+        rf = RegisterFileAllocator(capacity=32)
+        port_cycle = 0
+        for kind, value in ops:
+            try:
+                if kind == "const":
+                    rf.alloc_constant(float(value))
+                else:
+                    rf.alloc_delay("a" if port_cycle % 2 == 0 else "b",
+                                   int(value))
+                    port_cycle += 1
+            except RegisterFileOverflow:
+                pass
+            assert 0 <= rf.words_used <= rf.capacity
+
+
+class TestHypercubeProperties:
+    @given(
+        dim=st.integers(1, 7),
+        data=st.data(),
+    )
+    def test_route_length_equals_hamming_distance(self, dim, data):
+        topo = HypercubeTopology(dim)
+        src = data.draw(st.integers(0, topo.n_nodes - 1))
+        dst = data.draw(st.integers(0, topo.n_nodes - 1))
+        path = topo.route(src, dst)
+        assert len(path) - 1 == topo.distance(src, dst)
+        # each hop flips exactly one bit
+        for a, b in zip(path, path[1:]):
+            assert (a ^ b).bit_count() == 1
+        # no node visited twice
+        assert len(set(path)) == len(path)
+
+    @given(dim=st.integers(1, 8))
+    def test_gray_code_is_hamiltonian_on_the_cube(self, dim):
+        n = 1 << dim
+        codes = [gray_code(i) for i in range(n)]
+        assert sorted(codes) == list(range(n))
+        for a, b in zip(codes, codes[1:]):
+            assert (a ^ b).bit_count() == 1
+
+
+class TestParameterProperties:
+    @given(
+        singlets=st.integers(0, 8),
+        doublets=st.integers(0, 8),
+        triplets=st.integers(0, 8),
+    )
+    def test_consistent_compositions_always_accepted(
+        self, singlets, doublets, triplets
+    ):
+        total = singlets + 2 * doublets + 3 * triplets
+        if total == 0:
+            return
+        p = NSCParameters(
+            n_functional_units=total,
+            n_singlets=singlets,
+            n_doublets=doublets,
+            n_triplets=triplets,
+        )
+        assert p.n_als == singlets + doublets + triplets
+        assert p.peak_mflops_per_node == total * p.clock_mhz

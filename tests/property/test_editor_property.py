@@ -1,0 +1,119 @@
+"""Property-based editor invariants: undo reverses arbitrary action
+sequences, and the checker never lets an illegal diagram through silently.
+"""
+
+import copy
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.arch.funcunit import Opcode
+from repro.arch.switch import fu_in, mem_read
+from repro.editor.session import EditorSession
+
+
+def _snapshot(session):
+    """Semantic state of the current diagram (geometry excluded)."""
+    d = session.diagram
+    return (
+        tuple(sorted(d.als_uses)),
+        tuple(sorted((fu, a.opcode.value) for fu, a in d.fu_ops.items())),
+        tuple(d.connections),
+        tuple(sorted(d.input_mods)),
+        tuple(sorted(d.delays.items())),
+    )
+
+
+_actions = st.lists(
+    st.sampled_from(["place", "connect", "op", "delay"]),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(actions=_actions, data=st.data())
+def test_undo_unwinds_any_action_sequence(actions, data):
+    session = EditorSession()
+    snapshots = [_snapshot(session)]
+    performed = 0
+    for action in actions:
+        before = _snapshot(session)
+        if action == "place":
+            kind = data.draw(st.sampled_from(["singlet", "doublet", "triplet"]))
+            session.select_icon(kind)
+            icon = session.drag_to(*session.canvas.suggest_position())
+            if icon is None:
+                continue
+        elif action == "connect":
+            fus = [
+                fu
+                for use in session.diagram.als_uses.values()
+                for fu in use.active_fus
+            ]
+            if not fus:
+                continue
+            fu = data.draw(st.sampled_from(fus))
+            port = data.draw(st.sampled_from(["a", "b"]))
+            plane = data.draw(st.integers(0, 3))
+            if not session.connect(mem_read(plane), fu_in(fu, port)).ok:
+                continue
+        elif action == "op":
+            fus = [
+                fu
+                for use in session.diagram.als_uses.values()
+                for fu in use.active_fus
+            ]
+            if not fus:
+                continue
+            fu = data.draw(st.sampled_from(fus))
+            op = data.draw(st.sampled_from([Opcode.FADD, Opcode.FABS,
+                                            Opcode.PASS]))
+            if not session.assign_op(fu, op).ok:
+                continue
+        else:  # delay
+            fus = [
+                fu
+                for use in session.diagram.als_uses.values()
+                for fu in use.active_fus
+            ]
+            if not fus:
+                continue
+            fu = data.draw(st.sampled_from(fus))
+            if not session.set_delay(fu, "a", data.draw(st.integers(1, 8))).ok:
+                continue
+        performed += 1
+        snapshots.append(_snapshot(session))
+
+    # unwind everything; each undo must restore the prior snapshot
+    for expected in reversed(snapshots[:-1]):
+        if not session.commands.can_undo:
+            break
+        session.undo()
+        assert _snapshot(session) == expected
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_rejected_edits_never_mutate(data):
+    """Whatever illegal thing we try, the semantic state is untouched."""
+    session = EditorSession()
+    session.select_icon("doublet")
+    icon = session.drag_to(40, 2)
+    fu = icon.first_fu
+    session.connect(mem_read(0), fu_in(fu, "a"))
+    before = _snapshot(session)
+    bad = data.draw(
+        st.sampled_from(
+            [
+                lambda: session.connect(mem_read(1), fu_in(fu, "a")),  # occupied
+                lambda: session.connect(mem_read(1), fu_in(fu, "b")),  # 2nd plane
+                lambda: session.assign_op(fu + 1, Opcode.IADD),  # wrong circuitry
+                lambda: session.set_delay(fu, "a", 10_000),      # too long
+            ]
+        )
+    )
+    report = bad()
+    assert not report.ok
+    assert _snapshot(session) == before

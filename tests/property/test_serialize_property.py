@@ -1,0 +1,56 @@
+"""Property-based serialization: random built programs must round-trip."""
+
+import numpy as np
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro.arch.funcunit import Opcode
+from repro.arch.node import NodeConfig
+from repro.compose.builders import BuilderError, ConstOperand, PipelineBuilder
+from repro.compose.exprmap import map_expression
+from repro.diagram import serialize
+from repro.diagram.program import ExecPipeline, Halt, VisualProgram
+
+# reuse the expression strategy from the expr property tests
+from property.test_expr_property import VAR_NAMES, _exprs
+
+NODE = NodeConfig()
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(expr=_exprs(max_leaves=5), delay=st.integers(0, 6),
+       eps=st.floats(1e-9, 1.0, allow_nan=False))
+def test_random_programs_round_trip(expr, delay, eps):
+    prog = VisualProgram(name="roundtrip")
+    for i, name in enumerate(VAR_NAMES):
+        prog.declare(name, plane=i, length=16)
+    prog.declare("result", plane=len(VAR_NAMES), length=16)
+    b = PipelineBuilder(NODE, prog, vector_length=16)
+    bound = {name: b.read_var(name) for name in VAR_NAMES}
+    try:
+        root = map_expression(b, expr, bound)
+        if isinstance(root, ConstOperand):
+            return
+        out = b.apply(Opcode.PASS, root)
+    except BuilderError:
+        assume(False)
+        return
+    b.write_var(out, "result")
+    if delay:
+        b.diagram.set_delay(out.fu, "a", delay)
+    b.condition(out, "lt", eps)
+    b.build()
+    prog.add_control(ExecPipeline(0))
+    prog.add_control(Halt())
+
+    text = serialize.dumps(prog)
+    back = serialize.loads(text)
+    assert serialize.program_to_dict(back) == serialize.program_to_dict(prog)
+    # and the round-tripped program generates identical microcode
+    from repro.codegen.generator import MicrocodeGenerator
+
+    gen = MicrocodeGenerator(NODE, run_checker=False)
+    a = gen.generate(prog)
+    c = gen.generate(back)
+    for ia, ic in zip(a.images, c.images):
+        assert ia.microword == ic.microword

@@ -1,0 +1,113 @@
+"""NSCMachine: loading, variables, swap semantics, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.arch.node import NodeConfig
+from repro.codegen.generator import MicrocodeGenerator
+from repro.compose.kernels import build_saxpy_program
+from repro.sim.machine import MachineError, NSCMachine
+
+
+@pytest.fixture()
+def machine() -> NSCMachine:
+    return NSCMachine(NodeConfig())
+
+
+class TestLoading:
+    def test_load_declares_variables(self, machine):
+        setup = build_saxpy_program(machine.node, 32)
+        program = MicrocodeGenerator(machine.node).generate(setup.program)
+        machine.load_program(program)
+        assert set(machine.memory.variables) == {"x", "y", "out"}
+
+    def test_variable_offsets_match_codegen_layout(self, machine):
+        setup = build_saxpy_program(machine.node, 32)
+        program = MicrocodeGenerator(machine.node).generate(setup.program)
+        machine.load_program(program)
+        for name, (plane, offset) in program.variable_layout.items():
+            var = machine.memory.lookup(name)
+            assert (var.plane, var.offset) == (plane, offset)
+
+    def test_run_without_program_rejected(self, machine):
+        with pytest.raises(MachineError, match="no program"):
+            machine.run()
+
+    def test_reload_is_idempotent(self, machine):
+        setup = build_saxpy_program(machine.node, 32)
+        program = MicrocodeGenerator(machine.node).generate(setup.program)
+        machine.load_program(program)
+        machine.load_program(program)  # second load must not redeclare
+        assert len(machine.memory.variables) == 3
+
+
+class TestVariables:
+    def test_set_get_round_trip(self, machine, rng):
+        setup = build_saxpy_program(machine.node, 32)
+        program = MicrocodeGenerator(machine.node).generate(setup.program)
+        machine.load_program(program)
+        x = rng.random(32)
+        machine.set_variable("x", x)
+        np.testing.assert_allclose(machine.get_variable("x"), x)
+
+    def test_3d_arrays_flattened(self, machine):
+        setup = build_saxpy_program(machine.node, 8)
+        program = MicrocodeGenerator(machine.node).generate(setup.program)
+        machine.load_program(program)
+        machine.set_variable("x", np.ones((2, 2, 2)))
+        assert machine.get_variable("x").shape == (8,)
+
+    def test_swap_exchanges_contents_not_bindings(self, machine):
+        machine.memory.declare("a", plane=0, length=4)
+        machine.memory.declare("b", plane=1, length=4)
+        machine.set_variable("a", np.ones(4))
+        machine.set_variable("b", np.full(4, 2.0))
+        cost = machine.swap_vars("a", "b")
+        assert cost > 0
+        np.testing.assert_allclose(machine.get_variable("a"), np.full(4, 2.0))
+        np.testing.assert_allclose(machine.get_variable("b"), np.ones(4))
+        # bindings unchanged: pipelines stay wired to the same planes
+        assert machine.memory.lookup("a").plane == 0
+        assert machine.memory.lookup("b").plane == 1
+
+    def test_same_plane_swap_costs_more(self, machine):
+        machine.memory.declare("a", plane=0, length=100)
+        machine.memory.declare("b", plane=0, length=100)
+        machine.memory.declare("c", plane=1, length=100)
+        same = machine.swap_vars("a", "b")
+        cross = machine.swap_vars("a", "c")
+        assert same > cross
+
+    def test_mismatched_swap_rejected(self, machine):
+        machine.memory.declare("a", plane=0, length=4)
+        machine.memory.declare("b", plane=1, length=8)
+        with pytest.raises(MachineError):
+            machine.swap_vars("a", "b")
+
+
+class TestLifecycle:
+    def test_rerun_is_deterministic(self, machine, rng):
+        setup = build_saxpy_program(machine.node, 64)
+        program = MicrocodeGenerator(machine.node).generate(setup.program)
+        machine.load_program(program)
+        machine.set_variable("x", rng.random(64))
+        machine.set_variable("y", rng.random(64))
+        r1 = machine.run()
+        out1 = machine.get_variable("out").copy()
+        r2 = machine.run()
+        np.testing.assert_allclose(machine.get_variable("out"), out1)
+        assert r1.total_cycles == r2.total_cycles
+
+    def test_reset_clears_interrupts(self, machine, rng):
+        setup = build_saxpy_program(machine.node, 16)
+        program = MicrocodeGenerator(machine.node).generate(setup.program)
+        machine.load_program(program)
+        machine.set_variable("x", rng.random(16))
+        machine.set_variable("y", rng.random(16))
+        machine.run()
+        machine.reset()
+        assert machine.cycle == 0
+        assert machine.interrupts.pending() == 0
+
+    def test_repr(self, machine):
+        assert "program='none'" in repr(machine) or "program=" in repr(machine)

@@ -1,0 +1,85 @@
+"""RunMetrics: rate, efficiency, and utilization accounting."""
+
+import pytest
+
+from repro.sim.metrics import RunMetrics
+
+
+def _metrics(**kw):
+    base = dict(
+        cycles=10_000,
+        instructions=5,
+        flops=64_000,
+        words_moved=12_000,
+        clock_mhz=20.0,
+        peak_mflops=640.0,
+        n_fus=32,
+        active_fu_cycles=64_000,
+        interrupts_delivered=5,
+    )
+    base.update(kw)
+    return RunMetrics(**base)
+
+
+class TestRates:
+    def test_elapsed_time(self):
+        m = _metrics()
+        assert m.elapsed_us == pytest.approx(500.0)
+
+    def test_achieved_mflops(self):
+        m = _metrics()
+        # 64000 flops / 500 us = 128 MFLOPS
+        assert m.achieved_mflops == pytest.approx(128.0)
+
+    def test_efficiency(self):
+        m = _metrics()
+        assert m.efficiency == pytest.approx(128.0 / 640.0)
+
+    def test_fu_utilization(self):
+        m = _metrics()
+        assert m.fu_utilization == pytest.approx(64_000 / (32 * 10_000))
+
+    def test_words_per_flop(self):
+        m = _metrics()
+        assert m.words_per_flop == pytest.approx(12_000 / 64_000)
+
+    def test_zero_cycles_degenerate(self):
+        m = _metrics(cycles=0, active_fu_cycles=0)
+        assert m.achieved_mflops == 0.0
+        assert m.fu_utilization == 0.0
+
+    def test_zero_flops_degenerate(self):
+        m = _metrics(flops=0)
+        assert m.words_per_flop == 0.0
+
+    def test_summary_keys(self):
+        summary = _metrics().summary()
+        for key in ("cycles", "achieved_mflops", "efficiency",
+                    "fu_utilization"):
+            assert key in summary
+
+    def test_format_mentions_peak(self):
+        text = _metrics().format()
+        assert "640" in text
+        assert "MFLOPS" in text
+
+    def test_efficiency_never_exceeds_one_for_real_runs(self):
+        """Sanity tie-in: a real saxpy run stays below peak."""
+        import numpy as np
+
+        from repro.arch.node import NodeConfig
+        from repro.codegen.generator import MicrocodeGenerator
+        from repro.compose.kernels import build_saxpy_program
+        from repro.sim.machine import NSCMachine
+        from repro.sim.metrics import collect_metrics
+
+        node = NodeConfig()
+        setup = build_saxpy_program(node, 2048)
+        machine = NSCMachine(node)
+        machine.load_program(MicrocodeGenerator(node).generate(setup.program))
+        machine.set_variable("x", np.ones(2048))
+        machine.set_variable("y", np.ones(2048))
+        result = machine.run()
+        metrics = collect_metrics(machine, result)
+        assert 0 < metrics.efficiency < 1
+        assert 0 < metrics.fu_utilization < 1

@@ -1,0 +1,108 @@
+"""Multi-node hypercube simulation: decomposition, exchange, scaling."""
+
+import numpy as np
+import pytest
+
+from repro.apps.poisson3d import jacobi_reference_run
+from repro.sim.multinode import (
+    DecompositionError,
+    MultiNodeStencil,
+    gray_code,
+)
+
+
+class TestGrayCode:
+    def test_adjacent_codes_differ_by_one_bit(self):
+        for i in range(31):
+            assert bin(gray_code(i) ^ gray_code(i + 1)).count("1") == 1
+
+    def test_codes_are_a_permutation(self):
+        codes = [gray_code(i) for i in range(16)]
+        assert sorted(codes) == list(range(16))
+
+
+class TestDecomposition:
+    def test_indivisible_grid_rejected(self):
+        with pytest.raises(DecompositionError):
+            MultiNodeStencil(hypercube_dim=2, shape=(6, 6, 6))  # 6 % 4 != 0
+
+    def test_scatter_gather_round_trip(self, rng):
+        mn = MultiNodeStencil(hypercube_dim=1, shape=(6, 6, 8))
+        grid = rng.random((8, 6, 6))
+        mn.scatter("u", grid)
+        np.testing.assert_allclose(mn.gather("u"), grid)
+
+    def test_ghost_planes_filled_on_scatter(self, rng):
+        mn = MultiNodeStencil(hypercube_dim=1, shape=(4, 4, 8))
+        grid = rng.random((8, 4, 4))
+        mn.scatter("u", grid)
+        lo = mn.machines[1].get_variable("u").reshape(6, 4, 4)
+        np.testing.assert_allclose(lo[0], grid[3])  # neighbour's last plane
+
+
+class TestCorrectness:
+    def test_multinode_matches_reference(self, rng):
+        shape = (6, 6, 8)
+        u0 = rng.random((8, 6, 6))
+        u0[0] = u0[-1] = 0
+        u0[:, 0] = u0[:, -1] = 0
+        u0[:, :, 0] = u0[:, :, -1] = 0
+        f = np.zeros((8, 6, 6))
+        mn = MultiNodeStencil(hypercube_dim=1, shape=shape, eps=1e-4)
+        mn.scatter("u", u0)
+        mn.scatter("f", f)
+        res = mn.run(max_iterations=400)
+        assert res.converged
+        ref, iters, _ = jacobi_reference_run(
+            u0, f, shape, mn.setup.h, eps=1e-4, max_iterations=400
+        )
+        # the multi-node residual is checked against the same eps, so the
+        # iteration counts agree and the fields match exactly
+        assert res.iterations == iters
+        np.testing.assert_allclose(mn.gather("u").reshape(-1), ref)
+
+    def test_single_node_degenerate_case(self, rng):
+        mn = MultiNodeStencil(hypercube_dim=0, shape=(5, 5, 5), eps=1e-3)
+        u0 = rng.random((5, 5, 5))
+        mn.scatter("u", u0)
+        mn.scatter("f", np.zeros((5, 5, 5)))
+        res = mn.run(max_iterations=200)
+        assert res.n_nodes == 1
+        assert res.comm_cycles == 0  # nothing to exchange
+
+
+class TestPerformanceShape:
+    def test_comm_fraction_grows_with_nodes(self, rng):
+        """More nodes, same grid: communication share must rise."""
+        results = {}
+        for dim in (0, 2):
+            mn = MultiNodeStencil(hypercube_dim=dim, shape=(6, 6, 8), eps=1e-3)
+            mn.scatter("u", rng.random((8, 6, 6)))
+            mn.scatter("f", np.zeros((8, 6, 6)))
+            results[dim] = mn.run(max_iterations=50)
+        assert results[2].comm_fraction > results[0].comm_fraction
+
+    def test_words_exchanged_accounting(self, rng):
+        mn = MultiNodeStencil(hypercube_dim=1, shape=(4, 4, 8), eps=0.0)
+        mn.scatter("u", rng.random((8, 4, 4)))
+        mn.scatter("f", np.zeros((8, 4, 4)))
+        res = mn.run(max_iterations=3)
+        # 2 transfers of one 4x4 plane per sweep between 2 nodes
+        assert res.words_exchanged == 3 * 2 * 16
+
+    def test_peak_gflops_scales_with_nodes(self):
+        mn1 = MultiNodeStencil(hypercube_dim=0, shape=(4, 4, 4))
+        mn4 = MultiNodeStencil(hypercube_dim=2, shape=(4, 4, 8))
+        assert mn4.n_nodes == 4
+        assert mn4.run(max_iterations=1).peak_gflops == pytest.approx(
+            4 * mn1.run(max_iterations=1).peak_gflops
+        )
+
+    def test_aggregate_flops_counted(self, rng):
+        mn = MultiNodeStencil(hypercube_dim=1, shape=(4, 4, 8), eps=0.0)
+        mn.scatter("u", rng.random((8, 4, 4)))
+        mn.scatter("f", np.zeros((8, 4, 4)))
+        res = mn.run(max_iterations=2)
+        per_sweep = mn.machine_program.images[1].flops_per_element
+        local_points = 4 * 4 * (4 + 2)
+        assert res.flops == 2 * 2 * per_sweep * local_points  # 2 sweeps x 2 nodes

@@ -1,0 +1,136 @@
+"""Pipeline execution: data paths, write-back, interrupts, cycle model."""
+
+import numpy as np
+import pytest
+
+from repro.arch.interrupts import InterruptKind
+from repro.arch.node import NodeConfig
+from repro.codegen.generator import MicrocodeGenerator
+from repro.compose.builders import PipelineBuilder
+from repro.compose.kernels import (
+    build_saxpy_program,
+    build_stream_max_program,
+)
+from repro.arch.funcunit import Opcode
+from repro.diagram.program import ExecPipeline, Halt, VisualProgram
+from repro.sim.machine import NSCMachine
+from repro.sim.pipeline_exec import execute_image
+
+
+@pytest.fixture(scope="module")
+def node() -> NodeConfig:
+    return NodeConfig()
+
+
+def _loaded_machine(node, setup):
+    machine = NSCMachine(node)
+    program = MicrocodeGenerator(node).generate(setup.program)
+    machine.load_program(program)
+    return machine, program
+
+
+class TestDataPath:
+    def test_saxpy_values(self, node, rng):
+        setup = build_saxpy_program(node, 64, alpha=3.0)
+        machine, program = _loaded_machine(node, setup)
+        x, y = rng.random(64), rng.random(64)
+        machine.set_variable("x", x)
+        machine.set_variable("y", y)
+        res = execute_image(program.images[0], machine)
+        machine.swap_caches(0, 1)
+        np.testing.assert_allclose(machine.get_variable("out"), 3.0 * x + y)
+        assert res.flops == 2 * 64
+
+    def test_stream_max_feedback(self, node, rng):
+        setup = build_stream_max_program(node, 32)
+        machine, program = _loaded_machine(node, setup)
+        x = rng.normal(size=32)
+        machine.set_variable("x", x)
+        execute_image(program.images[0], machine)
+        machine.swap_caches(0, 1)
+        out = machine.get_variable("out")
+        np.testing.assert_allclose(out, np.maximum.accumulate(x))
+
+    def test_keep_outputs_captures_streams(self, node, rng):
+        setup = build_saxpy_program(node, 16)
+        machine, program = _loaded_machine(node, setup)
+        machine.set_variable("x", rng.random(16))
+        machine.set_variable("y", rng.random(16))
+        res = execute_image(program.images[0], machine, keep_outputs=True)
+        assert set(res.fu_outputs) == set(program.images[0].fu_order)
+        res2 = execute_image(program.images[0], machine)
+        machine.swap_caches(0, 1)
+        assert res2.fu_outputs == {}
+
+
+class TestInterrupts:
+    def test_completion_interrupt_posted(self, node, rng):
+        setup = build_saxpy_program(node, 16)
+        machine, program = _loaded_machine(node, setup)
+        machine.set_variable("x", rng.random(16))
+        machine.set_variable("y", rng.random(16))
+        execute_image(program.images[0], machine)
+        machine.swap_caches(0, 1)
+        assert machine.interrupts.pending() == 1
+        irq = machine.interrupts.drain()[0]
+        assert irq.kind is InterruptKind.PIPELINE_COMPLETE
+
+    def test_division_by_zero_detected_when_armed(self, node):
+        prog = VisualProgram()
+        prog.declare("x", plane=0, length=8)
+        prog.declare("out", plane=1, length=8)
+        b = PipelineBuilder(node, prog, label="recip", vector_length=8)
+        x = b.read_var("x")
+        r = b.apply(Opcode.FRECIP, x)
+        out = b.apply(Opcode.PASS, r)
+        b.write_var(out, "out")
+        b.build()
+        prog.add_control(ExecPipeline(0))
+        prog.add_control(Halt())
+        machine = NSCMachine(node)
+        machine_prog = MicrocodeGenerator(node).generate(prog)
+        machine.load_program(machine_prog)
+        machine.interrupts.arm(InterruptKind.FP_OVERFLOW)
+        machine.set_variable("x", np.zeros(8))
+        res = execute_image(machine_prog.images[0], machine)
+        assert any("overflow" in e for e in res.exceptions)
+        kinds = {i.kind for i in machine.interrupts.drain()}
+        assert InterruptKind.FP_OVERFLOW in kinds
+
+
+class TestCycleModel:
+    def test_cycles_scale_with_vector_length(self, node, rng):
+        def cycles(n):
+            setup = build_saxpy_program(node, n)
+            machine, program = _loaded_machine(node, setup)
+            machine.set_variable("x", rng.random(n))
+            machine.set_variable("y", rng.random(n))
+            return execute_image(program.images[0], machine).cycles
+
+        assert cycles(2048) > cycles(64)
+
+    def test_dma_and_compute_overlap(self, node, rng):
+        """Total cycles are a max of compute and DMA, not a sum."""
+        setup = build_saxpy_program(node, 512)
+        machine, program = _loaded_machine(node, setup)
+        machine.set_variable("x", rng.random(512))
+        machine.set_variable("y", rng.random(512))
+        res = execute_image(program.images[0], machine)
+        machine.swap_caches(0, 1)
+        assert res.cycles < res.compute_cycles + res.dma_cycles
+        assert res.cycles >= max(res.compute_cycles, res.dma_cycles)
+
+    def test_condition_value_surfaced(self, node, rng):
+        from repro.compose.jacobi import build_jacobi_program, load_jacobi_inputs
+
+        setup = build_jacobi_program(node, (5, 5, 5), loop=False)
+        machine, program = _loaded_machine(node, setup)
+        u0 = np.zeros((5, 5, 5))
+        u0[2, 2, 2] = 1.0
+        load_jacobi_inputs(machine, setup, u0, np.zeros((5, 5, 5)))
+        execute_image(program.images[0], machine)
+        machine.swap_caches(0, 1)
+        res = execute_image(program.images[1], machine)
+        assert res.condition_value is not None
+        assert res.condition_value > 0
+        assert res.condition_result is False  # far from converged

@@ -1,0 +1,119 @@
+"""Stream semantics: plain evaluation, feedback reductions, skew."""
+
+import numpy as np
+import pytest
+
+from repro.arch.funcunit import Opcode
+from repro.sim.streams import (
+    StreamError,
+    apply_skew,
+    detect_exceptions,
+    eval_feedback,
+    eval_plain,
+)
+
+
+class TestEvalPlain:
+    def test_binary(self):
+        out = eval_plain(Opcode.FADD, np.arange(4.0), np.ones(4))
+        np.testing.assert_allclose(out, [1, 2, 3, 4])
+
+    def test_unary(self):
+        out = eval_plain(Opcode.FNEG, np.arange(3.0))
+        np.testing.assert_allclose(out, [0, -1, -2])
+
+    def test_constant(self):
+        out = eval_plain(Opcode.FSCALE, np.arange(3.0), constant=2.0)
+        np.testing.assert_allclose(out, [0, 2, 4])
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(StreamError, match="two operands"):
+            eval_plain(Opcode.FADD, np.arange(3.0))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(StreamError, match="mismatch"):
+            eval_plain(Opcode.FADD, np.arange(3.0), np.arange(4.0))
+
+
+class TestFeedback:
+    def test_max_feedback_is_running_max(self):
+        x = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+        out = eval_feedback(Opcode.MAX, x, "b", init=0.0)
+        np.testing.assert_allclose(out, [3, 3, 4, 4, 5])
+
+    def test_add_feedback_is_prefix_sum(self):
+        x = np.arange(1.0, 5.0)
+        out = eval_feedback(Opcode.FADD, x, "b", init=10.0)
+        np.testing.assert_allclose(out, [11, 13, 16, 20])
+
+    def test_mul_feedback_is_prefix_product(self):
+        x = np.array([2.0, 3.0, 4.0])
+        out = eval_feedback(Opcode.FMUL, x, "b", init=1.0)
+        np.testing.assert_allclose(out, [2, 6, 24])
+
+    def test_maxabs_feedback_residual_semantics(self):
+        """The Jacobi residual reduction: max of |x| over the stream."""
+        x = np.array([0.5, -2.0, 1.0])
+        out = eval_feedback(Opcode.MAXABS, x, "b", init=0.0)
+        np.testing.assert_allclose(out, [0.5, 2.0, 2.0])
+        assert out[-1] == np.max(np.abs(x))
+
+    def test_min_feedback(self):
+        x = np.array([3.0, 1.0, 2.0])
+        out = eval_feedback(Opcode.MIN, x, "b", init=np.inf)
+        np.testing.assert_allclose(out, [3, 1, 1])
+
+    def test_noncommutative_feedback_port_b(self):
+        # out[i] = x[i] - out[i-1]
+        x = np.array([5.0, 3.0, 1.0])
+        out = eval_feedback(Opcode.FSUB, x, "b", init=0.0)
+        np.testing.assert_allclose(out, [5.0, -2.0, 3.0])
+
+    def test_noncommutative_feedback_port_a(self):
+        # out[i] = out[i-1] - x[i]
+        x = np.array([5.0, 3.0, 1.0])
+        out = eval_feedback(Opcode.FSUB, x, "a", init=0.0)
+        np.testing.assert_allclose(out, [-5.0, -8.0, -9.0])
+
+    def test_accumulate_matches_loop(self):
+        """The fast accumulate path must equal the explicit recurrence."""
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=50)
+        fast = eval_feedback(Opcode.MAX, x, "b", init=-1.0)
+        slow = []
+        prev = -1.0
+        for v in x:
+            prev = max(v, prev)
+            slow.append(prev)
+        np.testing.assert_allclose(fast, slow)
+
+    def test_feedback_on_unary_rejected(self):
+        with pytest.raises(StreamError, match="binary"):
+            eval_feedback(Opcode.FABS, np.arange(3.0), "b")
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(StreamError):
+            eval_feedback(Opcode.FADD, np.arange(3.0), "c")
+
+    def test_empty_stream(self):
+        out = eval_feedback(Opcode.FADD, np.zeros(0), "b")
+        assert out.size == 0
+
+
+class TestSkewAndExceptions:
+    def test_zero_skew_identity(self):
+        x = np.arange(4.0)
+        assert apply_skew(x, 0) is x
+
+    def test_positive_skew_shifts(self):
+        x = np.arange(4.0)
+        np.testing.assert_allclose(apply_skew(x, 1), [1, 2, 3, 0])
+
+    def test_detect_overflow(self):
+        assert "overflow" in detect_exceptions(np.array([1.0, np.inf]))
+
+    def test_detect_invalid(self):
+        assert "invalid" in detect_exceptions(np.array([np.nan]))
+
+    def test_clean_stream(self):
+        assert detect_exceptions(np.arange(4.0)) == []

@@ -1,0 +1,106 @@
+"""The nsc-vpe command-line interface."""
+
+import json
+
+import pytest
+
+from repro.arch.node import NodeConfig
+from repro.cli import build_parser, main
+from repro.compose.kernels import build_saxpy_program
+from repro.diagram import serialize
+
+
+@pytest.fixture()
+def saved_program(tmp_path):
+    prog = build_saxpy_program(NodeConfig(), 32).program
+    path = tmp_path / "saxpy.json"
+    serialize.save(prog, str(path))
+    return str(path)
+
+
+class TestInfoCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "FLONET" in out
+        assert "640 MFLOPS" in out
+        assert "GFLOPS system peak" in out
+
+    def test_info_subset(self, capsys):
+        assert main(["--subset", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "320 MFLOPS" in out
+
+    def test_icons(self, capsys):
+        assert main(["icons"]) == 0
+        assert "triplet" in capsys.readouterr().out
+
+
+class TestProgramCommands:
+    def test_check_clean(self, saved_program, capsys):
+        assert main(["check", saved_program]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_check_broken_returns_nonzero(self, tmp_path, capsys):
+        prog = build_saxpy_program(NodeConfig(), 32).program
+        prog.pipelines[0].fu_ops.pop(sorted(prog.pipelines[0].fu_ops)[0])
+        path = tmp_path / "broken.json"
+        serialize.save(prog, str(path))
+        assert main(["check", str(path)]) == 1
+        assert "ERROR" in capsys.readouterr().out
+
+    def test_disasm(self, saved_program, capsys):
+        assert main(["disasm", saved_program]) == 0
+        out = capsys.readouterr().out
+        assert ".instruction 0" in out
+        assert "fscale" in out
+
+    def test_render(self, saved_program, capsys):
+        assert main(["render", saved_program]) == 0
+        assert "saxpy" in capsys.readouterr().out
+
+    def test_render_svg(self, saved_program, capsys):
+        assert main(["render", saved_program, "--svg"]) == 0
+        assert "<svg" in capsys.readouterr().out
+
+    def test_render_bad_index(self, saved_program, capsys):
+        assert main(["render", saved_program, "--pipeline", "7"]) == 1
+
+    def test_editor_session_save_accepted(self, tmp_path, capsys):
+        """The CLI also accepts EditorSession saves (program + geometry)."""
+        from repro.editor.replay import replay_program
+
+        prog = build_saxpy_program(NodeConfig(), 32).program
+        session = replay_program(prog)
+        path = tmp_path / "session.json"
+        session.save(str(path))
+        assert main(["check", str(path)]) == 0
+
+
+class TestSolverCommands:
+    def test_jacobi(self, capsys):
+        assert main(["jacobi", "-n", "6", "--eps", "1e-4"]) == 0
+        out = capsys.readouterr().out
+        assert "converged: True" in out
+        assert "MFLOPS" in out
+
+    def test_solve_rb_sor(self, capsys):
+        assert main(
+            ["solve", "rb-sor", "-n", "6", "--eps", "1e-4", "--omega", "1.4"]
+        ) == 0
+        assert "converged=True" in capsys.readouterr().out
+
+    def test_solve_nonconvergent_returns_nonzero(self, capsys):
+        assert main(
+            ["solve", "jacobi", "-n", "6", "--eps", "0", "--max-sweeps", "3"]
+        ) == 1
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
