@@ -3,69 +3,61 @@
 
 The paper's example is one Jacobi pipeline; real NSC applications (the
 multigrid work the example comes from) used stronger smoothers.  This
-example draws three solvers — Jacobi, red-black Gauss-Seidel, and red-black
-SOR — as visual programs, runs each to convergence on the same Poisson
-problem, and prints the convergence race plus the per-sweep cost of the
-two-phase reconfiguration.
+example submits three solvers — Jacobi, red-black Gauss-Seidel, and
+red-black SOR — as jobs to the batch simulation service
+(:mod:`repro.service`), runs them on the same Poisson problem, and prints
+the convergence race plus the per-sweep cost of the two-phase
+reconfiguration.  A second submission of the same jobs demonstrates the
+service's compile-once program cache.
 
 Run:  python examples/solver_comparison.py [n]
 """
 
 import sys
 
-import numpy as np
+from repro.apps.poisson3d import poisson_jobs
+from repro.service.runner import BatchRunner
 
-from repro.arch.node import NodeConfig
-from repro.codegen.generator import MicrocodeGenerator
-from repro.compose.iterative import build_rbsor_program, load_rbsor_inputs
-from repro.compose.jacobi import build_jacobi_program, load_jacobi_inputs
-from repro.sim.machine import NSCMachine
-from repro.apps.poisson3d import manufactured_solution
+
+LABELS = {
+    "jacobi": "jacobi",
+    "rb-gs": "rb-gauss-seidel",
+    "rb-sor": "rb-sor(1.5)",
+}
 
 
 def main() -> None:
     n = int(sys.argv[1]) if len(sys.argv) > 1 else 9
-    shape = (n, n, n)
     eps = 1e-7
-    node = NodeConfig()
-    u_star, f, h = manufactured_solution(shape)
-    u0 = np.zeros(shape)
+    jobs = poisson_jobs(n=n, eps=eps, max_sweeps=20_000, omega=1.5)
 
-    print(f"solving Poisson on {shape} to residual < {eps:g}\n")
+    print(f"solving Poisson on ({n}, {n}, {n}) to residual < {eps:g} "
+          f"via the batch service\n")
     print(f"{'solver':<18}{'sweeps':>8}{'cycles':>12}{'ms@20MHz':>10}"
           f"{'err vs analytic':>18}")
 
-    def report(label, machine, result, sweeps):
-        u = machine.get_variable("u").reshape(shape)
-        err = np.max(np.abs(u - u_star))
-        ms = result.total_cycles / node.params.clock_mhz / 1000.0
-        print(f"{label:<18}{sweeps:>8}{result.total_cycles:>12}"
-              f"{ms:>10.2f}{err:>18.3e}")
-
-    setup = build_jacobi_program(node, shape, h=h, eps=eps,
-                                 max_iterations=20_000)
-    machine = NSCMachine(node)
-    machine.load_program(MicrocodeGenerator(node).generate(setup.program))
-    load_jacobi_inputs(machine, setup, u0, f)
-    result = machine.run()
-    report("jacobi", machine, result,
-           result.loop_iterations[setup.update_pipeline])
-
-    for omega, label in ((1.0, "rb-gauss-seidel"), (1.5, "rb-sor(1.5)")):
-        setup = build_rbsor_program(node, shape, omega=omega, h=h, eps=eps,
-                                    max_iterations=20_000)
-        machine = NSCMachine(node)
-        machine.load_program(
-            MicrocodeGenerator(node).generate(setup.program)
-        )
-        load_rbsor_inputs(machine, setup, u0, f)
-        result = machine.run()
-        report(label, machine, result,
-               result.loop_iterations[setup.black_pipeline])
+    runner = BatchRunner(workers=1)
+    records, summary = runner.run(jobs)
+    clock_mhz = jobs[0].params().clock_mhz
+    for job, record in zip(jobs, records):
+        if not record["ok"]:
+            print(f"{LABELS[job.method]:<18}  FAILED: {record['error']}")
+            continue
+        ms = record["cycles"] / clock_mhz / 1000.0
+        print(f"{LABELS[job.method]:<18}{record['sweeps']:>8}"
+              f"{record['cycles']:>12}{ms:>10.2f}"
+              f"{record['error_vs_analytic']:>18.3e}")
 
     print("\nthe two-phase solvers pay one extra pipeline reconfiguration "
           "per sweep\nand still win on total machine cycles — the rapid "
           "reconfiguration of §2 at work.")
+
+    # resubmit: every program now comes from the cache, no recompilation
+    records2, summary2 = runner.run(jobs)
+    assert all(r["cache_hit"] for r in records2)
+    assert [r["cycles"] for r in records2] == [r["cycles"] for r in records]
+    print(f"\nfirst submission:  {summary.format()}")
+    print(f"second submission: {summary2.format()}")
 
 
 if __name__ == "__main__":

@@ -120,9 +120,40 @@ def poisson_residual(
     return float(np.max(np.abs(lap - f3[1:-1, 1:-1, 1:-1])))
 
 
+def poisson_jobs(
+    n: int = 9,
+    methods: Tuple[str, ...] = ("jacobi", "rb-gs", "rb-sor"),
+    eps: float = 1e-6,
+    max_sweeps: int = 20_000,
+    omega: float = 1.5,
+    subset: bool = False,
+):
+    """The canonical Poisson scenario as batch-service jobs.
+
+    One :class:`~repro.service.jobs.SimJob` per solver, all on the same
+    ``n^3`` manufactured-solution problem — the service's first customers
+    (the solver-comparison example and the ``sweep`` CLI defaults both
+    build on this)."""
+    from repro.service.jobs import SimJob  # lazy: keep physics imports light
+
+    return [
+        SimJob(
+            method=method,
+            shape=(n, n, n),
+            eps=eps,
+            max_sweeps=max_sweeps,
+            omega=omega,
+            subset=subset,
+            label=f"{method}-poisson-n{n}",
+        )
+        for method in methods
+    ]
+
+
 __all__ = [
     "jacobi_step_flat",
     "jacobi_reference_run",
     "manufactured_solution",
     "poisson_residual",
+    "poisson_jobs",
 ]

@@ -9,9 +9,18 @@ Subcommands mirror the toolchain:
 - ``render``     — render a pipeline diagram from a saved program
 - ``jacobi``     — build, run, and report the paper's Eq. 1 example
 - ``solve``      — run jacobi / rb-gs / rb-sor on a Poisson problem
+- ``batch``      — run a JSON file of simulation jobs through the service
+- ``sweep``      — expand a parameter sweep into a job batch and run it
 
 Programs are the JSON files written by
 :func:`repro.diagram.serialize.save` or :meth:`EditorSession.save`.
+
+``--subset`` (target the §6 architectural-subset machine) is accepted
+uniformly: either before the subcommand (``nsc-vpe --subset info``) or
+after it (``nsc-vpe info --subset``).  Every command resolves it through
+the shared :func:`_node` helper; for ``batch`` it sets the default for
+jobs that do not specify ``subset`` themselves, and for ``sweep`` it
+selects the subset machine axis.
 """
 
 from __future__ import annotations
@@ -165,6 +174,108 @@ def cmd_solve(args: argparse.Namespace) -> int:
     return 0 if result.converged else 1
 
 
+def _parse_int_list(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _parse_str_list(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.service.jobs import JobSpecError, SimJob
+    from repro.service.results import ResultStore
+    from repro.service.runner import BatchRunner
+
+    try:
+        with open(args.jobs, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        print(f"error: cannot read jobs file: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: jobs file is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    if isinstance(payload, dict):
+        if "jobs" not in payload:
+            print('error: jobs file object must have a "jobs" list',
+                  file=sys.stderr)
+            return 2
+        specs = payload["jobs"]
+    else:
+        specs = payload
+    if not isinstance(specs, list):
+        print("error: jobs file must be a list of job specs",
+              file=sys.stderr)
+        return 2
+    jobs = []
+    try:
+        for spec in specs:
+            spec = dict(spec)
+            if getattr(args, "subset", False):
+                spec.setdefault("subset", True)
+            jobs.append(SimJob.from_dict(spec))
+    except (JobSpecError, TypeError, ValueError) as exc:
+        print(f"error: bad job spec: {exc}", file=sys.stderr)
+        return 2
+    store = ResultStore(args.results) if args.results else None
+    runner = BatchRunner(workers=args.workers, timeout=args.timeout,
+                         cache_dir=args.cache_dir, store=store)
+    records, summary = runner.run(jobs)
+    _print_batch(records, summary)
+    return 0 if summary.failed == 0 else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.service.jobs import JobSpecError
+    from repro.service.results import ResultStore
+    from repro.service.runner import BatchRunner
+    from repro.service.sweep import SweepSpec
+
+    subset_axis: tuple
+    if args.include_subset:
+        subset_axis = (False, True)
+    elif getattr(args, "subset", False):
+        subset_axis = (True,)
+    else:
+        subset_axis = (False,)
+    try:
+        spec = SweepSpec(
+            grids=tuple(_parse_int_list(args.grids)),
+            methods=tuple(_parse_str_list(args.methods)),
+            dims=tuple(_parse_int_list(args.dims)),
+            subset=subset_axis,
+            eps=args.eps,
+            max_sweeps=args.max_sweeps,
+            omega=args.omega,
+            repeats=args.repeats,
+        )
+    except (JobSpecError, ValueError) as exc:
+        print(f"error: bad sweep axes: {exc}", file=sys.stderr)
+        return 2
+    print(f"sweep: {spec.describe()}")
+    jobs = spec.expand()
+    store = ResultStore(args.results) if args.results else None
+    runner = BatchRunner(workers=args.workers, timeout=args.timeout,
+                         cache_dir=args.cache_dir, store=store)
+    records, summary = runner.run(jobs)
+    _print_batch(records, summary)
+    return 0 if summary.failed == 0 else 1
+
+
+def _print_batch(records, summary) -> None:
+    for r in records:
+        if r.get("ok"):
+            line = (f"  ok   {r['label']:<24} converged={r.get('converged')} "
+                    f"sweeps={r.get('sweeps')} cycles={r.get('cycles')}")
+        else:
+            line = f"  FAIL {r['label']:<24} {r.get('error', '')}"
+        if "cache_hit" in r:
+            line += "  [cache hit]" if r["cache_hit"] else "  [compiled]"
+        print(line)
+    print(summary.format())
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="nsc-vpe",
@@ -176,34 +287,91 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="target the §6 architectural-subset machine",
     )
+    # every subcommand also accepts --subset after its name; SUPPRESS keeps
+    # the subparser from clobbering a --subset given before the subcommand
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--subset",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="target the §6 architectural-subset machine",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="machine inventory (Fig. 1)")
-    sub.add_parser("icons", help="ALS icon catalog (Fig. 4)")
+    sub.add_parser("info", help="machine inventory (Fig. 1)",
+                   parents=[common])
+    sub.add_parser("icons", help="ALS icon catalog (Fig. 4)",
+                   parents=[common])
 
-    p = sub.add_parser("check", help="validate a saved program")
+    p = sub.add_parser("check", help="validate a saved program",
+                       parents=[common])
     p.add_argument("program", help="path to a saved .json program")
 
-    p = sub.add_parser("disasm", help="microcode disassembly of a program")
+    p = sub.add_parser("disasm", help="microcode disassembly of a program",
+                       parents=[common])
     p.add_argument("program")
 
-    p = sub.add_parser("render", help="render a pipeline diagram")
+    p = sub.add_parser("render", help="render a pipeline diagram",
+                       parents=[common])
     p.add_argument("program")
     p.add_argument("--pipeline", type=int, default=0)
     p.add_argument("--svg", action="store_true")
 
-    p = sub.add_parser("jacobi", help="run the paper's Eq. 1 example")
+    p = sub.add_parser("jacobi", help="run the paper's Eq. 1 example",
+                       parents=[common])
     p.add_argument("-n", type=int, default=9, help="grid points per axis")
     p.add_argument("--eps", type=float, default=1e-6)
     p.add_argument("--max-sweeps", type=int, default=10_000)
 
-    p = sub.add_parser("solve", help="run an iterative Poisson solver")
+    p = sub.add_parser("solve", help="run an iterative Poisson solver",
+                       parents=[common])
     p.add_argument("method", choices=["jacobi", "rb-gs", "rb-sor"])
     p.add_argument("-n", type=int, default=9)
     p.add_argument("--eps", type=float, default=1e-6)
     p.add_argument("--omega", type=float, default=1.5)
     p.add_argument("--max-sweeps", type=int, default=10_000)
+
+    p = sub.add_parser(
+        "batch",
+        help="run a JSON jobs file through the simulation service",
+        parents=[common],
+    )
+    p.add_argument("jobs", help="JSON file: a list of job specs (or "
+                   '{"jobs": [...]})')
+    _add_service_options(p)
+
+    p = sub.add_parser(
+        "sweep",
+        help="expand a parameter sweep into jobs and run the batch",
+        parents=[common],
+    )
+    p.add_argument("--grids", default="7,9",
+                   help="comma-separated grid sizes (points per axis)")
+    p.add_argument("--methods", default="jacobi,rb-gs",
+                   help="comma-separated solvers (jacobi, rb-gs, rb-sor)")
+    p.add_argument("--dims", default="0",
+                   help="comma-separated hypercube dimensions (0 = one node)")
+    p.add_argument("--include-subset", action="store_true",
+                   help="sweep both the full and §6 subset machines")
+    p.add_argument("--eps", type=float, default=1e-4)
+    p.add_argument("--omega", type=float, default=1.5)
+    p.add_argument("--max-sweeps", type=int, default=10_000)
+    p.add_argument("--repeats", type=int, default=2,
+                   help="run the whole grid this many times (repeats land "
+                   "in the program cache)")
+    _add_service_options(p)
     return parser
+
+
+def _add_service_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = in-process serial)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-job timeout in seconds")
+    p.add_argument("--results", default=None,
+                   help="append JSONL records to this file")
+    p.add_argument("--cache-dir", default=None,
+                   help="on-disk program cache shared across workers/runs")
 
 
 _COMMANDS = {
@@ -214,6 +382,8 @@ _COMMANDS = {
     "render": cmd_render,
     "jacobi": cmd_jacobi,
     "solve": cmd_solve,
+    "batch": cmd_batch,
+    "sweep": cmd_sweep,
 }
 
 

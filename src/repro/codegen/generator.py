@@ -18,6 +18,7 @@ Generation per pipeline:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -141,6 +142,20 @@ class MachineProgram:
 
     def image(self, index: int) -> PipelineImage:
         return self.images[index]
+
+    def fingerprint(self) -> str:
+        """Stable content hash over the encoded microwords.
+
+        Two programs with the same fingerprint issue bit-identical
+        microcode; the batch service records it so a result can be traced
+        to the exact program that produced it (and a cache hit can be
+        proven to replay the same bits)."""
+        digest = hashlib.sha256()
+        digest.update(self.name.encode("utf-8"))
+        digest.update(str(self.layout.total_bits).encode("utf-8"))
+        for microword in self.microwords:
+            digest.update(microword.encode())
+        return digest.hexdigest()
 
 
 class MicrocodeGenerator:

@@ -25,6 +25,7 @@ from repro.compose.iterative import (
     build_rbsor_program,
     load_rbsor_inputs,
 )
+from repro.compose.registry import SOLVERS, SolverEntry
 from repro.compose.kernels import (
     KernelSetup,
     build_chain_program,
@@ -51,6 +52,8 @@ __all__ = [
     "RBSORSetup",
     "build_rbsor_program",
     "load_rbsor_inputs",
+    "SOLVERS",
+    "SolverEntry",
     "KernelSetup",
     "build_chain_program",
     "build_heat1d_program",

@@ -1,0 +1,50 @@
+"""Batch simulation job service.
+
+The paper's environment compiles one visual program and runs it on one
+simulated node; this package treats simulations as cacheable, schedulable
+*jobs*:
+
+- :mod:`repro.service.jobs`    — the :class:`SimJob` spec with stable
+  content hashing;
+- :mod:`repro.service.cache`   — a compile-once :class:`ProgramCache`
+  (in-memory plus an optional on-disk layer) keyed by
+  ``(program hash, params hash)``;
+- :mod:`repro.service.pool`    — a :class:`WorkerPool` fanning jobs out
+  across processes with deterministic result ordering and failure capture;
+- :mod:`repro.service.sweep`   — declarative parameter sweeps expanding
+  into job batches;
+- :mod:`repro.service.results` — a JSONL result store for later comparison;
+- :mod:`repro.service.runner`  — the orchestrator wiring it together
+  (imported lazily to keep spec-only users light).
+
+The ``nsc-vpe batch`` and ``nsc-vpe sweep`` CLI subcommands are the
+front door.
+"""
+
+from repro.service.cache import CacheStats, ProgramCache
+from repro.service.jobs import JobSpecError, SimJob
+from repro.service.pool import WorkerOutcome, WorkerPool
+from repro.service.results import ResultStore
+from repro.service.sweep import SweepSpec
+
+__all__ = [
+    "CacheStats",
+    "ProgramCache",
+    "JobSpecError",
+    "SimJob",
+    "WorkerOutcome",
+    "WorkerPool",
+    "ResultStore",
+    "SweepSpec",
+    "BatchRunner",
+    "BatchSummary",
+    "execute_job",
+]
+
+
+def __getattr__(name):  # lazy: runner pulls in the whole toolchain
+    if name in ("BatchRunner", "BatchSummary", "execute_job"):
+        from repro.service import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,133 @@
+"""Compile-once program cache.
+
+Microcode generation (checking, FU allocation, microword emission) is the
+expensive, perfectly deterministic step of every job, so the service caches
+its output keyed by :meth:`SimJob.cache_key` — the pair of program and
+parameter hashes.  Two layers:
+
+- an in-memory dict, shared by all jobs executed in one process (the
+  serial runner and each pool worker get one each);
+- an optional on-disk pickle directory, shared *across* processes and
+  sessions, so a parallel pool or a re-run of the same sweep still skips
+  compilation.
+
+Values are opaque to the cache; the runner stores
+``(setup, MachineProgram)`` pairs.  Disk entries are written atomically
+(tmp file + rename) and unreadable entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, surfaced in batch summaries."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0  # subset of hits satisfied from the disk layer
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+        }
+
+    def format(self) -> str:
+        return (
+            f"{self.hits} hits ({self.disk_hits} from disk), "
+            f"{self.misses} misses"
+        )
+
+
+class ProgramCache:
+    """Memoizes compiled programs by content key."""
+
+    def __init__(self, disk_dir: Optional[str] = None) -> None:
+        self._mem: Dict[str, Any] = {}
+        self.disk_dir = Path(disk_dir) if disk_dir else None
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def get_or_compile(self, key: str, compile_fn: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, compiling on first sight."""
+        if key in self._mem:
+            self.stats.hits += 1
+            return self._mem[key]
+        value = self._load_disk(key)
+        if value is not None:
+            self._mem[key] = value
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            return value
+        value = compile_fn()
+        self.stats.misses += 1
+        self._mem[key] = value
+        self._store_disk(key, value)
+        return value
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._mem:
+            return True
+        path = self._disk_path(key)
+        return path is not None and path.exists()
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (disk entries are left alone)."""
+        self._mem.clear()
+
+    # ------------------------------------------------------------------
+    # disk layer
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / f"{key}.pkl"
+
+    def _load_disk(self, key: str) -> Optional[Any]:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            return None  # corrupt/partial entry: recompile and overwrite
+
+    def _store_disk(self, key: str, value: Any) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        tmp = None
+        try:
+            fd, tmp = tempfile.mkstemp(dir=str(self.disk_dir), suffix=".tmp")
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh)
+            os.replace(tmp, path)
+        except Exception:
+            # the cache is an optimisation; never let it sink a job
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+
+__all__ = ["ProgramCache", "CacheStats"]

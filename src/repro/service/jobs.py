@@ -1,0 +1,184 @@
+"""Job specifications for the batch simulation service.
+
+A :class:`SimJob` names everything a run depends on — solver (or a saved
+visual-program file), grid shape, convergence settings, and machine
+parameterization — and hashes it stably so the service can recognise
+"same program on the same machine" across batches, processes, and
+sessions.  Two hashes matter:
+
+- :meth:`SimJob.program_key` covers exactly the inputs that determine the
+  *compiled microcode* (solver, shape, eps, iteration bound, omega, or the
+  saved file's bytes);
+- :meth:`SimJob.params_key` covers the resolved :class:`NSCParameters`.
+
+Their concatenation, :meth:`SimJob.cache_key`, keys the
+:class:`~repro.service.cache.ProgramCache`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.arch.params import NSCParameters, SUBSET_PARAMS
+
+#: Solvers the service can build itself, plus "program" for saved diagrams.
+METHODS = ("jacobi", "rb-gs", "rb-sor", "program")
+
+
+class JobSpecError(ValueError):
+    """The job specification is malformed or self-contradictory."""
+
+
+def _sha256(payload: Any) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One schedulable simulation.
+
+    ``hypercube_dim > 0`` selects the multi-node SPMD path
+    (:class:`repro.sim.multinode.MultiNodeStencil`, Jacobi only); zero runs
+    a single simulated node.  ``param_overrides`` is a tuple of
+    ``(field, value)`` pairs applied to the base parameters via
+    :meth:`NSCParameters.subset` — a tuple rather than a dict so the spec
+    stays hashable and canonically ordered.
+    """
+
+    method: str = "jacobi"
+    shape: Tuple[int, int, int] = (7, 7, 7)
+    eps: float = 1e-4
+    max_sweeps: int = 10_000
+    omega: float = 1.5
+    subset: bool = False
+    hypercube_dim: int = 0
+    program_path: Optional[str] = None
+    param_overrides: Tuple[Tuple[str, Any], ...] = ()
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise JobSpecError(
+                f"unknown method {self.method!r}; expected one of {METHODS}"
+            )
+        if self.method == "program" and not self.program_path:
+            raise JobSpecError("method 'program' requires program_path")
+        if self.method != "program" and self.program_path:
+            raise JobSpecError(
+                f"program_path only applies to method 'program', "
+                f"not {self.method!r}"
+            )
+        if len(self.shape) != 3 or any(int(s) < 1 for s in self.shape):
+            raise JobSpecError(f"shape must be 3 positive ints, got {self.shape}")
+        if self.hypercube_dim < 0:
+            raise JobSpecError("hypercube_dim must be >= 0")
+        if self.hypercube_dim > 0 and self.method != "jacobi":
+            raise JobSpecError(
+                "multi-node runs (hypercube_dim > 0) support only 'jacobi'"
+            )
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+        object.__setattr__(
+            self,
+            "param_overrides",
+            tuple((str(k), v) for k, v in self.param_overrides),
+        )
+
+    # ------------------------------------------------------------------
+    # machine parameterization
+    # ------------------------------------------------------------------
+    def params(self) -> NSCParameters:
+        """Resolve the machine parameters this job targets."""
+        base = SUBSET_PARAMS if self.subset else NSCParameters()
+        if self.param_overrides:
+            base = base.subset(**dict(self.param_overrides))
+        return base
+
+    # ------------------------------------------------------------------
+    # hashing
+    # ------------------------------------------------------------------
+    def program_key(self) -> str:
+        """Hash of everything that determines the compiled microcode."""
+        if self.method == "program":
+            with open(self.program_path, "rb") as fh:  # type: ignore[arg-type]
+                return hashlib.sha256(fh.read()).hexdigest()
+        return _sha256(
+            {
+                "method": self.method,
+                "shape": list(self.shape),
+                "eps": self.eps,
+                "max_sweeps": self.max_sweeps,
+                "omega": self.omega if self.method == "rb-sor" else None,
+                "hypercube_dim": self.hypercube_dim,
+            }
+        )
+
+    def params_key(self) -> str:
+        """Hash of the fully resolved machine parameters."""
+        return _sha256(asdict(self.params()))
+
+    def cache_key(self) -> str:
+        """(program hash, params hash) — the :class:`ProgramCache` key."""
+        return f"{self.program_key()[:20]}-{self.params_key()[:20]}"
+
+    @property
+    def job_id(self) -> str:
+        """Short stable identifier for the complete spec (label excluded,
+        so renaming a job does not change its identity)."""
+        payload = self.to_dict()
+        payload.pop("label", None)
+        return _sha256(payload)[:12]
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "method": self.method,
+            "shape": list(self.shape),
+            "eps": self.eps,
+            "max_sweeps": self.max_sweeps,
+            "omega": self.omega,
+            "subset": self.subset,
+            "hypercube_dim": self.hypercube_dim,
+            "program_path": self.program_path,
+            "param_overrides": [list(p) for p in self.param_overrides],
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Any]) -> "SimJob":
+        """Build a job from a plain mapping (e.g. one entry of a JSON jobs
+        file).  ``"n": 7`` is accepted as shorthand for a cubic shape."""
+        known = {f.name for f in fields(cls)}
+        data = dict(spec)
+        n = data.pop("n", None)
+        if n is not None and "shape" not in data:
+            data["shape"] = (int(n),) * 3
+        unknown = set(data) - known
+        if unknown:
+            raise JobSpecError(f"unknown job fields: {sorted(unknown)}")
+        if "shape" in data:
+            data["shape"] = tuple(int(s) for s in data["shape"])
+        if "param_overrides" in data:
+            data["param_overrides"] = tuple(
+                (str(k), v) for k, v in data["param_overrides"]
+            )
+        return cls(**data)
+
+    def describe(self) -> str:
+        """One-line human name: the label if given, else a synthesis."""
+        if self.label:
+            return self.label
+        tag = f"{self.method}-n{'x'.join(str(s) for s in self.shape)}"
+        if self.hypercube_dim:
+            tag += f"-d{self.hypercube_dim}"
+        if self.subset:
+            tag += "-subset"
+        return tag
+
+
+__all__ = ["SimJob", "JobSpecError", "METHODS"]

@@ -1,0 +1,141 @@
+"""Parallel worker pool with deterministic ordering and failure capture.
+
+Jobs fan out over a :class:`concurrent.futures.ProcessPoolExecutor`;
+results always come back in submission order regardless of completion
+order, so a batch is reproducible independent of scheduling.  Every job is
+wrapped in a :class:`WorkerOutcome`: a worker raising (or timing out) is
+*captured*, not propagated — one bad job must never sink the batch.
+
+``max_workers=1`` without a timeout short-circuits to in-process serial
+execution: no subprocesses, no pickling, and the caller's objects (e.g.
+a shared :class:`~repro.service.cache.ProgramCache`) are used directly.
+A timeout always forces the process path — an in-process job cannot be
+preempted, so a serial "timeout" would be a lie.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+
+@dataclass
+class WorkerOutcome:
+    """What happened to one item: its value, or the captured failure."""
+
+    index: int
+    ok: bool
+    value: Any = None
+    error: str = ""
+    error_type: str = ""
+    duration_s: float = 0.0
+    traceback: str = field(default="", repr=False)
+
+    @classmethod
+    def failure(cls, index: int, exc: BaseException,
+                duration_s: float = 0.0) -> "WorkerOutcome":
+        return cls(
+            index=index,
+            ok=False,
+            error=str(exc) or type(exc).__name__,
+            error_type=type(exc).__name__,
+            duration_s=duration_s,
+            traceback="".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
+
+
+class WorkerPool:
+    """Fan a function over items across processes.
+
+    ``timeout`` bounds the wait for each job, counted from the moment the
+    pool starts waiting on it (earlier jobs' waits overlap later jobs'
+    execution, so this is a per-job ceiling, not a global budget).  A
+    timed-out job is reported as a failure with ``error_type='TimeoutError'``
+    while the remaining jobs are still collected.
+    """
+
+    def __init__(self, max_workers: int = 1,
+                 timeout: Optional[float] = None) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.max_workers = max_workers
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any],
+            items: Sequence[Any]) -> List[WorkerOutcome]:
+        """Apply ``fn`` to every item; outcomes ordered like ``items``."""
+        if not items:
+            return []
+        if self.timeout is None and (self.max_workers == 1
+                                     or len(items) == 1):
+            return self._map_serial(fn, items)
+        return self._map_parallel(fn, items)
+
+    # ------------------------------------------------------------------
+    def _map_serial(self, fn: Callable[[Any], Any],
+                    items: Sequence[Any]) -> List[WorkerOutcome]:
+        outcomes: List[WorkerOutcome] = []
+        for index, item in enumerate(items):
+            start = time.perf_counter()
+            try:
+                value = fn(item)
+            except Exception as exc:
+                outcomes.append(WorkerOutcome.failure(
+                    index, exc, time.perf_counter() - start))
+            else:
+                outcomes.append(WorkerOutcome(
+                    index=index, ok=True, value=value,
+                    duration_s=time.perf_counter() - start))
+        return outcomes
+
+    def _map_parallel(self, fn: Callable[[Any], Any],
+                      items: Sequence[Any]) -> List[WorkerOutcome]:
+        workers = min(self.max_workers, len(items))
+        outcomes: List[WorkerOutcome] = []
+        executor = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+        timed_out = False
+        try:
+            start = time.perf_counter()
+            futures = [executor.submit(fn, item) for item in items]
+            for index, future in enumerate(futures):
+                try:
+                    value = future.result(timeout=self.timeout)
+                except concurrent.futures.TimeoutError:
+                    timed_out = True
+                    future.cancel()
+                    outcomes.append(WorkerOutcome(
+                        index=index, ok=False,
+                        error=f"job exceeded {self.timeout:g}s",
+                        error_type="TimeoutError",
+                        duration_s=time.perf_counter() - start))
+                except concurrent.futures.process.BrokenProcessPool as exc:
+                    # the pool is gone; report this and all remaining jobs
+                    for rest in range(index, len(futures)):
+                        outcomes.append(WorkerOutcome.failure(rest, exc))
+                    break
+                except Exception as exc:
+                    outcomes.append(WorkerOutcome.failure(
+                        index, exc, time.perf_counter() - start))
+                else:
+                    outcomes.append(WorkerOutcome(
+                        index=index, ok=True, value=value,
+                        duration_s=time.perf_counter() - start))
+        finally:
+            if timed_out:
+                # a graceful shutdown would join the hung workers; kill
+                # them so one stuck job cannot stall the whole batch
+                for proc in list(getattr(executor, "_processes", {}).values()):
+                    proc.terminate()
+            executor.shutdown(wait=not timed_out, cancel_futures=True)
+        return outcomes
+
+
+__all__ = ["WorkerPool", "WorkerOutcome"]

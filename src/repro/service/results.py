@@ -1,0 +1,65 @@
+"""JSONL result store.
+
+Every executed job appends one self-describing record: the job's identity
+(``job_id``, label, method, shape), its outcome (converged, sweeps, cycle
+counts, error), the :class:`~repro.sim.metrics.RunMetrics` summary, and
+whether its program came from the cache.  Records are written with sorted
+keys so identical runs produce byte-identical lines — re-running a sweep
+and diffing the store is the reproducibility check.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping
+
+
+class ResultStore:
+    """Append-only JSONL file of job records."""
+
+    def __init__(self, path: str) -> None:
+        self.path = Path(path)
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        self.extend([record])
+
+    def extend(self, records: List[Mapping[str, Any]]) -> None:
+        """Append a batch in one write, so its records land contiguously."""
+        if not records:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(dict(record), sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------
+    def load(self) -> List[Dict[str, Any]]:
+        """All records in append order; missing file reads as empty."""
+        if not self.path.exists():
+            return []
+        records: List[Dict[str, Any]] = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return records
+
+    def records_for(self, job_id: str) -> List[Dict[str, Any]]:
+        return [r for r in self.load() if r.get("job_id") == job_id]
+
+    def latest_by_job(self) -> Dict[str, Dict[str, Any]]:
+        """Most recent record per job_id (later lines win)."""
+        latest: Dict[str, Dict[str, Any]] = {}
+        for record in self.load():
+            job_id = record.get("job_id")
+            if job_id:
+                latest[job_id] = record
+        return latest
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+
+__all__ = ["ResultStore"]

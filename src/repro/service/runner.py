@@ -1,0 +1,306 @@
+"""The batch orchestrator: jobs -> cached compile -> pool -> result store.
+
+:func:`execute_job` is the unit of work.  It is a top-level function taking
+a plain job dict so it pickles cleanly into pool workers; each worker
+process keeps one module-level :class:`ProgramCache` (optionally backed by
+a shared disk directory) and every record reports whether its program was
+a cache hit, so the batch summary can prove recompilation was avoided.
+
+:class:`BatchRunner` wires the pieces: it expands nothing and decides
+nothing about *what* to run — that is :mod:`repro.service.sweep`'s job —
+it just executes a job list with deterministic ordering, failure
+isolation, and JSONL persistence.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.service.cache import ProgramCache
+from repro.service.jobs import SimJob
+from repro.service.pool import WorkerOutcome, WorkerPool
+from repro.service.results import ResultStore
+
+#: Per-process cache used by pool workers (and by serial runs that do not
+#: pass an explicit cache).  Keyed compilation output survives across jobs
+#: within one worker; the disk layer shares it across workers.
+_PROCESS_CACHE: Optional[ProgramCache] = None
+_PROCESS_CACHE_DIR: Optional[str] = None
+
+
+def _process_cache(disk_dir: Optional[str]) -> ProgramCache:
+    global _PROCESS_CACHE, _PROCESS_CACHE_DIR
+    if _PROCESS_CACHE is None or _PROCESS_CACHE_DIR != disk_dir:
+        _PROCESS_CACHE = ProgramCache(disk_dir)
+        _PROCESS_CACHE_DIR = disk_dir
+    return _PROCESS_CACHE
+
+
+def reset_process_cache() -> None:
+    """Forget the per-process cache (tests and long-lived hosts)."""
+    global _PROCESS_CACHE, _PROCESS_CACHE_DIR
+    _PROCESS_CACHE = None
+    _PROCESS_CACHE_DIR = None
+
+
+# ----------------------------------------------------------------------
+# job execution
+# ----------------------------------------------------------------------
+def execute_job(
+    spec: Mapping[str, Any],
+    cache_dir: Optional[str] = None,
+    cache: Optional[ProgramCache] = None,
+) -> Dict[str, Any]:
+    """Run one job to completion; never raises for job-level failures.
+
+    Returns a flat, JSON-serializable record.  ``cache`` (an in-process
+    object) wins over ``cache_dir`` (picklable, for pool workers).
+    """
+    job = SimJob.from_dict(spec)
+    if cache is None:
+        cache = _process_cache(cache_dir)
+    record: Dict[str, Any] = {
+        "job_id": job.job_id,
+        "label": job.describe(),
+        "method": job.method,
+        "shape": list(job.shape),
+        "eps": job.eps,
+        "subset": job.subset,
+        "hypercube_dim": job.hypercube_dim,
+        "cache_key": job.cache_key(),
+    }
+    hits_before = cache.stats.hits
+    lookups_before = cache.stats.lookups
+    try:
+        if job.hypercube_dim > 0:
+            record.update(_run_multinode(job, cache))
+        else:
+            record.update(_run_single(job, cache))
+        record["ok"] = True
+    except Exception as exc:  # failure capture: one bad job != a dead batch
+        record["ok"] = False
+        record["error"] = f"{type(exc).__name__}: {exc}"
+    if cache.stats.lookups > lookups_before:  # job reached compilation
+        record["cache_hit"] = cache.stats.hits > hits_before
+    return record
+
+
+def _compile_single(job: SimJob, node) -> Tuple[Any, Any]:
+    from repro.codegen.generator import MicrocodeGenerator
+    from repro.compose.registry import SOLVERS
+    from repro.diagram import serialize
+
+    if job.method == "program":  # saved visual program
+        setup = None
+        program = serialize.load(job.program_path)
+    else:
+        setup = SOLVERS[job.method].build_setup(
+            node, job.shape, eps=job.eps,
+            max_iterations=job.max_sweeps, omega=job.omega,
+        )
+        program = setup.program
+    return setup, MicrocodeGenerator(node).generate(program)
+
+
+def _run_single(job: SimJob, cache: ProgramCache) -> Dict[str, Any]:
+    from repro.apps.poisson3d import manufactured_solution
+    from repro.arch.node import NodeConfig
+    from repro.compose.registry import SOLVERS
+    from repro.sim.machine import NSCMachine
+
+    node = NodeConfig(job.params())
+    setup, program = cache.get_or_compile(
+        job.cache_key(), lambda: _compile_single(job, node)
+    )
+    machine = NSCMachine(node)
+    machine.load_program(program)
+
+    watch = None
+    u_star = None
+    if setup is not None:
+        entry = SOLVERS[job.method]
+        u_star, f, _h = manufactured_solution(job.shape, h=setup.h)
+        entry.load(machine, setup, np.zeros(job.shape), f)
+        watch = entry.watch_pipeline(setup)
+
+    result = machine.run()
+    metrics = machine.metrics(result)
+    record: Dict[str, Any] = {
+        "converged": bool(result.converged)
+        if result.converged is not None else None,
+        "sweeps": result.loop_iterations.get(watch, 0)
+        if watch is not None else 0,
+        "cycles": result.total_cycles,
+        "program_fingerprint": program.fingerprint(),
+        "metrics": metrics.summary(),
+    }
+    if u_star is not None:
+        u = machine.get_variable("u").reshape(job.shape)
+        record["error_vs_analytic"] = float(np.max(np.abs(u - u_star)))
+    return record
+
+
+def _compile_multinode(job: SimJob, local_shape: Tuple[int, int, int]):
+    from repro.arch.node import NodeConfig
+    from repro.codegen.generator import MicrocodeGenerator
+    from repro.compose.jacobi import build_jacobi_program
+
+    params = job.params().subset(hypercube_dim=job.hypercube_dim)
+    node_cfg = NodeConfig(params)
+    setup = build_jacobi_program(
+        node_cfg, local_shape, eps=job.eps, loop=False
+    )
+    return setup, MicrocodeGenerator(node_cfg).generate(setup.program)
+
+
+def _run_multinode(job: SimJob, cache: ProgramCache) -> Dict[str, Any]:
+    from repro.apps.poisson3d import manufactured_solution
+    from repro.sim.multinode import DecompositionError, MultiNodeStencil
+
+    nx, ny, nz = job.shape
+    n_nodes = 1 << job.hypercube_dim
+    if nz % n_nodes != 0:
+        raise DecompositionError(
+            f"nz={nz} does not divide across {n_nodes} nodes"
+        )
+    local_shape = (nx, ny, nz // n_nodes + 2)
+    precompiled = cache.get_or_compile(
+        job.cache_key(), lambda: _compile_multinode(job, local_shape)
+    )
+    stencil = MultiNodeStencil(
+        params=job.params(),
+        hypercube_dim=job.hypercube_dim,
+        shape=job.shape,
+        eps=job.eps,
+        precompiled=precompiled,
+    )
+    # deterministic non-trivial start: relax the manufactured field to zero
+    u_star, _f, _h = manufactured_solution(job.shape)
+    stencil.scatter("u", u_star)
+    res = stencil.run(max_iterations=job.max_sweeps)
+    return {
+        "converged": res.converged,
+        "sweeps": res.iterations,
+        "cycles": res.total_cycles,
+        "program_fingerprint": stencil.machine_program.fingerprint(),
+        "metrics": {
+            "n_nodes": res.n_nodes,
+            "compute_cycles": res.compute_cycles,
+            "comm_cycles": res.comm_cycles,
+            "comm_fraction": res.comm_fraction,
+            "words_exchanged": res.words_exchanged,
+            "flops": float(res.flops),
+            "achieved_gflops": res.achieved_gflops,
+            "peak_gflops": res.peak_gflops,
+            "efficiency": res.efficiency,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# orchestration
+# ----------------------------------------------------------------------
+@dataclass
+class BatchSummary:
+    """Roll-up printed after every batch/sweep run."""
+
+    total: int
+    succeeded: int
+    failed: int
+    cache_hits: int
+    cache_misses: int
+    total_cycles: int
+    wall_s: float
+
+    def format(self) -> str:
+        return (
+            f"{self.succeeded}/{self.total} jobs ok ({self.failed} failed); "
+            f"cache: {self.cache_hits} hits, {self.cache_misses} misses; "
+            f"{self.total_cycles} simulated cycles in {self.wall_s:.2f}s wall"
+        )
+
+
+class BatchRunner:
+    """Execute a job list through the pool, cache, and result store."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        timeout: Optional[float] = None,
+        cache_dir: Optional[str] = None,
+        store: Optional[ResultStore] = None,
+    ) -> None:
+        self.workers = workers
+        self.timeout = timeout
+        self.cache_dir = cache_dir
+        self.store = store
+        #: serial runs share this cache across the whole batch; process
+        #: runs (workers > 1, or any timeout, which forces the process
+        #: path) rely on per-worker caches plus the shared disk layer.
+        self.cache = (
+            ProgramCache(cache_dir)
+            if workers == 1 and timeout is None else None
+        )
+
+    def run(
+        self, jobs: Sequence[SimJob]
+    ) -> Tuple[List[Dict[str, Any]], BatchSummary]:
+        start = time.perf_counter()
+        specs = [job.to_dict() for job in jobs]
+        if self.cache is not None:
+            fn = functools.partial(execute_job, cache=self.cache)
+        else:
+            fn = functools.partial(execute_job, cache_dir=self.cache_dir)
+        pool = WorkerPool(max_workers=self.workers, timeout=self.timeout)
+        outcomes = pool.map(fn, specs)
+        records = [
+            self._record_of(job, outcome)
+            for job, outcome in zip(jobs, outcomes)
+        ]
+        if self.store is not None:
+            self.store.extend(records)
+        summary = BatchSummary(
+            total=len(records),
+            succeeded=sum(1 for r in records if r.get("ok")),
+            failed=sum(1 for r in records if not r.get("ok")),
+            cache_hits=sum(1 for r in records if r.get("cache_hit")),
+            cache_misses=sum(
+                1 for r in records
+                if "cache_hit" in r and not r["cache_hit"]
+            ),
+            total_cycles=sum(r.get("cycles", 0) or 0 for r in records),
+            wall_s=time.perf_counter() - start,
+        )
+        return records, summary
+
+    @staticmethod
+    def _record_of(job: SimJob, outcome: WorkerOutcome) -> Dict[str, Any]:
+        if outcome.ok:
+            record = dict(outcome.value)
+        else:
+            # the worker died before producing a record (timeout, pickling,
+            # pool breakage): synthesize one so the store stays complete
+            record = {
+                "job_id": job.job_id,
+                "label": job.describe(),
+                "method": job.method,
+                "shape": list(job.shape),
+                "ok": False,
+                "error": f"{outcome.error_type}: {outcome.error}",
+            }
+        # wall-clock lives in the summary, not the store: stored records
+        # must be byte-identical across re-runs of the same sweep
+        return record
+
+
+__all__ = [
+    "BatchRunner",
+    "BatchSummary",
+    "execute_job",
+    "reset_process_cache",
+]

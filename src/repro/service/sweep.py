@@ -1,0 +1,122 @@
+"""Declarative parameter sweeps.
+
+A :class:`SweepSpec` names axes — grid sizes, solver methods, hypercube
+dimensions, subset-vs-full machines — and expands their cross product into
+a deterministic, validated list of :class:`SimJob`.  Combinations the
+machine cannot run (a multi-node grid whose z-extent does not divide
+across the node count, or a non-Jacobi solver on the multi-node path) are
+skipped and *counted*, never silently absorbed, so the expansion size is
+always explainable.
+
+``repeats > 1`` schedules the whole grid again; repeated jobs are exact
+content-hash duplicates, which is how a sweep demonstrates the
+:class:`~repro.service.cache.ProgramCache` (every repeat is a hit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.service.jobs import METHODS, JobSpecError, SimJob
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Axes and shared settings for one sweep."""
+
+    grids: Tuple[int, ...] = (7,)
+    methods: Tuple[str, ...] = ("jacobi",)
+    dims: Tuple[int, ...] = (0,)
+    subset: Tuple[bool, ...] = (False,)
+    eps: float = 1e-4
+    max_sweeps: int = 10_000
+    omega: float = 1.5
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise JobSpecError("repeats must be >= 1")
+        if not self.grids or not self.methods or not self.dims or not self.subset:
+            raise JobSpecError("every sweep axis needs at least one value")
+        for m in self.methods:
+            if m not in METHODS or m == "program":
+                raise JobSpecError(
+                    f"sweep methods must be builder solvers, got {m!r}"
+                )
+        for n in self.grids:
+            if int(n) < 3:
+                raise JobSpecError(f"grid size {n} below solver minimum of 3")
+        for d in self.dims:
+            if int(d) < 0:
+                raise JobSpecError(f"hypercube dim {d} must be >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def axis_product(self) -> int:
+        """Size of the raw cross product, before validity filtering."""
+        return (len(self.grids) * len(self.methods) * len(self.dims)
+                * len(self.subset) * self.repeats)
+
+    def expand(self) -> List[SimJob]:
+        """The job batch, in deterministic nested-axis order (repeats are
+        the outermost axis so a second pass replays the whole grid)."""
+        jobs, _ = self._expand_with_skips()
+        return jobs
+
+    def skipped(self) -> Dict[str, int]:
+        """Counts of cross-product combinations dropped, by reason."""
+        _, skips = self._expand_with_skips()
+        return skips
+
+    def _expand_with_skips(self) -> Tuple[List[SimJob], Dict[str, int]]:
+        jobs: List[SimJob] = []
+        skips: Dict[str, int] = {}
+
+        def skip(reason: str) -> None:
+            skips[reason] = skips.get(reason, 0) + 1
+
+        for rep in range(self.repeats):
+            for sub in self.subset:
+                for dim in self.dims:
+                    for method in self.methods:
+                        for n in self.grids:
+                            n = int(n)
+                            dim = int(dim)
+                            if dim > 0 and method != "jacobi":
+                                skip("multinode-supports-jacobi-only")
+                                continue
+                            if dim > 0 and n % (1 << dim) != 0:
+                                skip("grid-not-divisible-across-nodes")
+                                continue
+                            label = f"{method}-n{n}-d{dim}"
+                            if sub:
+                                label += "-subset"
+                            if self.repeats > 1:
+                                label += f"#r{rep}"
+                            jobs.append(SimJob(
+                                method=method,
+                                shape=(n, n, n),
+                                eps=self.eps,
+                                max_sweeps=self.max_sweeps,
+                                omega=self.omega,
+                                subset=sub,
+                                hypercube_dim=dim,
+                                label=label,
+                            ))
+        return jobs, skips
+
+    def describe(self) -> str:
+        jobs, skips = self._expand_with_skips()
+        parts = [
+            f"{len(jobs)} jobs "
+            f"({len(self.grids)} grids x {len(self.methods)} methods x "
+            f"{len(self.dims)} dims x {len(self.subset)} machines x "
+            f"{self.repeats} repeats)"
+        ]
+        for reason, count in sorted(skips.items()):
+            parts.append(f"skipped {count}: {reason}")
+        return "; ".join(parts)
+
+
+__all__ = ["SweepSpec"]

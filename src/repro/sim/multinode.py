@@ -91,6 +91,7 @@ class MultiNodeStencil:
         hypercube_dim: Optional[int] = None,
         shape: Tuple[int, int, int] = (8, 8, 8),
         eps: float = 1e-6,
+        precompiled: Optional[tuple] = None,
     ) -> None:
         self.params = params if params is not None else NSCParameters()
         dim = (
@@ -114,17 +115,31 @@ class MultiNodeStencil:
         self.router = HyperspaceRouter(self.params)
         self.machines: List[NSCMachine] = []
         self.node_of_slab: List[int] = [gray_code(i) for i in range(self.n_nodes)]
+        self._precompiled = precompiled
         self._setup_nodes()
 
     # ------------------------------------------------------------------
     def _setup_nodes(self) -> None:
-        node_cfg = NodeConfig(self.params)
-        generator = MicrocodeGenerator(node_cfg)
-        setup = build_jacobi_program(
-            node_cfg, self.local_shape, eps=self.eps, loop=False
-        )
-        self.setup = setup
-        self.machine_program = generator.generate(setup.program)
+        if self._precompiled is not None:
+            # a (JacobiSetup, MachineProgram) pair from the service's
+            # ProgramCache — every node runs the same SPMD program, so one
+            # compile serves arbitrarily many stencil instances
+            setup, machine_program = self._precompiled
+            if tuple(setup.shape) != self.local_shape:
+                raise DecompositionError(
+                    f"precompiled program targets local shape {setup.shape}, "
+                    f"decomposition needs {self.local_shape}"
+                )
+            self.setup = setup
+            self.machine_program = machine_program
+        else:
+            node_cfg = NodeConfig(self.params)
+            generator = MicrocodeGenerator(node_cfg)
+            setup = build_jacobi_program(
+                node_cfg, self.local_shape, eps=self.eps, loop=False
+            )
+            self.setup = setup
+            self.machine_program = generator.generate(setup.program)
         nx, ny, _ = self.shape
         n_local = nx * ny * (self.nz_local + 2)
         mask, invmask = self._slab_masks()

@@ -1,0 +1,63 @@
+"""ProgramCache: hit/miss accounting and the on-disk layer."""
+
+import pickle
+
+from repro.service.cache import ProgramCache
+
+
+class TestMemoryLayer:
+    def test_miss_then_hit(self):
+        cache = ProgramCache()
+        calls = []
+        value1 = cache.get_or_compile("k", lambda: calls.append(1) or "V")
+        value2 = cache.get_or_compile("k", lambda: calls.append(2) or "W")
+        assert value1 == value2 == "V"
+        assert calls == [1]  # second lookup never compiled
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.lookups == 2
+
+    def test_distinct_keys_compile_separately(self):
+        cache = ProgramCache()
+        assert cache.get_or_compile("a", lambda: 1) == 1
+        assert cache.get_or_compile("b", lambda: 2) == 2
+        assert cache.stats.misses == 2
+        assert len(cache) == 2
+        assert "a" in cache and "c" not in cache
+
+    def test_clear_drops_memory(self):
+        cache = ProgramCache()
+        cache.get_or_compile("k", lambda: "V")
+        cache.clear()
+        cache.get_or_compile("k", lambda: "V2")
+        assert cache.stats.misses == 2
+
+
+class TestDiskLayer:
+    def test_fresh_cache_hits_from_disk(self, tmp_path):
+        d = str(tmp_path / "cache")
+        first = ProgramCache(d)
+        first.get_or_compile("k", lambda: {"compiled": True})
+        second = ProgramCache(d)
+        value = second.get_or_compile(
+            "k", lambda: (_ for _ in ()).throw(AssertionError("recompiled"))
+        )
+        assert value == {"compiled": True}
+        assert second.stats.hits == 1
+        assert second.stats.disk_hits == 1
+
+    def test_corrupt_entry_recompiles(self, tmp_path):
+        d = tmp_path / "cache"
+        cache = ProgramCache(str(d))
+        (d / "k.pkl").write_bytes(b"not a pickle")
+        assert cache.get_or_compile("k", lambda: "fresh") == "fresh"
+        assert cache.stats.misses == 1
+        # and the bad entry was overwritten with a good one
+        with open(d / "k.pkl", "rb") as fh:
+            assert pickle.load(fh) == "fresh"
+
+    def test_stats_format_mentions_disk(self, tmp_path):
+        cache = ProgramCache(str(tmp_path / "c"))
+        cache.get_or_compile("k", lambda: 1)
+        text = cache.stats.format()
+        assert "1 misses" in text

@@ -1,0 +1,83 @@
+"""WorkerPool: deterministic ordering, failure isolation, timeouts."""
+
+import time
+
+import pytest
+
+from repro.service.pool import WorkerOutcome, WorkerPool
+
+
+# top-level functions so the process pool can pickle them
+def _square(x):
+    return x * x
+
+
+def _explode_on_three(x):
+    if x == 3:
+        raise ValueError(f"boom at {x}")
+    return x
+
+
+def _sleep_inverse(x):
+    # later items finish first: exposes any completion-order leakage
+    time.sleep(0.15 - 0.04 * x)
+    return x
+
+
+def _hang(x):
+    time.sleep(20)
+    return x
+
+
+class TestSerial:
+    def test_results_in_order(self):
+        pool = WorkerPool(max_workers=1)
+        outcomes = pool.map(_square, [1, 2, 3])
+        assert [o.value for o in outcomes] == [1, 4, 9]
+        assert all(o.ok for o in outcomes)
+
+    def test_failure_captured_not_raised(self):
+        pool = WorkerPool(max_workers=1)
+        outcomes = pool.map(_explode_on_three, [1, 3, 5])
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[1].error_type == "ValueError"
+        assert "boom at 3" in outcomes[1].error
+        assert "boom at 3" in outcomes[1].traceback
+
+    def test_empty_items(self):
+        assert WorkerPool(max_workers=1).map(_square, []) == []
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            WorkerPool(max_workers=0)
+        with pytest.raises(ValueError):
+            WorkerPool(timeout=0)
+
+
+class TestParallel:
+    def test_results_ordered_despite_completion_order(self):
+        pool = WorkerPool(max_workers=3)
+        outcomes = pool.map(_sleep_inverse, [0, 1, 2])
+        assert [o.index for o in outcomes] == [0, 1, 2]
+        assert [o.value for o in outcomes] == [0, 1, 2]
+
+    def test_one_bad_job_does_not_sink_the_batch(self):
+        pool = WorkerPool(max_workers=2)
+        outcomes = pool.map(_explode_on_three, [1, 2, 3, 4])
+        assert [o.ok for o in outcomes] == [True, True, False, True]
+        assert outcomes[2].error_type == "ValueError"
+        assert [o.value for o in outcomes if o.ok] == [1, 2, 4]
+
+    def test_timeout_reported_as_failure(self):
+        # two items: a single item would short-circuit to the serial path
+        outcomes = WorkerPool(max_workers=2, timeout=0.5).map(_hang, [1, 2])
+        assert not outcomes[0].ok
+        assert outcomes[0].error_type == "TimeoutError"
+
+
+class TestOutcome:
+    def test_failure_constructor(self):
+        outcome = WorkerOutcome.failure(4, KeyError("missing"))
+        assert outcome.index == 4
+        assert not outcome.ok
+        assert outcome.error_type == "KeyError"

@@ -1,0 +1,75 @@
+"""SweepSpec expansion: counts, ordering, validity filtering."""
+
+import pytest
+
+from repro.service.jobs import JobSpecError
+from repro.service.sweep import SweepSpec
+
+
+class TestExpansion:
+    def test_cross_product_count(self):
+        spec = SweepSpec(grids=(5, 7, 9), methods=("jacobi", "rb-sor"),
+                         subset=(False, True))
+        jobs = spec.expand()
+        assert len(jobs) == 3 * 2 * 2
+        assert spec.axis_product == 12
+
+    def test_repeats_multiply_and_duplicate_identity(self):
+        spec = SweepSpec(grids=(5,), methods=("jacobi",), repeats=3)
+        jobs = spec.expand()
+        assert len(jobs) == 3
+        assert len({j.job_id for j in jobs}) == 1  # identical content
+        assert len({j.label for j in jobs}) == 3   # distinct labels
+
+    def test_order_is_deterministic(self):
+        spec = SweepSpec(grids=(5, 7), methods=("jacobi", "rb-gs"))
+        assert [j.label for j in spec.expand()] == \
+            [j.label for j in spec.expand()]
+        assert [j.label for j in spec.expand()] == [
+            "jacobi-n5-d0", "jacobi-n7-d0", "rb-gs-n5-d0", "rb-gs-n7-d0",
+        ]
+
+    def test_repeats_are_outermost(self):
+        spec = SweepSpec(grids=(5, 7), methods=("jacobi",), repeats=2)
+        labels = [j.label for j in spec.expand()]
+        assert labels == ["jacobi-n5-d0#r0", "jacobi-n7-d0#r0",
+                          "jacobi-n5-d0#r1", "jacobi-n7-d0#r1"]
+
+
+class TestValidityFiltering:
+    def test_multinode_non_jacobi_skipped(self):
+        spec = SweepSpec(grids=(8,), methods=("jacobi", "rb-sor"),
+                         dims=(0, 1))
+        jobs = spec.expand()
+        # dim=0 runs both methods; dim=1 runs jacobi only
+        assert len(jobs) == 3
+        assert spec.skipped() == {"multinode-supports-jacobi-only": 1}
+
+    def test_indivisible_grid_skipped(self):
+        spec = SweepSpec(grids=(7, 8), methods=("jacobi",), dims=(2,))
+        jobs = spec.expand()  # 7 % 4 != 0
+        assert [j.shape for j in jobs] == [(8, 8, 8)]
+        assert spec.skipped() == {"grid-not-divisible-across-nodes": 1}
+
+    def test_describe_mentions_skips(self):
+        spec = SweepSpec(grids=(7,), methods=("rb-gs",), dims=(1,))
+        assert "skipped 1" in spec.describe()
+        assert "0 jobs" in spec.describe()
+
+
+class TestValidation:
+    def test_program_method_not_sweepable(self):
+        with pytest.raises(JobSpecError):
+            SweepSpec(methods=("program",))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(JobSpecError):
+            SweepSpec(grids=())
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(JobSpecError):
+            SweepSpec(grids=(2,))
+
+    def test_zero_repeats_rejected(self):
+        with pytest.raises(JobSpecError):
+            SweepSpec(repeats=0)

@@ -20,11 +20,42 @@ class TestGrayCode:
         codes = [gray_code(i) for i in range(16)]
         assert sorted(codes) == list(range(16))
 
+    def test_slab_neighbours_are_hypercube_neighbours(self):
+        """The instance mapping: adjacent slabs must land on nodes whose
+        ids differ in exactly one bit (one router hop apart)."""
+        mn = MultiNodeStencil(hypercube_dim=3, shape=(4, 4, 8))
+        assert sorted(mn.node_of_slab) == list(range(8))
+        for slab in range(mn.n_nodes - 1):
+            lo, hi = mn.node_of_slab[slab], mn.node_of_slab[slab + 1]
+            assert bin(lo ^ hi).count("1") == 1
+
+    def test_slab_zero_maps_to_node_zero(self):
+        mn = MultiNodeStencil(hypercube_dim=2, shape=(4, 4, 8))
+        assert mn.node_of_slab[0] == 0
+
 
 class TestDecomposition:
     def test_indivisible_grid_rejected(self):
         with pytest.raises(DecompositionError):
             MultiNodeStencil(hypercube_dim=2, shape=(6, 6, 6))  # 6 % 4 != 0
+
+    def test_error_message_names_the_mismatch(self):
+        with pytest.raises(DecompositionError, match="nz=6.*4 nodes"):
+            MultiNodeStencil(hypercube_dim=2, shape=(6, 6, 6))
+
+    def test_more_nodes_than_planes_rejected(self):
+        with pytest.raises(DecompositionError):
+            MultiNodeStencil(hypercube_dim=3, shape=(6, 6, 4))  # 4 % 8 != 0
+
+    def test_empty_z_extent_rejected(self):
+        # nz=0 divides evenly but leaves no plane per node
+        with pytest.raises(DecompositionError):
+            MultiNodeStencil(hypercube_dim=2, shape=(6, 6, 0))
+
+    def test_one_plane_per_node_is_allowed(self):
+        mn = MultiNodeStencil(hypercube_dim=2, shape=(4, 4, 4))
+        assert mn.nz_local == 1
+        assert mn.local_shape == (4, 4, 3)
 
     def test_scatter_gather_round_trip(self, rng):
         mn = MultiNodeStencil(hypercube_dim=1, shape=(6, 6, 8))
@@ -69,6 +100,60 @@ class TestCorrectness:
         res = mn.run(max_iterations=200)
         assert res.n_nodes == 1
         assert res.comm_cycles == 0  # nothing to exchange
+
+    def test_single_node_matches_reference(self, rng):
+        """The degenerate decomposition must still be the same Jacobi."""
+        shape = (5, 5, 5)
+        u0 = rng.random(shape)
+        u0[0] = u0[-1] = 0
+        u0[:, 0] = u0[:, -1] = 0
+        u0[:, :, 0] = u0[:, :, -1] = 0
+        f = np.zeros(shape)
+        mn = MultiNodeStencil(hypercube_dim=0, shape=shape, eps=1e-4)
+        mn.scatter("u", u0)
+        mn.scatter("f", f)
+        res = mn.run(max_iterations=400)
+        ref, iters, _ = jacobi_reference_run(
+            u0, f, shape, mn.setup.h, eps=1e-4, max_iterations=400
+        )
+        assert res.iterations == iters
+        np.testing.assert_allclose(mn.gather("u").reshape(-1), ref)
+
+    def test_single_node_exchanges_no_words(self, rng):
+        mn = MultiNodeStencil(hypercube_dim=0, shape=(5, 5, 5), eps=0.0)
+        mn.scatter("u", rng.random((5, 5, 5)))
+        mn.scatter("f", np.zeros((5, 5, 5)))
+        res = mn.run(max_iterations=3)
+        assert res.words_exchanged == 0
+
+
+class TestPrecompiled:
+    def test_precompiled_program_reused(self, rng):
+        """The service hands MultiNodeStencil an already-compiled program;
+        results must match a self-compiled stencil exactly."""
+        first = MultiNodeStencil(hypercube_dim=1, shape=(4, 4, 8), eps=1e-3)
+        second = MultiNodeStencil(
+            hypercube_dim=1, shape=(4, 4, 8), eps=1e-3,
+            precompiled=(first.setup, first.machine_program),
+        )
+        assert second.machine_program is first.machine_program
+        u0 = rng.random((8, 4, 4))
+        for mn in (first, second):
+            mn.scatter("u", u0)
+            mn.scatter("f", np.zeros((8, 4, 4)))
+        res1 = first.run(max_iterations=50)
+        res2 = second.run(max_iterations=50)
+        assert res1.iterations == res2.iterations
+        assert res1.compute_cycles == res2.compute_cycles
+        np.testing.assert_allclose(first.gather("u"), second.gather("u"))
+
+    def test_precompiled_shape_mismatch_rejected(self):
+        donor = MultiNodeStencil(hypercube_dim=1, shape=(4, 4, 8))
+        with pytest.raises(DecompositionError, match="local shape"):
+            MultiNodeStencil(
+                hypercube_dim=1, shape=(6, 6, 8),
+                precompiled=(donor.setup, donor.machine_program),
+            )
 
 
 class TestPerformanceShape:

@@ -96,6 +96,100 @@ class TestSolverCommands:
         ) == 1
 
 
+class TestServiceCommands:
+    def test_sweep_runs_batch_with_cache_summary(self, tmp_path, capsys):
+        results = tmp_path / "results.jsonl"
+        assert main([
+            "sweep", "--grids", "5,6", "--methods", "jacobi",
+            "--eps", "1e-3", "--max-sweeps", "500", "--repeats", "2",
+            "--results", str(results),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 jobs ok" in out
+        assert "cache: 2 hits, 2 misses" in out
+        assert len(results.read_text().splitlines()) == 4
+
+    def test_sweep_rerun_reproduces_records(self, tmp_path, capsys):
+        argv = ["sweep", "--grids", "5", "--methods", "jacobi,rb-gs",
+                "--eps", "1e-3", "--max-sweeps", "500", "--repeats", "1"]
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(argv + ["--results", str(a)]) == 0
+        assert main(argv + ["--results", str(b)]) == 0
+        assert a.read_text() == b.read_text()
+
+    def test_batch_runs_jobs_file(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps([
+            {"method": "jacobi", "n": 5, "eps": 1e-3, "max_sweeps": 500},
+            {"method": "rb-gs", "n": 5, "eps": 1e-3, "max_sweeps": 500},
+        ]))
+        assert main(["batch", str(jobs)]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 jobs ok" in out
+
+    def test_batch_missing_file_clean_error(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read jobs file" in capsys.readouterr().err
+
+    def test_batch_invalid_json_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert main(["batch", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_batch_bad_spec_clean_error(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps([{"method": "warp-drive"}]))
+        assert main(["batch", str(jobs)]) == 2
+        assert "bad job spec" in capsys.readouterr().err
+
+    def test_sweep_bad_axes_clean_error(self, capsys):
+        assert main(["sweep", "--methods", "frobnicate"]) == 2
+        assert "bad sweep axes" in capsys.readouterr().err
+
+    def test_batch_failure_sets_exit_code(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps({"jobs": [
+            {"method": "jacobi", "n": 5, "eps": 1e-3, "max_sweeps": 500},
+            # nz=5 cannot split across 2 nodes
+            {"method": "jacobi", "n": 5, "hypercube_dim": 1, "eps": 1e-3},
+        ]}))
+        assert main(["batch", str(jobs)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "1/2 jobs ok" in out
+        assert "DecompositionError" in out
+
+
+class TestSubsetUniformity:
+    """--subset must work before or after every subcommand (satellite)."""
+
+    def test_subset_after_subcommand(self, capsys):
+        assert main(["info", "--subset"]) == 0
+        assert "320 MFLOPS" in capsys.readouterr().out
+
+    def test_subset_before_still_wins_over_subparser_default(self, capsys):
+        assert main(["--subset", "info"]) == 0
+        assert "320 MFLOPS" in capsys.readouterr().out
+
+    def test_every_subcommand_accepts_subset(self):
+        parser = build_parser()
+        args = parser.parse_args(["jacobi", "--subset"])
+        assert args.subset is True
+        args = parser.parse_args(["render", "x.json", "--subset"])
+        assert args.subset is True
+        args = parser.parse_args(["sweep", "--subset"])
+        assert args.subset is True
+
+    def test_batch_subset_flag_defaults_jobs(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps([
+            {"method": "jacobi", "n": 5, "eps": 1e-3, "max_sweeps": 500},
+        ]))
+        assert main(["batch", str(jobs), "--subset"]) == 0
+        assert "subset" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
