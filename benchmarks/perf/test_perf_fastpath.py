@@ -1,0 +1,28 @@
+"""Perf suite: backend parity and BENCH artifact generation.
+
+Runs the ``nsc-vpe bench`` scenarios in their quick configuration and
+asserts the contract CI relies on: both backends agree exactly, and every
+scenario emits a machine-readable ``BENCH_<scenario>.json``.  Artifacts go
+to a temporary directory — the tracked tree stays clean.
+"""
+
+import json
+
+from repro.bench import SCENARIOS, format_record, run_bench
+
+
+def test_quick_scenarios_agree_and_emit_artifacts(tmp_path):
+    records = run_bench(quick=True, out_dir=str(tmp_path))
+    assert [r["scenario"] for r in records] == list(SCENARIOS)
+    for record in records:
+        assert record["ok"], (
+            f"backend disagreement in {record['scenario']}: {record['checks']}"
+        )
+        assert record["speedup"] > 0
+        path = tmp_path / f"BENCH_{record['scenario']}.json"
+        assert path.exists()
+        on_disk = json.loads(path.read_text(encoding="utf-8"))
+        assert on_disk["scenario"] == record["scenario"]
+        assert set(on_disk["backends"]) == {"reference", "fast"}
+        line = format_record(record)
+        assert "parity ok" in line

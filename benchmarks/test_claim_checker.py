@@ -10,7 +10,6 @@ delay balancing produces misaligned streams and wrong answers.
 """
 
 import numpy as np
-import pytest
 
 from repro.arch.funcunit import Opcode
 from repro.arch.switch import fu_in, fu_out, mem_read, mem_write

@@ -7,12 +7,10 @@ Measured as: microword size audit, plus editor-actions vs
 microassembler-tokens vs raw-bits for the same programs.
 """
 
-import pytest
 
 from repro.codegen.asmtext import assembly_token_count, disassemble_program
 from repro.codegen.generator import MicrocodeGenerator
 from repro.compose.jacobi import build_jacobi_program
-from repro.compose.kernels import build_saxpy_program
 
 
 def _draw_saxpy_session(node):

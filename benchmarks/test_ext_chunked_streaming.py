@@ -8,7 +8,6 @@ relative to a direct single-pipeline stream.
 """
 
 import numpy as np
-import pytest
 
 from repro.codegen.generator import MicrocodeGenerator
 from repro.compose.kernels import build_chunked_scale_program

@@ -10,7 +10,6 @@ per sweep), and achieved MFLOPS.
 """
 
 import numpy as np
-import pytest
 
 from repro.codegen.generator import MicrocodeGenerator
 from repro.compose.iterative import build_rbsor_program, load_rbsor_inputs

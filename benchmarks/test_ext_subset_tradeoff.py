@@ -8,8 +8,6 @@ sizes, legal-source counts) against performance proxies (peak rate,
 achieved rate, capacity limits).
 """
 
-import numpy as np
-import pytest
 
 from repro.arch.als import ALSKind
 from repro.arch.switch import fu_in
@@ -20,7 +18,6 @@ from repro.compose.kernels import build_saxpy_program, build_wide_program
 from repro.diagram.pipeline import PipelineDiagram
 from repro.sim.machine import NSCMachine
 
-from conftest import boundary_grid
 
 
 def _achieved(node, setup, inputs):

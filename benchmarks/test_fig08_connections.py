@@ -53,7 +53,7 @@ def test_fig08_connections(benchmark, node, save_artifact):
     s2.connect(fu_out(fu2), mem_write(3))
     second = s2.connect(fu_out(fu2 + 1), mem_write(3))
     assert not second.ok
-    rows.append(f"  second writer to plane 3                   REFUSED")
+    rows.append("  second writer to plane 3                   REFUSED")
     rows.append(f"      strip: {s2.message}")
 
     # the pad menu never offers a source the checker would reject

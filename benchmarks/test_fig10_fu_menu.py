@@ -6,14 +6,13 @@ each ALS, min/max entries only on the min/max unit, and every unit gets the
 floating-point set.
 """
 
-from repro.arch.funcunit import FUCapability, Opcode
 from repro.editor.menus import build_fu_op_menu
 from repro.checker.checker import Checker
 
 
 def test_fig10_fu_menu(benchmark, node, save_artifact):
     checker = Checker(node)
-    menu = benchmark(build_fu_op_menu, checker, 4)
+    benchmark(build_fu_op_menu, checker, 4)
 
     rows = ["Fig. 10 operation menus by unit class:",
             "  unit             capability    menu size  example entries"]

@@ -7,7 +7,6 @@ with the machine-semantics NumPy reference and convergence behaviour.
 """
 
 import numpy as np
-import pytest
 
 from repro.apps.poisson3d import jacobi_reference_run
 from repro.codegen.generator import MicrocodeGenerator

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.arch.funcunit import Opcode
 from repro.arch.switch import fu_in, fu_out, mem_read, mem_write
-from repro.codegen.asmtext import assembly_token_count, disassemble_program
+from repro.codegen.asmtext import assembly_token_count
 from repro.codegen.generator import MicrocodeGenerator
 from repro.diagram.pipeline import InputMod, InputModKind
 from repro.editor.render_ascii import render_pipeline_diagram

@@ -127,13 +127,14 @@ def poisson_jobs(
     max_sweeps: int = 20_000,
     omega: float = 1.5,
     subset: bool = False,
+    backend: str = "reference",
 ):
     """The canonical Poisson scenario as batch-service jobs.
 
     One :class:`~repro.service.jobs.SimJob` per solver, all on the same
     ``n^3`` manufactured-solution problem — the service's first customers
-    (the solver-comparison example and the ``sweep`` CLI defaults both
-    build on this)."""
+    (the solver-comparison example, the ``sweep`` CLI defaults, and the
+    ``batch_service`` bench scenario all build on this)."""
     from repro.service.jobs import SimJob  # lazy: keep physics imports light
 
     return [
@@ -144,7 +145,9 @@ def poisson_jobs(
             max_sweeps=max_sweeps,
             omega=omega,
             subset=subset,
-            label=f"{method}-poisson-n{n}",
+            backend=backend,
+            label=f"{method}-poisson-n{n}"
+            + (f"-{backend}" if backend != "reference" else ""),
         )
         for method in methods
     ]

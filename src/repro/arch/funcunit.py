@@ -15,7 +15,6 @@ bypassing one of its units (Fig. 4).
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass
 from typing import Callable, Dict
 

@@ -16,7 +16,7 @@ is the job of :mod:`repro.arch.dma` and the simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np

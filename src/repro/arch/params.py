@@ -15,7 +15,7 @@ unit (one floating-point result per cycle once a pipeline is full).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 MBYTE = 1 << 20

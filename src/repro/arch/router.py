@@ -11,7 +11,7 @@ hops-plus-serialization cost model and per-link traffic accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
 from repro.arch.params import NSCParameters

@@ -1,0 +1,297 @@
+"""Performance harness: the reference interpreter vs. the fast path.
+
+Each scenario runs an identical workload on both execution backends
+(:data:`repro.sim.fastpath.BACKENDS`), *verifies* that they agree —
+bit-identical grids, identical cycle and flop counts — and reports wall
+time, simulated-cycle throughput, and speedup.  Results serialize to
+machine-readable ``BENCH_<scenario>.json`` files, which CI uploads as
+artifacts on every PR (the ``bench-smoke`` job fails if the backends ever
+disagree).
+
+Scenarios:
+
+- ``jacobi_single`` — the paper's Eq. 1 example to convergence on one node;
+- ``jacobi_multinode`` — the 64-node hypercube system (§2), one z-plane per
+  slab, fixed sweep count: the headline fast-path scenario;
+- ``batch_service`` — Poisson solver jobs through the batch service,
+  measuring end-to-end job throughput.
+
+Drive it with ``nsc-vpe bench [--quick] [--scenarios ...] [--out DIR]``, or
+programmatically via :func:`run_scenario` / :func:`run_bench`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.fastpath import BACKENDS
+
+#: Scenario names in canonical execution order.
+SCENARIOS = ("jacobi_single", "jacobi_multinode", "batch_service")
+
+
+class BenchError(ValueError):
+    """Unknown scenario or malformed bench request."""
+
+
+def _timed(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+def _side(wall_s: float, sim_cycles: int, **extra: Any) -> Dict[str, Any]:
+    record = {
+        "wall_s": wall_s,
+        "sim_cycles": int(sim_cycles),
+        "sim_cycles_per_sec": sim_cycles / wall_s if wall_s > 0 else 0.0,
+    }
+    record.update(extra)
+    return record
+
+
+def _finish(
+    name: str,
+    quick: bool,
+    config: Dict[str, Any],
+    sides: Dict[str, Dict[str, Any]],
+    checks: Dict[str, bool],
+) -> Dict[str, Any]:
+    ref_wall = sides["reference"]["wall_s"]
+    fast_wall = sides["fast"]["wall_s"]
+    return {
+        "scenario": name,
+        "quick": quick,
+        "config": config,
+        "backends": sides,
+        "speedup": ref_wall / fast_wall if fast_wall > 0 else 0.0,
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+def _scenario_jacobi_single(quick: bool) -> Dict[str, Any]:
+    from repro.arch.node import NodeConfig
+    from repro.codegen.generator import MicrocodeGenerator
+    from repro.compose.jacobi import build_jacobi_program, load_jacobi_inputs
+    from repro.sim.machine import NSCMachine
+
+    n = 8 if quick else 12
+    eps = 1e-5
+    shape = (n, n, n)
+    node = NodeConfig()
+    setup = build_jacobi_program(node, shape, eps=eps, max_iterations=5000)
+    program = MicrocodeGenerator(node).generate(setup.program)
+    from repro.apps.poisson3d import manufactured_solution
+
+    _u_star, f, _h = manufactured_solution(shape, h=setup.h)
+
+    runs: Dict[str, Any] = {}
+    sides: Dict[str, Dict[str, Any]] = {}
+    for backend in BACKENDS:
+        machine = NSCMachine(node, backend=backend)
+        machine.load_program(program)
+        load_jacobi_inputs(machine, setup, np.zeros(shape), f)
+        result, wall = _timed(machine.run)
+        sweeps = result.loop_iterations.get(setup.update_pipeline, 0)
+        runs[backend] = (machine, result)
+        sides[backend] = _side(wall, result.total_cycles, sweeps=sweeps)
+
+    (m_ref, r_ref), (m_fast, r_fast) = runs["reference"], runs["fast"]
+    checks = {
+        "grids_identical": bool(
+            np.array_equal(m_ref.get_variable("u"), m_fast.get_variable("u"))
+        ),
+        "cycles_equal": r_ref.total_cycles == r_fast.total_cycles,
+        "flops_equal": r_ref.total_flops == r_fast.total_flops,
+        "converged_both": bool(r_ref.converged) and bool(r_fast.converged),
+        "metrics_equal": (
+            m_ref.metrics(r_ref).summary() == m_fast.metrics(r_fast).summary()
+        ),
+    }
+    config = {"shape": list(shape), "eps": eps, "hypercube_dim": 0}
+    return _finish("jacobi_single", quick, config, sides, checks)
+
+
+def _scenario_jacobi_multinode(quick: bool) -> Dict[str, Any]:
+    from repro.apps.poisson3d import manufactured_solution
+    from repro.sim.multinode import MultiNodeStencil
+
+    dim = 6  # the paper's 64-node system
+    shape = (8, 8, 64)  # one real z-plane per slab
+    sweeps = 12 if quick else 40
+    u_star, _f, _h = manufactured_solution(shape)
+
+    runs: Dict[str, Any] = {}
+    sides: Dict[str, Dict[str, Any]] = {}
+    for backend in BACKENDS:
+        stencil = MultiNodeStencil(
+            hypercube_dim=dim, shape=shape, eps=1e-30, backend=backend
+        )
+        stencil.scatter("u", u_star)
+        result, wall = _timed(lambda: stencil.run(max_iterations=sweeps))
+        runs[backend] = (stencil, result)
+        sides[backend] = _side(
+            wall,
+            result.total_cycles,
+            iterations=result.iterations,
+            achieved_gflops=result.achieved_gflops,
+        )
+
+    (s_ref, r_ref), (s_fast, r_fast) = runs["reference"], runs["fast"]
+    checks = {
+        "grids_identical": bool(
+            np.array_equal(s_ref.gather("u"), s_fast.gather("u"))
+        ),
+        "compute_cycles_equal": r_ref.compute_cycles == r_fast.compute_cycles,
+        "comm_cycles_equal": r_ref.comm_cycles == r_fast.comm_cycles,
+        "flops_equal": r_ref.flops == r_fast.flops,
+        "words_equal": r_ref.words_exchanged == r_fast.words_exchanged,
+        "residual_history_equal": (
+            r_ref.residual_history == r_fast.residual_history
+        ),
+    }
+    config = {
+        "shape": list(shape),
+        "hypercube_dim": dim,
+        "n_nodes": 1 << dim,
+        "sweeps": sweeps,
+    }
+    return _finish("jacobi_multinode", quick, config, sides, checks)
+
+
+#: Record keys that may legitimately differ between backend runs.
+_BACKEND_DEPENDENT_KEYS = ("job_id", "label", "backend", "cache_hit")
+
+
+def _scenario_batch_service(quick: bool) -> Dict[str, Any]:
+    from repro.apps.poisson3d import poisson_jobs
+    from repro.service.runner import BatchRunner
+
+    n = 5 if quick else 7
+    eps = 1e-3 if quick else 1e-4
+    methods = ("jacobi", "rb-gs", "rb-sor")
+    max_sweeps = 2000
+
+    runs: Dict[str, Any] = {}
+    sides: Dict[str, Dict[str, Any]] = {}
+    for backend in BACKENDS:
+        jobs = poisson_jobs(
+            n=n, methods=methods, eps=eps, max_sweeps=max_sweeps, backend=backend
+        )
+        runner = BatchRunner(workers=1)
+        (records, summary), wall = _timed(lambda: runner.run(jobs))
+        runs[backend] = records
+        sides[backend] = _side(
+            wall,
+            summary.total_cycles,
+            jobs=summary.total,
+            jobs_per_sec=summary.total / wall if wall > 0 else 0.0,
+        )
+
+    def comparable(record: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            k: v for k, v in record.items() if k not in _BACKEND_DEPENDENT_KEYS
+        }
+
+    ref_records, fast_records = runs["reference"], runs["fast"]
+    checks = {
+        "all_jobs_ok": all(
+            r.get("ok") for r in ref_records + fast_records
+        ),
+        "records_equal": [comparable(r) for r in ref_records]
+        == [comparable(r) for r in fast_records],
+    }
+    config = {
+        "n": n,
+        "methods": list(methods),
+        "eps": eps,
+        "max_sweeps": max_sweeps,
+    }
+    return _finish("batch_service", quick, config, sides, checks)
+
+
+_SCENARIO_FNS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
+    "jacobi_single": _scenario_jacobi_single,
+    "jacobi_multinode": _scenario_jacobi_multinode,
+    "batch_service": _scenario_batch_service,
+}
+
+
+# ----------------------------------------------------------------------
+# driver API
+# ----------------------------------------------------------------------
+def run_scenario(name: str, quick: bool = False) -> Dict[str, Any]:
+    """Run one named scenario on both backends; returns its record."""
+    fn = _SCENARIO_FNS.get(name)
+    if fn is None:
+        raise BenchError(
+            f"unknown scenario {name!r}; expected one of {SCENARIOS}"
+        )
+    return fn(quick)
+
+
+def write_record(record: Dict[str, Any], out_dir: str) -> Path:
+    """Write ``BENCH_<scenario>.json`` under *out_dir*; returns the path."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{record['scenario']}.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def format_record(record: Dict[str, Any]) -> str:
+    """One human-readable summary line per scenario."""
+    ref = record["backends"]["reference"]
+    fast = record["backends"]["fast"]
+    status = "parity ok" if record["ok"] else "BACKENDS DISAGREE"
+    failed = [k for k, v in record["checks"].items() if not v]
+    detail = f" (failed: {', '.join(failed)})" if failed else ""
+    return (
+        f"{record['scenario']:<18} ref {ref['wall_s']:.3f}s "
+        f"({ref['sim_cycles_per_sec']:.3g} cycles/s)  "
+        f"fast {fast['wall_s']:.3f}s "
+        f"({fast['sim_cycles_per_sec']:.3g} cycles/s)  "
+        f"speedup {record['speedup']:.1f}x  {status}{detail}"
+    )
+
+
+def run_bench(
+    scenarios: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    out_dir: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Run the selected (default: all) scenarios, optionally writing JSON."""
+    names = list(scenarios) if scenarios else list(SCENARIOS)
+    for name in names:
+        if name not in _SCENARIO_FNS:
+            raise BenchError(
+                f"unknown scenario {name!r}; expected one of {SCENARIOS}"
+            )
+    records = []
+    for name in names:
+        record = run_scenario(name, quick=quick)
+        if out_dir is not None:
+            write_record(record, out_dir)
+        records.append(record)
+    return records
+
+
+__all__ = [
+    "SCENARIOS",
+    "BenchError",
+    "run_scenario",
+    "run_bench",
+    "write_record",
+    "format_record",
+]

@@ -15,12 +15,12 @@ to check during the editing process".
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.arch.funcunit import OPCODES, Opcode
+from repro.arch.funcunit import Opcode
 from repro.arch.node import NodeConfig
-from repro.arch.switch import DeviceKind, Endpoint, fu_in
-from repro.checker.diagnostics import CheckReport, Severity, error, warning
+from repro.arch.switch import DeviceKind, Endpoint
+from repro.checker.diagnostics import CheckReport, error, warning
 from repro.checker.knowledge import MachineKnowledge
 from repro.checker.rules import ALL_RULES, Rule
 from repro.diagram.pipeline import PipelineDiagram

@@ -10,13 +10,13 @@ with no rule-code changes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import List, Set, Tuple
 
 from repro.arch.als import ALS_CLASSES, ALSClass, ALSKind, InternalEdge
 from repro.arch.funcunit import FUCapability, Opcode, OPCODES, ops_for_capability
 from repro.arch.node import NodeConfig
 from repro.arch.params import NSCParameters
-from repro.arch.switch import DeviceKind, Endpoint
+from repro.arch.switch import Endpoint
 
 
 class MachineKnowledge:

@@ -27,9 +27,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.arch.dma import DMASpecError, Direction
-from repro.arch.funcunit import OPCODES, Opcode
+from repro.arch.funcunit import OPCODES
 from repro.arch.switch import DeviceKind, Endpoint, fu_in, fu_out
-from repro.checker.diagnostics import Diagnostic, error, info, warning
+from repro.checker.diagnostics import Diagnostic, error, warning
 from repro.checker.knowledge import MachineKnowledge
 from repro.diagram.pipeline import DiagramError, InputModKind, PipelineDiagram
 from repro.diagram.program import Declaration

@@ -11,16 +11,24 @@ Subcommands mirror the toolchain:
 - ``solve``      — run jacobi / rb-gs / rb-sor on a Poisson problem
 - ``batch``      — run a JSON file of simulation jobs through the service
 - ``sweep``      — expand a parameter sweep into a job batch and run it
+- ``bench``      — compare the reference and fast execution backends
 
 Programs are the JSON files written by
 :func:`repro.diagram.serialize.save` or :meth:`EditorSession.save`.
 
 ``--subset`` (target the §6 architectural-subset machine) is accepted
 uniformly: either before the subcommand (``nsc-vpe --subset info``) or
-after it (``nsc-vpe info --subset``).  Every command resolves it through
-the shared :func:`_node` helper; for ``batch`` it sets the default for
-jobs that do not specify ``subset`` themselves, and for ``sweep`` it
-selects the subset machine axis.
+after it (``nsc-vpe info --subset``).  Machine-running commands resolve
+it through the shared :func:`_node` helper; for ``batch`` it sets the
+default for jobs that do not specify ``subset`` themselves, and for
+``sweep`` it selects the subset machine axis.  ``bench`` is the one
+exception: its scenarios are fixed full-machine workloads, so it rejects
+``--subset`` rather than silently ignoring it.
+
+``--backend {reference,fast}`` on the executing commands (``jacobi``,
+``solve``, ``batch``, ``sweep``) selects the execution backend; results
+are bit-identical either way (``nsc-vpe bench`` proves it and measures
+the speedup).
 """
 
 from __future__ import annotations
@@ -57,7 +65,6 @@ def cmd_info(args: argparse.Namespace) -> int:
 
     node = _node(args)
     print(render_datapath(node))
-    inv = node.inventory()
     print(f"\nregister file: {node.params.regfile_words} words/unit; "
           f"switch fan-out limit {node.params.switch_max_fanout}; "
           f"hypercube dimension {node.params.hypercube_dim} "
@@ -123,7 +130,7 @@ def cmd_jacobi(args: argparse.Namespace) -> int:
                                  max_iterations=args.max_sweeps)
     program = MicrocodeGenerator(node).generate(setup.program)
     u_star, f, h = manufactured_solution(shape, h=setup.h)
-    machine = NSCMachine(node)
+    machine = NSCMachine(node, backend=args.backend)
     machine.load_program(program)
     load_jacobi_inputs(machine, setup, np.zeros(shape), f)
     result = machine.run()
@@ -150,7 +157,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
     node = _node(args)
     shape = (args.n, args.n, args.n)
     u_star, f, h = manufactured_solution(shape)
-    machine = NSCMachine(node)
+    machine = NSCMachine(node, backend=args.backend)
     if args.method == "jacobi":
         setup = build_jacobi_program(node, shape, h=h, eps=args.eps,
                                      max_iterations=args.max_sweeps)
@@ -214,6 +221,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
             spec = dict(spec)
             if getattr(args, "subset", False):
                 spec.setdefault("subset", True)
+            spec.setdefault("backend", args.backend)
             jobs.append(SimJob.from_dict(spec))
     except (JobSpecError, TypeError, ValueError) as exc:
         print(f"error: bad job spec: {exc}", file=sys.stderr)
@@ -249,6 +257,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             max_sweeps=args.max_sweeps,
             omega=args.omega,
             repeats=args.repeats,
+            backend=args.backend,
         )
     except (JobSpecError, ValueError) as exc:
         print(f"error: bad sweep axes: {exc}", file=sys.stderr)
@@ -261,6 +270,49 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     records, summary = runner.run(jobs)
     _print_batch(records, summary)
     return 0 if summary.failed == 0 else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        SCENARIOS,
+        BenchError,
+        format_record,
+        run_scenario,
+        write_record,
+    )
+
+    if getattr(args, "subset", False):
+        # scenario configurations are fixed full-machine workloads; a
+        # silently ignored --subset would misrepresent the results
+        print("error: bench scenarios target the full machine; "
+              "--subset is not supported", file=sys.stderr)
+        return 2
+    names = (_parse_str_list(args.scenarios) if args.scenarios
+             else list(SCENARIOS))
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(f"error: unknown scenario(s) {', '.join(unknown)}; "
+              f"expected from {', '.join(SCENARIOS)}", file=sys.stderr)
+        return 2
+    ok = True
+    for name in names:
+        try:
+            record = run_scenario(name, quick=args.quick)
+        except BenchError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        path = write_record(record, args.out)
+        print(format_record(record))
+        print(f"  -> {path}")
+        if not record["ok"]:
+            ok = False
+        if args.min_speedup > 0 and record["speedup"] < args.min_speedup:
+            print(f"  speedup {record['speedup']:.1f}x below required "
+                  f"{args.min_speedup:g}x", file=sys.stderr)
+            ok = False
+    print("bench: all backends agree" if ok
+          else "bench: FAILURES (see above)")
+    return 0 if ok else 1
 
 
 def _print_batch(records, summary) -> None:
@@ -322,6 +374,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", type=int, default=9, help="grid points per axis")
     p.add_argument("--eps", type=float, default=1e-6)
     p.add_argument("--max-sweeps", type=int, default=10_000)
+    _add_backend_option(p)
 
     p = sub.add_parser("solve", help="run an iterative Poisson solver",
                        parents=[common])
@@ -330,6 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eps", type=float, default=1e-6)
     p.add_argument("--omega", type=float, default=1.5)
     p.add_argument("--max-sweeps", type=int, default=10_000)
+    _add_backend_option(p)
 
     p = sub.add_parser(
         "batch",
@@ -360,7 +414,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the whole grid this many times (repeats land "
                    "in the program cache)")
     _add_service_options(p)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark the execution backends against each other",
+        parents=[common],
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="smaller problems / fewer sweeps (the CI smoke "
+                   "configuration)")
+    p.add_argument("--scenarios", default=None,
+                   help="comma-separated scenario names (default: all)")
+    p.add_argument("--out", default="benchmarks/perf/out",
+                   help="directory for BENCH_<scenario>.json artifacts")
+    p.add_argument("--min-speedup", type=float, default=0.0,
+                   help="fail unless every scenario reaches this speedup")
     return parser
+
+
+def _add_backend_option(p: argparse.ArgumentParser) -> None:
+    from repro.sim.fastpath import BACKENDS
+
+    p.add_argument("--backend", choices=BACKENDS, default="reference",
+                   help="execution backend (results are bit-identical; "
+                   "'fast' is the vectorized path)")
 
 
 def _add_service_options(p: argparse.ArgumentParser) -> None:
@@ -372,6 +449,7 @@ def _add_service_options(p: argparse.ArgumentParser) -> None:
                    help="append JSONL records to this file")
     p.add_argument("--cache-dir", default=None,
                    help="on-disk program cache shared across workers/runs")
+    _add_backend_option(p)
 
 
 _COMMANDS = {
@@ -384,6 +462,7 @@ _COMMANDS = {
     "solve": cmd_solve,
     "batch": cmd_batch,
     "sweep": cmd_sweep,
+    "bench": cmd_bench,
 }
 
 

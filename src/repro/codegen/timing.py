@@ -216,10 +216,25 @@ def pipeline_cycles(
     )
 
 
+def instruction_cycles(compute_cycles: int, dma_cycles: int, params) -> int:
+    """Issue-to-completion makespan of one instruction.
+
+    Reconfiguration is serial; after it, the remaining compute time and the
+    instruction's DMA work overlap (the paper's compute/DMA concurrency), so
+    the instruction completes when the slower of the two drains.  Both the
+    per-stream reference interpreter and the vectorized fast path derive
+    their cycle counts from this one formula, which is what keeps their
+    timing bit-identical.
+    """
+    reconfig = params.instruction_reconfig_cycles
+    return reconfig + max(compute_cycles - reconfig, dma_cycles)
+
+
 __all__ = [
     "TimingPlan",
     "TimingError",
     "balance_pipeline",
     "validate_delays_fit",
     "pipeline_cycles",
+    "instruction_cycles",
 ]

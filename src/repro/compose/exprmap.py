@@ -15,7 +15,7 @@ direct NumPy evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Union
 
 import numpy as np
 

@@ -9,7 +9,7 @@ pipelines of varying FU counts), and the tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Tuple
 
 from repro.arch.funcunit import Opcode
 from repro.arch.node import NodeConfig

@@ -13,8 +13,8 @@ expose); their screen geometry lives in :mod:`repro.editor.canvas`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.arch.als import ALS_CLASSES, ALSKind, FU_INPUT_PORTS
 from repro.arch.switch import (

@@ -22,10 +22,10 @@ recorded as :class:`InputMod` entries:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.arch.als import ALS_CLASSES, ALSKind
+from repro.arch.als import ALSKind
 from repro.arch.dma import DMASpec
 from repro.arch.funcunit import Opcode
 from repro.arch.switch import DeviceKind, Endpoint, fu_in, fu_out

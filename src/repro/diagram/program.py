@@ -23,8 +23,8 @@ Control operations:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.diagram.pipeline import PipelineDiagram
 

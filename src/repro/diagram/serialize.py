@@ -8,7 +8,7 @@ the editor layer (the paper's two-kinds-of-internal-data split, §4).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict
 
 from repro.arch.als import ALSKind
 from repro.arch.dma import Direction, DMASpec

@@ -13,7 +13,7 @@ wires terminated by small black circles".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.arch.switch import Endpoint

@@ -7,8 +7,8 @@ closure; the stack replays them in order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List
 
 
 class CommandError(Exception):

@@ -13,10 +13,9 @@ Menus are built *through the checker*, so illegal entries are never offered
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from repro.arch.dma import DMASpec, DMASpecError, Direction
-from repro.arch.funcunit import Opcode
+from repro.arch.dma import DMASpec, Direction
 from repro.arch.switch import DeviceKind, Endpoint
 from repro.checker.checker import Checker
 from repro.diagram.pipeline import PipelineDiagram

@@ -8,11 +8,11 @@ tests, and printed by the benchmark harness.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
-from repro.arch.als import ALS_CLASSES, ALSKind
+from repro.arch.als import ALSKind
 from repro.arch.node import NodeConfig
-from repro.arch.switch import DeviceKind, Endpoint
+from repro.arch.switch import DeviceKind
 from repro.diagram.icons import ALSIcon, Icon
 from repro.diagram.pipeline import InputModKind, PipelineDiagram
 from repro.editor.canvas import Canvas, ICON_WIDTH, SLOT_HEIGHT
@@ -153,7 +153,7 @@ def render_datapath(node: NodeConfig) -> str:
         "   +------------------+-------------------+      "
         "+----------------------+",
         "   |            Switch Network             |------|   Memory Planes"
-        f"      |",
+        "      |",
         "   |               (FLONET)                |      "
         f"|  {inv['memory_planes']} x {inv['memory_plane_mbytes']} MB"
         f" ({inv['node_memory_gbytes']:.0f} GB)   |",

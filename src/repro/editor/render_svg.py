@@ -11,7 +11,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 from xml.sax.saxutils import escape
 
-from repro.arch.switch import DeviceKind
 from repro.diagram.icons import ALSIcon
 from repro.diagram.pipeline import PipelineDiagram
 from repro.editor.canvas import Canvas, ICON_WIDTH, SLOT_HEIGHT

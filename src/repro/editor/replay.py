@@ -17,13 +17,11 @@ could not have been drawn legally fails to replay.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
-from repro.arch.switch import DeviceKind, fu_in
 from repro.diagram.pipeline import PipelineDiagram
 from repro.diagram.program import VisualProgram
 from repro.editor.panel import PaletteIcon
-from repro.editor.session import EditorError, EditorSession
+from repro.editor.session import EditorSession
 
 
 class ReplayError(Exception):

@@ -16,10 +16,10 @@ displayed in the narrow strip across the top".
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.arch.als import ALSKind
-from repro.arch.dma import DMASpec, DMASpecError, Direction
+from repro.arch.dma import DMASpecError
 from repro.arch.funcunit import Opcode
 from repro.arch.node import NodeConfig
 from repro.arch.switch import DeviceKind, Endpoint, fu_in

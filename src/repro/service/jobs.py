@@ -23,6 +23,7 @@ from dataclasses import asdict, dataclass, fields
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.arch.params import NSCParameters, SUBSET_PARAMS
+from repro.sim.fastpath import BACKENDS
 
 #: Solvers the service can build itself, plus "program" for saved diagrams.
 METHODS = ("jacobi", "rb-gs", "rb-sor", "program")
@@ -47,6 +48,12 @@ class SimJob:
     ``(field, value)`` pairs applied to the base parameters via
     :meth:`NSCParameters.subset` — a tuple rather than a dict so the spec
     stays hashable and canonically ordered.
+
+    ``backend`` picks the execution backend (``"reference"`` or ``"fast"``,
+    see :mod:`repro.sim.fastpath`).  The backend changes how streams are
+    evaluated, never what they produce, so it is deliberately excluded from
+    :meth:`program_key`/:meth:`cache_key` — both backends share one
+    compiled program.
     """
 
     method: str = "jacobi"
@@ -58,12 +65,17 @@ class SimJob:
     hypercube_dim: int = 0
     program_path: Optional[str] = None
     param_overrides: Tuple[Tuple[str, Any], ...] = ()
+    backend: str = "reference"
     label: str = ""
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
             raise JobSpecError(
                 f"unknown method {self.method!r}; expected one of {METHODS}"
+            )
+        if self.backend not in BACKENDS:
+            raise JobSpecError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
             )
         if self.method == "program" and not self.program_path:
             raise JobSpecError("method 'program' requires program_path")
@@ -146,6 +158,7 @@ class SimJob:
             "hypercube_dim": self.hypercube_dim,
             "program_path": self.program_path,
             "param_overrides": [list(p) for p in self.param_overrides],
+            "backend": self.backend,
             "label": self.label,
         }
 
@@ -178,7 +191,9 @@ class SimJob:
             tag += f"-d{self.hypercube_dim}"
         if self.subset:
             tag += "-subset"
+        if self.backend != "reference":
+            tag += f"-{self.backend}"
         return tag
 
 
-__all__ = ["SimJob", "JobSpecError", "METHODS"]
+__all__ = ["SimJob", "JobSpecError", "METHODS", "BACKENDS"]

@@ -72,6 +72,7 @@ def execute_job(
         "eps": job.eps,
         "subset": job.subset,
         "hypercube_dim": job.hypercube_dim,
+        "backend": job.backend,
         "cache_key": job.cache_key(),
     }
     hits_before = cache.stats.hits
@@ -117,7 +118,7 @@ def _run_single(job: SimJob, cache: ProgramCache) -> Dict[str, Any]:
     setup, program = cache.get_or_compile(
         job.cache_key(), lambda: _compile_single(job, node)
     )
-    machine = NSCMachine(node)
+    machine = NSCMachine(node, backend=job.backend)
     machine.load_program(program)
 
     watch = None
@@ -178,6 +179,7 @@ def _run_multinode(job: SimJob, cache: ProgramCache) -> Dict[str, Any]:
         shape=job.shape,
         eps=job.eps,
         precompiled=precompiled,
+        backend=job.backend,
     )
     # deterministic non-trivial start: relax the manufactured field to zero
     u_star, _f, _h = manufactured_solution(job.shape)

@@ -18,12 +18,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.service.jobs import METHODS, JobSpecError, SimJob
+from repro.service.jobs import BACKENDS, METHODS, JobSpecError, SimJob
 
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """Axes and shared settings for one sweep."""
+    """Axes and shared settings for one sweep.
+
+    ``backend`` is a shared setting, not an axis: a sweep runs entirely on
+    one execution backend (jobs carry it so the records say which)."""
 
     grids: Tuple[int, ...] = (7,)
     methods: Tuple[str, ...] = ("jacobi",)
@@ -33,10 +36,15 @@ class SweepSpec:
     max_sweeps: int = 10_000
     omega: float = 1.5
     repeats: int = 1
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
         if self.repeats < 1:
             raise JobSpecError("repeats must be >= 1")
+        if self.backend not in BACKENDS:
+            raise JobSpecError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
         if not self.grids or not self.methods or not self.dims or not self.subset:
             raise JobSpecError("every sweep axis needs at least one value")
         for m in self.methods:
@@ -92,6 +100,8 @@ class SweepSpec:
                             label = f"{method}-n{n}-d{dim}"
                             if sub:
                                 label += "-subset"
+                            if self.backend != "reference":
+                                label += f"-{self.backend}"
                             if self.repeats > 1:
                                 label += f"#r{rep}"
                             jobs.append(SimJob(
@@ -102,6 +112,7 @@ class SweepSpec:
                                 omega=self.omega,
                                 subset=sub,
                                 hypercube_dim=dim,
+                                backend=self.backend,
                                 label=label,
                             ))
         return jobs, skips

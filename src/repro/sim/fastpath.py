@@ -1,0 +1,752 @@
+"""Vectorized fast-path execution backend.
+
+The reference interpreter (:mod:`repro.sim.pipeline_exec`) re-resolves every
+operand, recomputes every shift/delay tap, and walks one machine at a time —
+faithful, but dominated by Python dispatch for the small vectors a single
+node streams.  This module provides the ``backend="fast"`` alternative:
+
+- a :class:`_FastPlan` compiled once per :class:`PipelineImage` — operand
+  sources, shift/delay taps, write-backs, and the DMA cycle charges are all
+  resolved up front, so each issue is a straight run down precomputed steps;
+- :func:`execute_image_fast`, a drop-in replacement for
+  :func:`~repro.sim.pipeline_exec.execute_image` producing bit-identical
+  grids, cycle counts, exception flags, and interrupts;
+- :class:`FastMultiNodeEngine`, which executes the SPMD multi-node sweep
+  with *whole-system* NumPy operations: every node's planes are stacked
+  into ``(n_nodes, words)`` arrays and one set of kernel calls updates all
+  slabs at once, with cycle counts derived analytically from
+  :func:`repro.codegen.timing.instruction_cycles` instead of per-node
+  stepping.
+
+Parity is a hard contract, not an aspiration: the fast path uses the same
+opcode kernels, the same operation order, and the same cycle formula as the
+reference, so results agree bit-for-bit (``nsc-vpe bench`` asserts this on
+every run, and CI runs it on every PR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.arch.funcunit import OPCODES, Opcode
+from repro.arch.interrupts import InterruptKind
+from repro.arch.switch import DeviceKind, Endpoint
+from repro.codegen.generator import PipelineImage
+from repro.codegen.timing import instruction_cycles
+from repro.sim.pipeline_exec import ExecutionError, PipelineResult
+from repro.sim.streams import (
+    _ACCUMULATING,
+    StreamError,
+    detect_exceptions,
+    eval_feedback,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.machine import NSCMachine
+    from repro.sim.multinode import MultiNodeStencil
+
+#: The selectable execution backends, in documentation order.
+BACKENDS = ("reference", "fast")
+
+
+def validate_backend(backend: str) -> str:
+    """Return *backend* if it names a known execution backend."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown execution backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+def shift_last(stream: np.ndarray, shift: int) -> np.ndarray:
+    """:func:`repro.arch.shift_delay.shift_stream` along the last axis.
+
+    Identical semantics (``out[..., i] = in[..., i + shift]``, zero fill) but
+    batchable: a ``(nodes, words)`` array shifts every node's stream in one
+    call.
+    """
+    if shift == 0:
+        return stream
+    out = np.empty_like(stream)
+    n = stream.shape[-1]
+    if shift >= 0:
+        m = max(n - shift, 0)
+        if m > 0:
+            out[..., :m] = stream[..., shift:]
+        out[..., m:] = 0.0
+    else:
+        m = max(n + shift, 0)
+        if m > 0:
+            out[..., -m:] = stream[..., :m]
+        out[..., : n - m] = 0.0
+    return out
+
+
+# ----------------------------------------------------------------------
+# operand descriptors (interpreted by _fetch)
+# ----------------------------------------------------------------------
+_OP_CONST = 0  # key = the constant value
+_OP_OUTPUT = 1  # key = source FU number
+_OP_STREAM = 2  # key = source Endpoint
+_OP_TAP = 3  # key = (shift/delay unit, tap)
+
+Operand = Tuple[int, Any, int]  # (code, key, residual skew)
+
+
+@dataclass(frozen=True)
+class _Step:
+    """One functional unit's evaluation, fully resolved."""
+
+    fu: int
+    opcode: Opcode
+    kernel: Any
+    arity: int
+    uses_constant: bool
+    constant: float
+    a: Optional[Operand]
+    b: Optional[Operand]
+    fb_port: Optional[str] = None  # feedback loop port, if any
+    fb_init: float = 0.0
+    other: Optional[Operand] = None  # the data operand of a feedback unit
+
+
+@dataclass(frozen=True)
+class _Write:
+    """One write-back: where the values come from and the DMA program."""
+
+    code: int  # _OP_OUTPUT | _OP_STREAM | _OP_TAP
+    key: Any
+    prog: Any  # DMAProgram
+
+
+@dataclass
+class _FastPlan:
+    """Everything about one image that does not change between issues."""
+
+    params: Any
+    n: int
+    reads: List[Tuple[Endpoint, Any]] = field(default_factory=list)
+    taps: Dict[Tuple[int, int], Tuple[Endpoint, int]] = field(default_factory=dict)
+    steps: List[_Step] = field(default_factory=list)
+    writes: List[_Write] = field(default_factory=list)
+    dma_cycles: int = 0  # analytic makespan of the image's DMA work
+
+
+def _need_tap(
+    plan: _FastPlan, image: PipelineImage, unit: int, tap: int
+) -> Tuple[int, int]:
+    """Register a shift/delay tap the plan must materialize; returns its key."""
+    key = (unit, tap)
+    if key in plan.taps:
+        return key
+    feeder = image.sd_feeders.get(unit)
+    if feeder is None:
+        raise ExecutionError(f"shift/delay unit {unit} has no input stream")
+    if feeder not in image.read_programs:
+        raise ExecutionError(
+            f"shift/delay unit {unit} fed by {feeder}, which was not read"
+        )
+    shift = image.sd_shifts.get(key)
+    if shift is None:
+        raise ExecutionError(f"sd[{unit}].tap{tap} used but not configured")
+    plan.taps[key] = (feeder, shift)
+    return key
+
+
+def _operand_descriptor(
+    plan: _FastPlan, image: PipelineImage, resolved: Any
+) -> Operand:
+    if resolved.kind == "const":
+        return (_OP_CONST, resolved.value, 0)
+    if resolved.kind in ("fu", "internal"):
+        return (_OP_OUTPUT, resolved.src_fu, resolved.skew)
+    if resolved.kind in ("mem", "cache"):
+        ep = resolved.endpoint
+        if ep is None or ep not in image.read_programs:
+            raise ExecutionError(f"stream for {ep} was not read")
+        return (_OP_STREAM, ep, resolved.skew)
+    if resolved.kind == "sd":
+        ep = resolved.endpoint
+        assert ep is not None
+        key = _need_tap(plan, image, ep.device, int(ep.port[3:]))
+        return (_OP_TAP, key, resolved.skew)
+    raise ExecutionError(f"unresolvable input kind {resolved.kind!r}")
+
+
+def _build_plan(image: PipelineImage, params: Any) -> _FastPlan:
+    plan = _FastPlan(params=params, n=image.vector_length)
+    plan.reads = list(image.read_programs.items())
+
+    for fu in image.fu_order:
+        opcode, constant = image.fu_ops[fu]
+        info = OPCODES[opcode]
+        in_a = image.inputs.get((fu, "a"))
+        in_b = image.inputs.get((fu, "b"))
+
+        fb_port: Optional[str] = None
+        if in_a is not None and in_a.kind == "feedback":
+            fb_port = "a"
+        if in_b is not None and in_b.kind == "feedback":
+            if fb_port is not None:
+                raise ExecutionError(f"fu{fu}: both inputs are feedback loops")
+            fb_port = "b"
+
+        if fb_port is not None:
+            fb = in_a if fb_port == "a" else in_b
+            other = in_b if fb_port == "a" else in_a
+            if other is None:
+                raise ExecutionError(f"fu{fu}: feedback loop with no data input")
+            plan.steps.append(
+                _Step(
+                    fu=fu,
+                    opcode=opcode,
+                    kernel=info.kernel,
+                    arity=info.arity,
+                    uses_constant=info.uses_constant,
+                    constant=constant,
+                    a=None,
+                    b=None,
+                    fb_port=fb_port,
+                    fb_init=fb.value,
+                    other=_operand_descriptor(plan, image, other),
+                )
+            )
+            continue
+
+        if in_a is None:
+            raise ExecutionError(f"fu{fu}: input a unconnected")
+        a = _operand_descriptor(plan, image, in_a)
+        b: Optional[Operand] = None
+        if info.arity == 2 and not info.uses_constant:
+            if in_b is None:
+                raise ExecutionError(f"fu{fu}: input b unconnected")
+            b = _operand_descriptor(plan, image, in_b)
+        plan.steps.append(
+            _Step(
+                fu=fu,
+                opcode=opcode,
+                kernel=info.kernel,
+                arity=info.arity,
+                uses_constant=info.uses_constant,
+                constant=constant,
+                a=a,
+                b=b,
+            )
+        )
+
+    for driver, _sink, prog in image.write_programs:
+        if driver.kind is DeviceKind.FU:
+            if driver.device not in image.fu_ops:
+                raise ExecutionError(
+                    f"write-back from fu{driver.device}, which produced nothing"
+                )
+            plan.writes.append(_Write(_OP_OUTPUT, driver.device, prog))
+        elif driver.kind is DeviceKind.SHIFT_DELAY:
+            key = _need_tap(plan, image, driver.device, int(driver.port[3:]))
+            plan.writes.append(_Write(_OP_TAP, key, prog))
+        else:
+            if driver not in image.read_programs:
+                raise ExecutionError(f"write-back from unread stream {driver}")
+            plan.writes.append(_Write(_OP_STREAM, driver, prog))
+
+    # analytic DMA accounting: controllers run in parallel, transfers on the
+    # same device serialize — exactly DMAEngine.instruction_dma_cycles()
+    charges: Dict[Tuple[Any, int], int] = {}
+    for prog in [p for _, p in plan.reads] + [w.prog for w in plan.writes]:
+        key = (prog.spec.device_kind, prog.spec.device)
+        charges[key] = charges.get(key, 0) + prog.cycles(params)
+    plan.dma_cycles = max(charges.values(), default=0)
+    return plan
+
+
+def plan_for(image: PipelineImage, params: Any) -> _FastPlan:
+    """Get the compiled plan for *image*, building and caching on first use."""
+    cached = image.__dict__.get("_fastpath_plan")
+    if cached is not None and cached.params == params:
+        return cached
+    plan = _build_plan(image, params)
+    image.__dict__["_fastpath_plan"] = plan
+    return plan
+
+
+# ----------------------------------------------------------------------
+# evaluation (shared by the single-node and batched executors)
+# ----------------------------------------------------------------------
+def _fetch(
+    descr: Operand,
+    streams: Dict[Endpoint, np.ndarray],
+    taps: Dict[Tuple[int, int], np.ndarray],
+    outputs: Dict[int, np.ndarray],
+    shape: Tuple[int, ...],
+) -> np.ndarray:
+    code, key, skew = descr
+    if code == _OP_CONST:
+        return np.full(shape, key, dtype=np.float64)
+    if code == _OP_OUTPUT:
+        base = outputs.get(key)
+        if base is None:
+            raise ExecutionError(f"fu{key} output needed before it was produced")
+    elif code == _OP_STREAM:
+        base = streams[key]
+    else:
+        base = taps[key]
+    return shift_last(base, skew)
+
+
+def _eval_feedback_batched(
+    opcode: Opcode, x: np.ndarray, feedback_port: str, init: float
+) -> np.ndarray:
+    """:func:`repro.sim.streams.eval_feedback` over a ``(nodes, n)`` batch.
+
+    Row *i* of the result is bit-identical to the 1-D evaluation of row *i*:
+    the accumulating ufuncs apply the same pairwise operations in the same
+    order along the last axis.
+    """
+    rows, n = x.shape
+    if n == 0:
+        return x.copy()
+    info = OPCODES[opcode]
+    ufunc = _ACCUMULATING.get(opcode)
+    if ufunc is not None:
+        seeded = np.empty((rows, n + 1), dtype=np.float64)
+        seeded[:, 0] = init
+        seeded[:, 1:] = x
+        return ufunc.accumulate(seeded, axis=1)[:, 1:]
+    if opcode in (Opcode.MAXABS, Opcode.MINABS):
+        base = np.maximum if opcode is Opcode.MAXABS else np.minimum
+        seeded = np.empty((rows, n + 1), dtype=np.float64)
+        seeded[:, 0] = abs(init)
+        seeded[:, 1:] = np.abs(x)
+        return base.accumulate(seeded, axis=1)[:, 1:]
+
+    kernel = info.kernel
+    out = np.empty((rows, n), dtype=np.float64)
+    prev = np.full(rows, init, dtype=np.float64)
+    if feedback_port == "b":
+        for i in range(n):
+            prev = np.asarray(kernel(x[:, i], prev), dtype=np.float64)
+            out[:, i] = prev
+    else:
+        for i in range(n):
+            prev = np.asarray(kernel(prev, x[:, i]), dtype=np.float64)
+            out[:, i] = prev
+    return out
+
+
+def _eval_steps(
+    plan: _FastPlan,
+    streams: Dict[Endpoint, np.ndarray],
+    taps: Dict[Tuple[int, int], np.ndarray],
+    shape: Tuple[int, ...],
+) -> Dict[int, np.ndarray]:
+    """Run the precompiled FU DAG; *shape* is the stream shape (1-D or 2-D)."""
+    outputs: Dict[int, np.ndarray] = {}
+    for step in plan.steps:
+        if step.fb_port is not None:
+            x = _fetch(step.other, streams, taps, outputs, shape)
+            if x.ndim == 1:
+                result = eval_feedback(
+                    step.opcode, x, step.fb_port, init=step.fb_init
+                )
+            else:
+                if step.arity != 2:
+                    raise StreamError(
+                        f"feedback requires a binary operation, "
+                        f"not {step.opcode.value}"
+                    )
+                result = _eval_feedback_batched(
+                    step.opcode, x, step.fb_port, step.fb_init
+                )
+        else:
+            a = _fetch(step.a, streams, taps, outputs, shape)
+            if step.uses_constant:
+                result = np.asarray(step.kernel(a, step.constant), dtype=np.float64)
+            elif step.arity == 1:
+                result = np.asarray(step.kernel(a), dtype=np.float64)
+            else:
+                b = _fetch(step.b, streams, taps, outputs, shape)
+                if a.shape != b.shape:
+                    raise StreamError(
+                        f"operand length mismatch for {step.opcode.value}: "
+                        f"{a.size} vs {b.size}"
+                    )
+                result = np.asarray(step.kernel(a, b), dtype=np.float64)
+        outputs[step.fu] = result
+    return outputs
+
+
+def _materialize_taps(
+    plan: _FastPlan, streams: Dict[Endpoint, np.ndarray]
+) -> Dict[Tuple[int, int], np.ndarray]:
+    return {
+        key: shift_last(streams[feeder], shift)
+        for key, (feeder, shift) in plan.taps.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# single-node fast executor
+# ----------------------------------------------------------------------
+def execute_image_fast(
+    image: PipelineImage,
+    machine: "NSCMachine",
+    keep_outputs: bool = False,
+) -> PipelineResult:
+    """Issue one instruction through the precompiled fast path.
+
+    Observable behaviour — result values, DMA statistics, cycle and flop
+    counts, exception flags, and posted interrupts — matches
+    :func:`~repro.sim.pipeline_exec.execute_image` exactly.
+    """
+    plan = plan_for(image, machine.node.params)
+    n = plan.n
+    machine.dma.begin_instruction()
+    streams = {ep: machine.dma.read_stream(prog) for ep, prog in plan.reads}
+    taps = _materialize_taps(plan, streams)
+    outputs = _eval_steps(plan, streams, taps, (n,))
+
+    exceptions: List[str] = []
+    for step in plan.steps:
+        for flag in detect_exceptions(outputs[step.fu]):
+            exceptions.append(f"fu{step.fu}:{flag}")
+            kind = (
+                InterruptKind.FP_OVERFLOW
+                if flag == "overflow"
+                else InterruptKind.FP_INVALID
+            )
+            machine.interrupts.post(kind, machine.cycle, source=f"fu{step.fu}")
+
+    for write in plan.writes:
+        if write.code == _OP_OUTPUT:
+            values = outputs[write.key]
+        elif write.code == _OP_TAP:
+            values = taps[write.key]
+        else:
+            values = streams[write.key]
+        machine.dma.write_stream(write.prog, values)
+
+    condition_result: Optional[bool] = None
+    condition_value: Optional[float] = None
+    if image.condition is not None:
+        cond = image.condition
+        stream = outputs.get(cond.fu)
+        if stream is None or stream.size == 0:
+            raise ExecutionError(
+                f"condition watches fu{cond.fu}, which produced no stream"
+            )
+        condition_value = float(stream[-1])
+        condition_result = cond.evaluate(condition_value)
+
+    compute_cycles = image.total_cycles
+    dma_cycles = machine.dma.instruction_dma_cycles()
+    cycles = instruction_cycles(compute_cycles, dma_cycles, machine.node.params)
+
+    machine.interrupts.post(
+        InterruptKind.PIPELINE_COMPLETE,
+        machine.cycle + cycles,
+        source=f"pipeline{image.number}",
+    )
+    if condition_result is not None:
+        machine.interrupts.post(
+            InterruptKind.CONDITION_TRUE
+            if condition_result
+            else InterruptKind.CONDITION_FALSE,
+            machine.cycle + cycles,
+            source=f"pipeline{image.number}",
+            payload=float(outputs[image.condition.fu][-1]),
+        )
+
+    return PipelineResult(
+        number=image.number,
+        cycles=cycles,
+        compute_cycles=compute_cycles,
+        dma_cycles=dma_cycles,
+        flops=image.total_flops,
+        vector_length=n,
+        active_fus=len(image.fu_ops),
+        condition_result=condition_result,
+        condition_value=condition_value,
+        exceptions=exceptions,
+        fu_outputs=dict(outputs) if keep_outputs else {},
+    )
+
+
+# ----------------------------------------------------------------------
+# batched multi-node engine
+# ----------------------------------------------------------------------
+class HaloCommPlan:
+    """Analytic accounting for a repeated, identical halo exchange.
+
+    The reference loop re-routes the same message set through the
+    hyperspace router every sweep.  Routing is deterministic, so the fast
+    path routes once, records the makespan and the per-link traffic deltas,
+    and replays those deltas on subsequent sweeps — the router ends a run
+    with exactly the statistics a reference run produces, without
+    recomputing e-cube paths a thousand times.
+    """
+
+    def __init__(self, router: Any, messages: List[Any]) -> None:
+        self.router = router
+        self.messages = messages
+        self._replay: Optional[Tuple[int, List[Tuple[Any, int, int]], int]] = None
+
+    def exchange(self) -> int:
+        if not self.messages:
+            return 0
+        if self._replay is None:
+            before = {
+                key: (stats.messages, stats.words)
+                for key, stats in self.router.link_stats.items()
+            }
+            sent_before = self.router.messages_sent
+            cycles = self.router.exchange(self.messages)
+            deltas = []
+            for key, stats in self.router.link_stats.items():
+                base_messages, base_words = before.get(key, (0, 0))
+                delta = (
+                    key,
+                    stats.messages - base_messages,
+                    stats.words - base_words,
+                )
+                if delta[1] or delta[2]:
+                    deltas.append(delta)
+            self._replay = (cycles, deltas, self.router.messages_sent - sent_before)
+            return cycles
+        cycles, deltas, sent = self._replay
+        from repro.arch.router import LinkStats
+
+        for key, d_messages, d_words in deltas:
+            stats = self.router.link_stats.setdefault(key, LinkStats())
+            stats.messages += d_messages
+            stats.words += d_words
+        self.router.messages_sent += sent
+        return cycles
+
+
+class FastMultiNodeEngine:
+    """Whole-system vectorized execution of the SPMD multi-node sweep.
+
+    Every node runs the same program on its own slab, so the engine stacks
+    all nodes' memory planes into ``(n_nodes, words)`` arrays and issues one
+    set of NumPy operations per instruction for the entire machine.  Grids,
+    residual histories, and cycle/flop counts are bit-identical to the
+    per-node reference loop; what the fast engine deliberately does *not*
+    model are per-node side channels nobody aggregates — DMA statistics and
+    interrupt queues of the individual :class:`NSCMachine` objects stay
+    untouched, and FP exception interrupts are not posted during sweeps.
+
+    Machine plane memory (and cache buffers) are pulled once at
+    construction and pushed back by :meth:`finish`, so ``gather`` and
+    direct variable inspection behave exactly as after a reference run.
+    """
+
+    def __init__(self, stencil: "MultiNodeStencil") -> None:
+        self.stencil = stencil
+        self.machines = stencil.machines
+        self.params = stencil.params
+        self.n_nodes = len(self.machines)
+        program = stencil.machine_program
+        self.load_image = program.images[0]
+        self.update_image = program.images[1]
+        self.load_plan = plan_for(self.load_image, self.params)
+        self.update_plan = plan_for(self.update_image, self.params)
+        self.variables = dict(self.machines[0].memory.variables)
+        self.sweep_flops = self.n_nodes * self.update_image.total_flops
+        self.planes: Dict[int, np.ndarray] = {}
+        self.cache_front: Dict[int, np.ndarray] = {}
+        self.cache_back: Dict[int, np.ndarray] = {}
+        self._pull_state()
+
+    # ------------------------------------------------------------------
+    # state transfer between machines and stacked arrays
+    # ------------------------------------------------------------------
+    def _abs_base(self, prog: Any) -> int:
+        spec = prog.spec
+        if spec.is_symbolic:
+            var = self.variables.get(spec.variable or "")
+            if var is None:
+                raise ExecutionError(
+                    f"variable {spec.variable!r} is not loaded on this node"
+                )
+            return var.offset + spec.offset
+        return prog.base_offset
+
+    def _prog_extent(self, prog: Any) -> int:
+        base = self._abs_base(prog)
+        spec = prog.spec
+        if prog.count == 0:
+            return base
+        last = base + (prog.count - 1) * spec.stride
+        if min(base, last) < 0:
+            raise ExecutionError(f"negative address in DMA program {spec}")
+        return max(base, last) + 1
+
+    def _pull_state(self) -> None:
+        plane_extent: Dict[int, int] = {}
+        cache_extent: Dict[int, int] = {}
+        for plan in (self.load_plan, self.update_plan):
+            progs = [p for _, p in plan.reads] + [w.prog for w in plan.writes]
+            for prog in progs:
+                extent = self._prog_extent(prog)
+                target = (
+                    plane_extent
+                    if prog.spec.device_kind is DeviceKind.MEMORY
+                    else cache_extent
+                )
+                device = prog.spec.device
+                target[device] = max(target.get(device, 0), extent)
+        for var in self.variables.values():
+            plane_extent[var.plane] = max(plane_extent.get(var.plane, 0), var.end)
+
+        for plane, extent in plane_extent.items():
+            self.planes[plane] = np.stack(
+                [m.memory.plane(plane).read(0, extent) for m in self.machines]
+            )
+        for cache, extent in cache_extent.items():
+            self.cache_front[cache] = np.stack(
+                [m.caches[cache].front[:extent].copy() for m in self.machines]
+            )
+            self.cache_back[cache] = np.stack(
+                [m.caches[cache].back[:extent].copy() for m in self.machines]
+            )
+
+    def finish(self) -> None:
+        """Push the stacked state back into every machine's storage."""
+        for plane, stacked in self.planes.items():
+            for i, machine in enumerate(self.machines):
+                machine.memory.plane(plane).write(0, stacked[i])
+        for cache, stacked in self.cache_front.items():
+            for i, machine in enumerate(self.machines):
+                machine.caches[cache].front[: stacked.shape[1]] = stacked[i]
+        for cache, stacked in self.cache_back.items():
+            for i, machine in enumerate(self.machines):
+                machine.caches[cache].back[: stacked.shape[1]] = stacked[i]
+
+    # ------------------------------------------------------------------
+    # batched instruction issue
+    # ------------------------------------------------------------------
+    def _read_streams(self, plan: _FastPlan) -> Dict[Endpoint, np.ndarray]:
+        streams: Dict[Endpoint, np.ndarray] = {}
+        for ep, prog in plan.reads:
+            spec = prog.spec
+            base = self._abs_base(prog)
+            if spec.device_kind is DeviceKind.MEMORY:
+                arr = self.planes[spec.device]
+            else:
+                arr = self.cache_front[spec.device]
+            if spec.stride > 0:
+                streams[ep] = arr[:, base : base + prog.count * spec.stride : spec.stride]
+            else:
+                last = base + (prog.count - 1) * spec.stride
+                stop = last - 1 if last > 0 else None
+                streams[ep] = arr[:, base : stop : spec.stride]
+        return streams
+
+    def _write_streams(
+        self,
+        plan: _FastPlan,
+        outputs: Dict[int, np.ndarray],
+        taps: Dict[Tuple[int, int], np.ndarray],
+        streams: Dict[Endpoint, np.ndarray],
+    ) -> None:
+        for write in plan.writes:
+            if write.code == _OP_OUTPUT:
+                values = outputs[write.key]
+            elif write.code == _OP_TAP:
+                values = taps[write.key]
+            else:
+                values = streams[write.key]
+            prog = write.prog
+            spec = prog.spec
+            if values.shape[1] > prog.count:
+                values = values[:, : prog.count]
+            width = values.shape[1]
+            base = self._abs_base(prog)
+            if spec.device_kind is DeviceKind.MEMORY:
+                arr = self.planes[spec.device]
+            else:
+                arr = self.cache_back[spec.device]
+            if spec.stride > 0:
+                arr[:, base : base + width * spec.stride : spec.stride] = values
+            else:
+                last = base + (width - 1) * spec.stride
+                stop = last - 1 if last > 0 else None
+                arr[:, base : stop : spec.stride] = values
+
+    def _issue(self, plan: _FastPlan) -> Dict[int, np.ndarray]:
+        streams = self._read_streams(plan)
+        taps = _materialize_taps(plan, streams)
+        outputs = _eval_steps(plan, streams, taps, (self.n_nodes, plan.n))
+        self._write_streams(plan, outputs, taps, streams)
+        return outputs
+
+    def _cycles(self, image: PipelineImage, plan: _FastPlan) -> int:
+        return instruction_cycles(image.total_cycles, plan.dma_cycles, self.params)
+
+    # ------------------------------------------------------------------
+    # the multi-node protocol (mirrors MultiNodeStencil's reference loop)
+    # ------------------------------------------------------------------
+    def load_caches(self) -> int:
+        """Run the mask-load pipeline on all nodes at once; returns cycles."""
+        self._issue(self.load_plan)
+        setup = self.stencil.setup
+        for cache_id in (setup.mask_cache, setup.invmask_cache):
+            if cache_id in self.cache_front:
+                self.cache_front[cache_id], self.cache_back[cache_id] = (
+                    self.cache_back[cache_id],
+                    self.cache_front[cache_id],
+                )
+            for machine in self.machines:
+                machine.caches[cache_id].swap()
+        return self._cycles(self.load_image, self.load_plan)
+
+    def _swap_vars(self, a: str, b: str) -> None:
+        va = self.variables[a]
+        vb = self.variables[b]
+        slab_a = self.planes[va.plane][:, va.offset : va.end]
+        slab_b = self.planes[vb.plane][:, vb.offset : vb.end]
+        tmp = slab_a.copy()
+        slab_a[:] = slab_b
+        slab_b[:] = tmp
+
+    def sweep(self) -> Tuple[int, float]:
+        """One Jacobi sweep on every node; returns (cycles, global residual)."""
+        outputs = self._issue(self.update_plan)
+        residual = 0.0
+        cond = self.update_image.condition
+        if cond is not None:
+            for value in outputs[cond.fu][:, -1]:
+                residual = max(residual, float(value))
+        self._swap_vars("u", "u_new")
+        return self._cycles(self.update_image, self.update_plan), residual
+
+    def exchange_halos(self) -> None:
+        """Ghost-plane exchange between adjacent slabs, vectorized."""
+        if self.n_nodes < 2:
+            return
+        var = self.variables["u"]
+        plane = self.planes[var.plane]
+        nx, ny, _nz = self.stencil.shape
+        pw = nx * ny
+        nzl = self.stencil.nz_local
+        off = var.offset
+        # each slab's last real plane -> its upper neighbour's low ghost
+        plane[1:, off : off + pw] = plane[:-1, off + nzl * pw : off + (nzl + 1) * pw]
+        # each slab's first real plane -> its lower neighbour's high ghost
+        plane[:-1, off + (nzl + 1) * pw : off + (nzl + 2) * pw] = plane[
+            1:, off + pw : off + 2 * pw
+        ]
+
+
+__all__ = [
+    "BACKENDS",
+    "validate_backend",
+    "shift_last",
+    "execute_image_fast",
+    "plan_for",
+    "FastMultiNodeEngine",
+    "HaloCommPlan",
+]

@@ -10,7 +10,7 @@ simulator's achieved rates against those peaks and explains the gap
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, TYPE_CHECKING
+from typing import Dict, TYPE_CHECKING
 
 from repro.arch.params import NSCParameters
 from repro.sim.sequencer import SequencerResult

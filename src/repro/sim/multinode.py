@@ -13,7 +13,7 @@ counts tracked separately.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -21,7 +21,7 @@ from repro.arch.node import NodeConfig
 from repro.arch.params import NSCParameters
 from repro.arch.router import HyperspaceRouter, Message
 from repro.codegen.generator import MicrocodeGenerator
-from repro.compose.jacobi import build_jacobi_program, interior_masks
+from repro.compose.jacobi import build_jacobi_program
 from repro.sim.machine import NSCMachine
 from repro.sim.pipeline_exec import execute_image
 
@@ -92,7 +92,11 @@ class MultiNodeStencil:
         shape: Tuple[int, int, int] = (8, 8, 8),
         eps: float = 1e-6,
         precompiled: Optional[tuple] = None,
+        backend: str = "reference",
     ) -> None:
+        from repro.sim.fastpath import validate_backend
+
+        self.backend = validate_backend(backend)
         self.params = params if params is not None else NSCParameters()
         dim = (
             hypercube_dim
@@ -233,8 +237,8 @@ class MultiNodeStencil:
         words = self._exchange_halos()
         return compute, residual, words
 
-    def _exchange_halos(self) -> int:
-        """Ghost-plane exchange between adjacent slabs through the router."""
+    def _halo_messages(self) -> List[Message]:
+        """Router messages for one ghost-plane exchange (both directions)."""
         nx, ny, _nz = self.shape
         plane_words = nx * ny
         messages: List[Message] = []
@@ -242,6 +246,13 @@ class MultiNodeStencil:
             lo, hi = self.node_of_slab[slab], self.node_of_slab[slab + 1]
             messages.append(Message(src=lo, dst=hi, words=plane_words, tag="up"))
             messages.append(Message(src=hi, dst=lo, words=plane_words, tag="down"))
+        return messages
+
+    def _exchange_halos(self) -> int:
+        """Ghost-plane exchange between adjacent slabs through the router."""
+        nx, ny, _nz = self.shape
+        plane_words = nx * ny
+        messages = self._halo_messages()
         if messages:
             self._comm_cycles_last = self.router.exchange(messages)
         else:
@@ -258,9 +269,48 @@ class MultiNodeStencil:
             right.set_variable("u", u_right.reshape(-1))
         return 2 * (self.n_nodes - 1) * plane_words
 
+    def _reference_stepper(self):
+        """(load, sweep, finish) callables for the per-node interpreter."""
+        def sweep():
+            cycles, residual, sweep_words = self._sweep()
+            return (cycles, residual, self._comm_cycles_last, sweep_words,
+                    self._sweep_flops)
+
+        return self._load_caches, sweep, lambda: None
+
+    def _fast_stepper(self):
+        """(load, sweep, finish) callables for the batched fast engine."""
+        from repro.sim.fastpath import FastMultiNodeEngine, HaloCommPlan
+
+        engine = FastMultiNodeEngine(self)
+        comm_plan = HaloCommPlan(self.router, self._halo_messages())
+        nx, ny, _nz = self.shape
+        sweep_words = 2 * (self.n_nodes - 1) * nx * ny
+
+        def sweep():
+            cycles, residual = engine.sweep()
+            comm = comm_plan.exchange()
+            engine.exchange_halos()
+            return cycles, residual, comm, sweep_words, engine.sweep_flops
+
+        return engine.load_caches, sweep, engine.finish
+
     def run(self, max_iterations: int = 1000) -> MultiNodeResult:
-        """Iterate to convergence (or the bound); returns aggregate results."""
-        compute_cycles = self._load_caches()
+        """Iterate to convergence (or the bound); returns aggregate results.
+
+        With ``backend="fast"`` the whole system executes through the
+        batched :class:`~repro.sim.fastpath.FastMultiNodeEngine` — same
+        grids, residual history, and cycle/flop counts, one set of NumPy
+        operations per sweep instead of one interpreter pass per node.
+        Both backends share this one accumulation loop, so they cannot
+        drift apart in accounting; only the three stepper callables
+        differ.
+        """
+        load, sweep, finish = (
+            self._fast_stepper() if self.backend == "fast"
+            else self._reference_stepper()
+        )
+        compute_cycles = load()
         comm_cycles = 0
         words = 0
         flops = 0
@@ -268,15 +318,16 @@ class MultiNodeStencil:
         converged = False
         iterations = 0
         for iterations in range(1, max_iterations + 1):
-            sweep_cycles, residual, sweep_words = self._sweep()
+            sweep_cycles, residual, comm, sweep_words, sweep_flops = sweep()
             compute_cycles += sweep_cycles
-            comm_cycles += self._comm_cycles_last
+            comm_cycles += comm
             words += sweep_words
-            flops += self._sweep_flops
+            flops += sweep_flops
             history.append(residual)
             if residual < self.eps:
                 converged = True
                 break
+        finish()
         return MultiNodeResult(
             n_nodes=self.n_nodes,
             iterations=iterations,

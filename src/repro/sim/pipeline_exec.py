@@ -11,17 +11,17 @@ problem), which is visible in the cycle count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
-from repro.arch.funcunit import OPCODES, Opcode
+from repro.arch.funcunit import OPCODES
 from repro.arch.interrupts import InterruptKind
 from repro.arch.shift_delay import shift_stream
 from repro.arch.switch import DeviceKind, Endpoint
 from repro.codegen.generator import PipelineImage, ResolvedInput
+from repro.codegen.timing import instruction_cycles
 from repro.sim.streams import (
-    StreamError,
     apply_skew,
     detect_exceptions,
     eval_feedback,
@@ -122,8 +122,19 @@ def execute_image(
     image: PipelineImage,
     machine: "NSCMachine",
     keep_outputs: bool = False,
+    backend: str = "reference",
 ) -> PipelineResult:
-    """Issue one instruction against *machine* and return its result."""
+    """Issue one instruction against *machine* and return its result.
+
+    ``backend="fast"`` routes through the vectorized fast path
+    (:mod:`repro.sim.fastpath`), which produces bit-identical results and
+    cycle counts from a precompiled execution plan.
+    """
+    if backend != "reference":
+        from repro.sim.fastpath import execute_image_fast, validate_backend
+
+        validate_backend(backend)
+        return execute_image_fast(image, machine, keep_outputs=keep_outputs)
     n = image.vector_length
     machine.dma.begin_instruction()
     source_streams = _gather_source_streams(image, machine)
@@ -205,8 +216,7 @@ def execute_image(
 
     compute_cycles = image.total_cycles
     dma_cycles = machine.dma.instruction_dma_cycles()
-    reconfig = machine.node.params.instruction_reconfig_cycles
-    cycles = reconfig + max(compute_cycles - reconfig, dma_cycles)
+    cycles = instruction_cycles(compute_cycles, dma_cycles, machine.node.params)
 
     machine.interrupts.post(
         InterruptKind.PIPELINE_COMPLETE,

@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
-from repro.arch.interrupts import InterruptKind
 from repro.codegen.generator import MachineProgram
 from repro.diagram.program import (
     CacheSwap,
@@ -135,7 +134,12 @@ class Sequencer:
         if not (0 <= index < len(program.images)):
             raise SequencerError(f"no pipeline {index} in this program")
         image = program.images[index]
-        res = execute_image(image, self.machine, keep_outputs=keep_outputs)
+        res = execute_image(
+            image,
+            self.machine,
+            keep_outputs=keep_outputs,
+            backend=getattr(self.machine, "backend", "reference"),
+        )
         result.pipeline_results.append(res)
         result.instructions_issued += 1
         if len(result.issue_trace) < self.MAX_TRACE:

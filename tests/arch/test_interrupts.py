@@ -1,6 +1,5 @@
 """Interrupt controller: arming, ordering, delivery, masking."""
 
-import pytest
 
 from repro.arch.interrupts import Interrupt, InterruptController, InterruptKind
 

@@ -5,7 +5,6 @@ import pytest
 from repro.arch.als import ALSKind
 from repro.arch.funcunit import FUCapability
 from repro.arch.node import NodeConfig
-from repro.arch.params import SUBSET_PARAMS
 
 
 class TestAssembly:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.arch.params import KBYTE, MBYTE, NSCParameters, SUBSET_PARAMS
+from repro.arch.params import MBYTE, NSCParameters, SUBSET_PARAMS
 
 
 class TestPaperNumbers:

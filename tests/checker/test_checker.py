@@ -4,7 +4,7 @@ import pytest
 
 from repro.arch.als import ALSKind
 from repro.arch.dma import DMASpec, Direction
-from repro.arch.funcunit import FUCapability, Opcode
+from repro.arch.funcunit import Opcode
 from repro.arch.node import NodeConfig
 from repro.arch.switch import (
     DeviceKind,

@@ -3,10 +3,10 @@
 import pytest
 
 from repro.arch.als import ALSKind
-from repro.arch.funcunit import FUCapability, Opcode
+from repro.arch.funcunit import Opcode
 from repro.arch.node import NodeConfig
 from repro.arch.params import SUBSET_PARAMS
-from repro.arch.switch import fu_in, fu_out, mem_read
+from repro.arch.switch import fu_in, mem_read
 from repro.checker.knowledge import MachineKnowledge
 
 

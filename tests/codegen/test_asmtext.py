@@ -25,7 +25,7 @@ class TestDisassembly:
     def test_every_nonzero_field_listed(self, jacobi_machine_program):
         image = jacobi_machine_program.images[1]
         lines = disassemble_word(image.microword, image.number)
-        set_lines = [l for l in lines if l.strip().startswith("set ")]
+        set_lines = [ln for ln in lines if ln.strip().startswith("set ")]
         assert len(set_lines) == len(image.microword.nonzero_fields())
 
     def test_program_text_mentions_every_instruction(self, jacobi_machine_program):

@@ -6,7 +6,7 @@ from repro.arch.als import ALSKind
 from repro.arch.dma import DMASpec, Direction
 from repro.arch.funcunit import Opcode
 from repro.arch.node import NodeConfig
-from repro.arch.switch import DeviceKind, fu_in, fu_out, mem_read, mem_write
+from repro.arch.switch import DeviceKind, mem_read, mem_write
 from repro.codegen.generator import (
     CodegenError,
     MicrocodeGenerator,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.arch.funcunit import FUCapability, Opcode
 from repro.arch.node import NodeConfig
-from repro.arch.switch import DeviceKind
 from repro.checker.checker import Checker
 from repro.compose.builders import BuilderError, PipelineBuilder
 from repro.diagram.pipeline import InputModKind

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.arch.node import NodeConfig
-from repro.arch.params import NSCParameters, SUBSET_PARAMS
+from repro.arch.params import SUBSET_PARAMS
 
 
 @pytest.fixture(scope="session")

@@ -72,7 +72,7 @@ class TestPadMenu:
         menu = build_pad_menu(checker, diagram, mem_write(3))
         # no internal/feedback entries for a non-FU pad
         assert "feedback loop" not in menu.labels()
-        assert any(l.startswith("fu") for l in menu.labels())
+        assert any(label.startswith("fu") for label in menu.labels())
 
 
 class TestFuOpMenu:

@@ -97,7 +97,6 @@ class TestAutoLayout:
 
     def test_many_als_wrap_to_rows(self):
         from repro.diagram.pipeline import PipelineDiagram
-        from repro.arch.als import ALSKind
 
         d = PipelineDiagram()
         node = NodeConfig()

@@ -1,6 +1,5 @@
 """EditorSession: the scripted interaction of §5, end to end."""
 
-import numpy as np
 import pytest
 
 from repro.arch.funcunit import Opcode

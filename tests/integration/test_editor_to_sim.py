@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.arch.funcunit import Opcode
-from repro.arch.switch import DeviceKind, fu_in, fu_out, mem_read, mem_write
+from repro.arch.switch import fu_in, fu_out, mem_read, mem_write
 from repro.codegen.generator import MicrocodeGenerator
 from repro.editor.session import EditorSession
 from repro.sim.machine import NSCMachine

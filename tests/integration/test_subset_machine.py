@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.arch.node import NodeConfig
-from repro.arch.params import NSCParameters, SUBSET_PARAMS
+from repro.arch.params import SUBSET_PARAMS
 from repro.codegen.generator import MicrocodeGenerator
 from repro.compose.jacobi import build_jacobi_program, load_jacobi_inputs
 from repro.sim.machine import NSCMachine

@@ -1,7 +1,7 @@
 """Property-based tests on core data structures and invariants."""
 
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.arch.params import NSCParameters
 from repro.arch.regfile import RegisterFileAllocator, RegisterFileOverflow

@@ -2,7 +2,6 @@
 sequences, and the checker never lets an illegal diagram through silently.
 """
 
-import copy
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
@@ -36,9 +35,7 @@ _actions = st.lists(
 def test_undo_unwinds_any_action_sequence(actions, data):
     session = EditorSession()
     snapshots = [_snapshot(session)]
-    performed = 0
     for action in actions:
-        before = _snapshot(session)
         if action == "place":
             kind = data.draw(st.sampled_from(["singlet", "doublet", "triplet"]))
             session.select_icon(kind)
@@ -82,7 +79,6 @@ def test_undo_unwinds_any_action_sequence(actions, data):
             fu = data.draw(st.sampled_from(fus))
             if not session.set_delay(fu, "a", data.draw(st.integers(1, 8))).ok:
                 continue
-        performed += 1
         snapshots.append(_snapshot(session))
 
     # unwind everything; each undo must restore the prior snapshot

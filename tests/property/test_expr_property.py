@@ -8,7 +8,6 @@ execution — preserves semantics bit-for-bit.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, assume, given, settings, strategies as st
 
 from repro.arch.funcunit import Opcode

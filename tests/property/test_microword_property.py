@@ -1,6 +1,5 @@
 """Property-based microword encoding: arbitrary field values round-trip."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.arch.node import NodeConfig

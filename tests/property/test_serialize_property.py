@@ -1,6 +1,5 @@
 """Property-based serialization: random built programs must round-trip."""
 
-import numpy as np
 from hypothesis import HealthCheck, assume, given, settings, strategies as st
 
 from repro.arch.funcunit import Opcode

@@ -1,0 +1,180 @@
+"""Backend selection plumbed through SimJob, the runner, sweeps, and CLI."""
+
+import json
+
+import pytest
+
+from repro.apps.poisson3d import poisson_jobs
+from repro.cli import main
+from repro.service.jobs import JobSpecError, SimJob
+from repro.service.runner import BatchRunner, execute_job, reset_process_cache
+from repro.service.sweep import SweepSpec
+
+#: record keys that legitimately differ between backend runs
+VOLATILE = ("job_id", "label", "backend", "cache_hit")
+
+
+def _comparable(record):
+    return {k: v for k, v in record.items() if k not in VOLATILE}
+
+
+class TestSimJobBackend:
+    def test_default_is_reference(self):
+        assert SimJob().backend == "reference"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(JobSpecError, match="unknown backend"):
+            SimJob(backend="warp")
+
+    def test_roundtrip_through_dict(self):
+        job = SimJob(method="jacobi", shape=(5, 5, 5), backend="fast")
+        assert job.to_dict()["backend"] == "fast"
+        clone = SimJob.from_dict(job.to_dict())
+        assert clone == job
+
+    def test_backend_changes_job_id_not_cache_key(self):
+        ref = SimJob(shape=(5, 5, 5))
+        fast = SimJob(shape=(5, 5, 5), backend="fast")
+        assert ref.cache_key() == fast.cache_key()  # one compiled program
+        assert ref.job_id != fast.job_id
+
+    def test_describe_tags_fast_jobs(self):
+        assert SimJob(shape=(5, 5, 5), backend="fast").describe().endswith(
+            "-fast"
+        )
+        assert "fast" not in SimJob(shape=(5, 5, 5)).describe()
+
+
+class TestExecuteJobBackend:
+    def setup_method(self):
+        reset_process_cache()
+
+    def test_single_node_records_agree(self):
+        base = dict(method="jacobi", shape=(5, 5, 5), eps=1e-3,
+                    max_sweeps=500)
+        ref = execute_job(dict(base, backend="reference"))
+        fast = execute_job(dict(base, backend="fast"))
+        assert ref["ok"] and fast["ok"]
+        assert ref["backend"] == "reference"
+        assert fast["backend"] == "fast"
+        assert _comparable(ref) == _comparable(fast)
+
+    def test_multinode_records_agree(self):
+        base = dict(method="jacobi", shape=(4, 4, 8), eps=1e-3,
+                    max_sweeps=300, hypercube_dim=2)
+        ref = execute_job(dict(base, backend="reference"))
+        fast = execute_job(dict(base, backend="fast"))
+        assert ref["ok"] and fast["ok"]
+        assert _comparable(ref) == _comparable(fast)
+
+    def test_rbsor_runs_on_fast_backend(self):
+        record = execute_job(dict(method="rb-sor", shape=(5, 5, 5),
+                                  eps=1e-3, max_sweeps=500, backend="fast"))
+        assert record["ok"]
+        assert record["converged"]
+
+
+class TestSweepBackend:
+    def test_backend_applied_to_every_job(self):
+        spec = SweepSpec(grids=(5,), methods=("jacobi", "rb-gs"),
+                         backend="fast")
+        jobs = spec.expand()
+        assert jobs
+        assert all(job.backend == "fast" for job in jobs)
+        assert all(job.label.endswith("-fast") for job in jobs)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(JobSpecError, match="unknown backend"):
+            SweepSpec(backend="warp")
+
+    def test_poisson_jobs_carry_backend(self):
+        jobs = poisson_jobs(n=5, methods=("jacobi",), backend="fast")
+        assert jobs[0].backend == "fast"
+
+
+class TestBatchRunnerBackend:
+    def test_fast_batch_matches_reference_batch(self):
+        results = {}
+        for backend in ("reference", "fast"):
+            jobs = poisson_jobs(n=5, methods=("jacobi", "rb-gs"), eps=1e-3,
+                                max_sweeps=500, backend=backend)
+            records, summary = BatchRunner(workers=1).run(jobs)
+            assert summary.failed == 0
+            results[backend] = records
+        ref, fast = results["reference"], results["fast"]
+        assert [_comparable(r) for r in ref] == [_comparable(r) for r in fast]
+
+
+class TestCliBackend:
+    def test_jacobi_fast(self, capsys):
+        assert main(["jacobi", "-n", "5", "--eps", "1e-3",
+                     "--backend", "fast"]) == 0
+        assert "converged: True" in capsys.readouterr().out
+
+    def test_solve_fast(self, capsys):
+        assert main(["solve", "rb-gs", "-n", "5", "--eps", "1e-3",
+                     "--backend", "fast"]) == 0
+        assert "converged=True" in capsys.readouterr().out
+
+    def test_sweep_fast_records(self, tmp_path, capsys):
+        results = tmp_path / "records.jsonl"
+        assert main(["sweep", "--grids", "5", "--methods", "jacobi",
+                     "--eps", "1e-3", "--max-sweeps", "500",
+                     "--repeats", "1", "--backend", "fast",
+                     "--results", str(results)]) == 0
+        record = json.loads(results.read_text().splitlines()[0])
+        assert record["backend"] == "fast"
+        assert record["ok"]
+
+    def test_batch_backend_default_applies(self, tmp_path, capsys):
+        jobs_file = tmp_path / "jobs.json"
+        jobs_file.write_text(json.dumps([
+            {"method": "jacobi", "n": 5, "eps": 1e-3, "max_sweeps": 500},
+            {"method": "jacobi", "n": 5, "eps": 1e-3, "max_sweeps": 500,
+             "backend": "reference"},
+        ]))
+        results = tmp_path / "records.jsonl"
+        assert main(["batch", str(jobs_file), "--backend", "fast",
+                     "--results", str(results)]) == 0
+        records = [json.loads(line)
+                   for line in results.read_text().splitlines()]
+        # the CLI default fills unspecified jobs; explicit specs win
+        assert records[0]["backend"] == "fast"
+        assert records[1]["backend"] == "reference"
+
+    def test_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["jacobi", "--backend", "warp"])
+
+
+class TestCliBench:
+    def test_bench_quick_single_scenario(self, tmp_path, capsys):
+        assert main(["bench", "--quick", "--scenarios", "jacobi_single",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "parity ok" in out
+        assert "all backends agree" in out
+        payload = json.loads(
+            (tmp_path / "BENCH_jacobi_single.json").read_text()
+        )
+        assert payload["ok"] is True
+        assert set(payload["backends"]) == {"reference", "fast"}
+
+    def test_bench_unknown_scenario_exits_2(self, tmp_path, capsys):
+        assert main(["bench", "--scenarios", "nope",
+                     "--out", str(tmp_path)]) == 2
+        assert "error: unknown scenario" in capsys.readouterr().err
+
+    def test_bench_rejects_subset(self, tmp_path, capsys):
+        """Scenarios are fixed full-machine workloads; --subset must not
+        be silently ignored."""
+        assert main(["bench", "--quick", "--subset",
+                     "--out", str(tmp_path)]) == 2
+        assert "--subset is not supported" in capsys.readouterr().err
+
+    def test_bench_min_speedup_failure_path(self, tmp_path, capsys):
+        # an absurd bar exercises the failure exit without flakiness
+        assert main(["bench", "--quick", "--scenarios", "jacobi_single",
+                     "--out", str(tmp_path),
+                     "--min-speedup", "1000000"]) == 1
+        assert "below required" in capsys.readouterr().err

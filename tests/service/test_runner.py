@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.codegen.generator import MicrocodeGenerator
 from repro.service.cache import ProgramCache

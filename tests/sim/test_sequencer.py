@@ -58,7 +58,6 @@ class TestRepeat:
         machine, program = _machine_for(node, setup)
         u = rng.random(64)
         u[0] = u[-1] = 0.0
-        from repro.compose.jacobi import interior_masks
 
         machine.set_variable("u", u)
         mask = np.zeros(64)
