@@ -14,10 +14,20 @@ Scenarios:
 - ``jacobi_multinode`` — the 64-node hypercube system (§2), one z-plane per
   slab, fixed sweep count: the headline fast-path scenario;
 - ``batch_service`` — Poisson solver jobs through the batch service,
-  measuring end-to-end job throughput.
+  measuring end-to-end job throughput;
+- ``jacobi_converge`` — a single node run to convergence, where per-issue
+  dispatch dominates: measures the whole-program compiled engine
+  (:mod:`repro.sim.progplan`) against the per-issue fast path
+  (``speedup_vs_unfused``) as well as the reference;
+- ``hypercube_scaling`` — the fused multi-node schedule across 8/16/32/64
+  nodes, emitting per-node-count throughput.
 
-Drive it with ``nsc-vpe bench [--quick] [--scenarios ...] [--out DIR]``, or
-programmatically via :func:`run_scenario` / :func:`run_bench`.
+Drive it with ``nsc-vpe bench [--quick] [--scenarios ...] [--out DIR]``,
+or programmatically via :func:`run_scenario` / :func:`run_bench`.  A
+committed baseline (``benchmarks/perf/baseline.json``) guards against
+perf regressions: ``nsc-vpe bench --compare benchmarks/perf/baseline.json``
+exits non-zero when any recorded speedup falls more than
+:data:`REGRESSION_TOLERANCE` below its baseline.
 """
 
 from __future__ import annotations
@@ -32,7 +42,16 @@ import numpy as np
 from repro.sim.fastpath import BACKENDS
 
 #: Scenario names in canonical execution order.
-SCENARIOS = ("jacobi_single", "jacobi_multinode", "batch_service")
+SCENARIOS = (
+    "jacobi_single",
+    "jacobi_multinode",
+    "batch_service",
+    "jacobi_converge",
+    "hypercube_scaling",
+)
+
+#: Allowed fractional drop of a speedup below its committed baseline.
+REGRESSION_TOLERANCE = 0.2
 
 
 class BenchError(ValueError):
@@ -168,6 +187,15 @@ def _scenario_jacobi_multinode(quick: bool) -> Dict[str, Any]:
     return _finish("jacobi_multinode", quick, config, sides, checks)
 
 
+def _irq_stream(machine) -> List[Tuple[Any, ...]]:
+    """The full delivered-interrupt stream (Interrupt.__eq__ compares
+    fire cycles only, so parity checks need every field)."""
+    return [
+        (i.cycle, i.kind, i.source, i.payload)
+        for i in machine.interrupts.delivered
+    ]
+
+
 #: Record keys that may legitimately differ between backend runs.
 _BACKEND_DEPENDENT_KEYS = ("job_id", "label", "backend", "cache_hit")
 
@@ -219,10 +247,161 @@ def _scenario_batch_service(quick: bool) -> Dict[str, Any]:
     return _finish("batch_service", quick, config, sides, checks)
 
 
+def _scenario_jacobi_converge(quick: bool) -> Dict[str, Any]:
+    """Single-node convergence run: the compiled engine's home turf.
+
+    Times three engines on one workload — the reference interpreter, the
+    per-issue fast path (``fuse=False``, PR 2's backend), and the
+    whole-program compiled engine — each best-of-two to damp scheduler
+    noise, with full parity checks across all three.
+    """
+    from repro.arch.node import NodeConfig
+    from repro.codegen.generator import MicrocodeGenerator
+    from repro.compose.jacobi import build_jacobi_program, load_jacobi_inputs
+    from repro.sim.machine import NSCMachine
+    from repro.apps.poisson3d import manufactured_solution
+
+    n = 8
+    eps = 1e-5 if quick else 1e-11
+    reps = 2 if quick else 3
+    shape = (n, n, n)
+    node = NodeConfig()
+    setup = build_jacobi_program(node, shape, eps=eps, max_iterations=20_000)
+    program = MicrocodeGenerator(node).generate(setup.program)
+    _u_star, f, _h = manufactured_solution(shape, h=setup.h)
+
+    engines = (
+        ("reference", "reference", True),
+        ("fast_unfused", "fast", False),
+        ("fast", "fast", True),
+    )
+    runs: Dict[str, Any] = {}
+    sides: Dict[str, Dict[str, Any]] = {}
+    for name, backend, fuse in engines:
+        wall = float("inf")
+        for _rep in range(reps):
+            machine = NSCMachine(node, backend=backend)
+            machine.load_program(program)
+            load_jacobi_inputs(machine, setup, np.zeros(shape), f)
+            result, elapsed = _timed(lambda: machine.run(fuse=fuse))
+            wall = min(wall, elapsed)
+        sweeps = result.loop_iterations.get(setup.update_pipeline, 0)
+        runs[name] = (machine, result)
+        sides[name] = _side(wall, result.total_cycles, sweeps=sweeps)
+
+    (m_ref, r_ref) = runs["reference"]
+    (m_unf, r_unf) = runs["fast_unfused"]
+    (m_fast, r_fast) = runs["fast"]
+    checks = {
+        "grids_identical": bool(
+            np.array_equal(m_ref.get_variable("u"), m_fast.get_variable("u"))
+        ),
+        "grids_identical_unfused": bool(
+            np.array_equal(m_ref.get_variable("u"), m_unf.get_variable("u"))
+        ),
+        "cycles_equal": (
+            r_ref.total_cycles == r_fast.total_cycles == r_unf.total_cycles
+        ),
+        "flops_equal": r_ref.total_flops == r_fast.total_flops == r_unf.total_flops,
+        "loop_iterations_equal": (
+            r_ref.loop_iterations == r_fast.loop_iterations
+            == r_unf.loop_iterations
+        ),
+        "issue_trace_equal": (
+            r_ref.issue_trace == r_fast.issue_trace == r_unf.issue_trace
+        ),
+        "converged_all": all(bool(r.converged) for r in (r_ref, r_unf, r_fast)),
+        "metrics_equal": (
+            m_ref.metrics(r_ref).summary() == m_fast.metrics(r_fast).summary()
+        ),
+        "interrupts_equal": _irq_stream(m_ref) == _irq_stream(m_fast),
+    }
+    config = {"shape": list(shape), "eps": eps, "hypercube_dim": 0}
+    record = _finish("jacobi_converge", quick, config, sides, checks)
+    fast_wall = sides["fast"]["wall_s"]
+    record["speedup_vs_unfused"] = (
+        sides["fast_unfused"]["wall_s"] / fast_wall if fast_wall > 0 else 0.0
+    )
+    return record
+
+
+def _scenario_hypercube_scaling(quick: bool) -> Dict[str, Any]:
+    """The fused multi-node schedule at 8, 16, 32, and 64 nodes.
+
+    Each node count runs both backends with full parity checks and its
+    own throughput entry under ``record["scaling"]``.
+    """
+    from repro.apps.poisson3d import manufactured_solution
+    from repro.sim.multinode import MultiNodeStencil
+
+    dims = (3, 4, 5, 6)
+    shape = (8, 8, 64)  # nz divides every node count
+    sweeps = 6 if quick else 20
+    u_star, _f, _h = manufactured_solution(shape)
+
+    sides = {b: {"wall_s": 0.0, "sim_cycles": 0} for b in BACKENDS}
+    checks: Dict[str, bool] = {}
+    scaling: List[Dict[str, Any]] = []
+    for dim in dims:
+        runs: Dict[str, Any] = {}
+        walls: Dict[str, float] = {}
+        for backend in BACKENDS:
+            stencil = MultiNodeStencil(
+                hypercube_dim=dim, shape=shape, eps=1e-30, backend=backend
+            )
+            stencil.scatter("u", u_star)
+            result, wall = _timed(lambda: stencil.run(max_iterations=sweeps))
+            runs[backend] = (stencil, result)
+            walls[backend] = wall
+            sides[backend]["wall_s"] += wall
+            sides[backend]["sim_cycles"] += result.total_cycles
+        (s_ref, r_ref), (s_fast, r_fast) = runs["reference"], runs["fast"]
+        n_nodes = 1 << dim
+        checks[f"grids_identical_{n_nodes}"] = bool(
+            np.array_equal(s_ref.gather("u"), s_fast.gather("u"))
+        )
+        checks[f"cycles_equal_{n_nodes}"] = (
+            r_ref.compute_cycles == r_fast.compute_cycles
+            and r_ref.comm_cycles == r_fast.comm_cycles
+        )
+        checks[f"residuals_equal_{n_nodes}"] = (
+            r_ref.residual_history == r_fast.residual_history
+        )
+        checks[f"flops_equal_{n_nodes}"] = r_ref.flops == r_fast.flops
+        scaling.append(
+            {
+                "n_nodes": n_nodes,
+                "ref_wall_s": walls["reference"],
+                "fast_wall_s": walls["fast"],
+                "speedup": (
+                    walls["reference"] / walls["fast"]
+                    if walls["fast"] > 0
+                    else 0.0
+                ),
+                "achieved_gflops": r_fast.achieved_gflops,
+                "comm_fraction": r_fast.comm_fraction,
+                "sim_cycles": r_fast.total_cycles,
+            }
+        )
+    for side in sides.values():
+        wall = side["wall_s"]
+        side["sim_cycles_per_sec"] = side["sim_cycles"] / wall if wall > 0 else 0.0
+    config = {
+        "shape": list(shape),
+        "node_counts": [1 << d for d in dims],
+        "sweeps": sweeps,
+    }
+    record = _finish("hypercube_scaling", quick, config, sides, checks)
+    record["scaling"] = scaling
+    return record
+
+
 _SCENARIO_FNS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "jacobi_single": _scenario_jacobi_single,
     "jacobi_multinode": _scenario_jacobi_multinode,
     "batch_service": _scenario_batch_service,
+    "jacobi_converge": _scenario_jacobi_converge,
+    "hypercube_scaling": _scenario_hypercube_scaling,
 }
 
 
@@ -236,6 +415,8 @@ def run_scenario(name: str, quick: bool = False) -> Dict[str, Any]:
         raise BenchError(
             f"unknown scenario {name!r}; expected one of {SCENARIOS}"
         )
+    import repro.sim.progplan  # noqa: F401  (module load is not a per-run cost)
+
     return fn(quick)
 
 
@@ -257,13 +438,150 @@ def format_record(record: Dict[str, Any]) -> str:
     status = "parity ok" if record["ok"] else "BACKENDS DISAGREE"
     failed = [k for k, v in record["checks"].items() if not v]
     detail = f" (failed: {', '.join(failed)})" if failed else ""
+    extra = ""
+    if "speedup_vs_unfused" in record:
+        extra = f" ({record['speedup_vs_unfused']:.1f}x vs per-issue fast)"
     return (
         f"{record['scenario']:<18} ref {ref['wall_s']:.3f}s "
         f"({ref['sim_cycles_per_sec']:.3g} cycles/s)  "
         f"fast {fast['wall_s']:.3f}s "
         f"({fast['sim_cycles_per_sec']:.3g} cycles/s)  "
-        f"speedup {record['speedup']:.1f}x  {status}{detail}"
+        f"speedup {record['speedup']:.1f}x{extra}  {status}{detail}"
     )
+
+
+# ----------------------------------------------------------------------
+# baselines and regression comparison
+# ----------------------------------------------------------------------
+#: Record keys treated as regression-guarded speedup metrics.
+_BASELINE_METRICS = ("speedup", "speedup_vs_unfused")
+
+
+def baseline_from_records(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Distill bench records into a committable baseline document."""
+    scenarios: Dict[str, Dict[str, float]] = {}
+    for record in records:
+        entry = {
+            metric: round(float(record[metric]), 3)
+            for metric in _BASELINE_METRICS
+            if metric in record
+        }
+        scenarios[record["scenario"]] = entry
+    return {
+        "tolerance": REGRESSION_TOLERANCE,
+        "quick": bool(records[0]["quick"]) if records else False,
+        "scenarios": scenarios,
+    }
+
+
+def write_baseline(records: Sequence[Dict[str, Any]], path: str) -> Path:
+    """Write the baseline JSON for *records*; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as fh:
+        json.dump(baseline_from_records(records), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return target
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def write_comparison(comparison: Dict[str, Any], out_dir: str) -> Path:
+    """Write ``BENCH_compare.json`` under *out_dir*; returns the path."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "BENCH_compare.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(comparison, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def compare_records(
+    records: Sequence[Dict[str, Any]],
+    baseline: Dict[str, Any],
+    tolerance: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Diff recorded speedups against a committed baseline.
+
+    A metric regresses when it falls more than *tolerance* (default: the
+    baseline's own, else :data:`REGRESSION_TOLERANCE`) below its baseline
+    value.  Scenarios absent from the baseline are reported but never
+    fail — they are new coverage, to be baselined on the next refresh —
+    and so are records from a different workload class than the baseline
+    (full runs diffed against quick floors measure different problems).
+    """
+    if tolerance is None:
+        tolerance = float(baseline.get("tolerance", REGRESSION_TOLERANCE))
+    floor_factor = 1.0 - tolerance
+    base_quick = baseline.get("quick")
+    entries: List[Dict[str, Any]] = []
+    ok = True
+    for record in records:
+        base_entry = baseline.get("scenarios", {}).get(record["scenario"])
+        note = None
+        if base_entry is None:
+            base_entry = {}
+            note = "not in baseline"
+        elif base_quick is not None and bool(record.get("quick")) != base_quick:
+            base_entry = {}
+            note = "workload class differs from baseline (quick vs full)"
+        for metric in _BASELINE_METRICS:
+            if metric not in record:
+                continue
+            current = float(record[metric])
+            base = (
+                float(base_entry[metric]) if metric in base_entry else None
+            )
+            if base is None:
+                entries.append(
+                    {
+                        "scenario": record["scenario"],
+                        "metric": metric,
+                        "current": current,
+                        "baseline": None,
+                        "ok": True,
+                        "note": note or "not in baseline",
+                    }
+                )
+                continue
+            passed = current >= base * floor_factor
+            ok = ok and passed
+            entries.append(
+                {
+                    "scenario": record["scenario"],
+                    "metric": metric,
+                    "current": current,
+                    "baseline": base,
+                    "floor": base * floor_factor,
+                    "ok": passed,
+                }
+            )
+    return {"ok": ok, "tolerance": tolerance, "entries": entries}
+
+
+def format_comparison(comparison: Dict[str, Any]) -> str:
+    """Human-readable comparison table, one line per guarded metric."""
+    lines = []
+    for entry in comparison["entries"]:
+        name = f"{entry['scenario']}.{entry['metric']}"
+        if entry["baseline"] is None:
+            note = entry.get("note", "not in baseline")
+            lines.append(f"  {name:<40} {entry['current']:.2f}x  ({note})")
+            continue
+        verdict = "ok" if entry["ok"] else "REGRESSION"
+        lines.append(
+            f"  {name:<40} {entry['current']:.2f}x vs baseline "
+            f"{entry['baseline']:.2f}x (floor {entry['floor']:.2f}x)  {verdict}"
+        )
+    header = (
+        f"baseline comparison (tolerance {comparison['tolerance']:.0%}): "
+        + ("ok" if comparison["ok"] else "REGRESSIONS FOUND")
+    )
+    return "\n".join([header] + lines)
 
 
 def run_bench(
@@ -289,9 +607,16 @@ def run_bench(
 
 __all__ = [
     "SCENARIOS",
+    "REGRESSION_TOLERANCE",
     "BenchError",
     "run_scenario",
     "run_bench",
     "write_record",
     "format_record",
+    "baseline_from_records",
+    "write_baseline",
+    "load_baseline",
+    "write_comparison",
+    "compare_records",
+    "format_comparison",
 ]

@@ -276,8 +276,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         SCENARIOS,
         BenchError,
+        compare_records,
+        format_comparison,
         format_record,
+        load_baseline,
         run_scenario,
+        write_baseline,
+        write_comparison,
         write_record,
     )
 
@@ -294,21 +299,44 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: unknown scenario(s) {', '.join(unknown)}; "
               f"expected from {', '.join(SCENARIOS)}", file=sys.stderr)
         return 2
+    if args.compare:
+        try:
+            baseline = load_baseline(args.compare)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
     ok = True
+    records = []
     for name in names:
         try:
             record = run_scenario(name, quick=args.quick)
         except BenchError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        records.append(record)
         path = write_record(record, args.out)
         print(format_record(record))
         print(f"  -> {path}")
         if not record["ok"]:
             ok = False
-        if args.min_speedup > 0 and record["speedup"] < args.min_speedup:
-            print(f"  speedup {record['speedup']:.1f}x below required "
-                  f"{args.min_speedup:g}x", file=sys.stderr)
+        if args.min_speedup > 0:
+            gated = {"speedup": record["speedup"]}
+            if "speedup_vs_unfused" in record:
+                gated["speedup_vs_unfused"] = record["speedup_vs_unfused"]
+            for metric, value in gated.items():
+                if value < args.min_speedup:
+                    print(f"  {metric} {value:.1f}x below required "
+                          f"{args.min_speedup:g}x", file=sys.stderr)
+                    ok = False
+    if args.save_baseline:
+        base_path = write_baseline(records, args.save_baseline)
+        print(f"baseline -> {base_path}")
+    if args.compare:
+        comparison = compare_records(records, baseline)
+        out_path = write_comparison(comparison, args.out)
+        print(format_comparison(comparison))
+        print(f"  -> {out_path}")
+        if not comparison["ok"]:
             ok = False
     print("bench: all backends agree" if ok
           else "bench: FAILURES (see above)")
@@ -428,7 +456,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="benchmarks/perf/out",
                    help="directory for BENCH_<scenario>.json artifacts")
     p.add_argument("--min-speedup", type=float, default=0.0,
-                   help="fail unless every scenario reaches this speedup")
+                   help="fail unless every scenario reaches this speedup "
+                   "(gates speedup_vs_unfused too where reported)")
+    p.add_argument("--compare", default=None, metavar="BASELINE",
+                   help="diff speedups against a baseline JSON and fail on "
+                   ">20%% regression (writes BENCH_compare.json)")
+    p.add_argument("--save-baseline", default=None, metavar="PATH",
+                   help="write this run's speedups as a new baseline JSON")
     return parser
 
 

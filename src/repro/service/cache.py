@@ -14,6 +14,14 @@ parameter hashes.  Two layers:
 Values are opaque to the cache; the runner stores
 ``(setup, MachineProgram)`` pairs.  Disk entries are written atomically
 (tmp file + rename) and unreadable entries are treated as misses.
+
+A third layer holds *execution plans*: the whole-program schedules the
+compiled engine (:mod:`repro.sim.progplan`) builds on top of a compiled
+program.  Plans hold closures and scratch structure, so they are
+memory-only; every :class:`ProgramCache` shares the
+process-wide :data:`repro.sim.fastpath.PLAN_CACHE`, which is exactly the
+cache the simulator consults at run time — warming it here is warming
+the engine.
 """
 
 from __future__ import annotations
@@ -24,6 +32,8 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional
+
+from repro.sim.fastpath import PLAN_CACHE
 
 
 @dataclass
@@ -53,7 +63,14 @@ class CacheStats:
 
 
 class ProgramCache:
-    """Memoizes compiled programs by content key."""
+    """Memoizes compiled programs by content key.
+
+    ``plans`` is the plan layer: the process-wide
+    :data:`~repro.sim.fastpath.PLAN_CACHE`, keyed by program fingerprint
+    + params.  It is deliberately the same object the execution engine
+    consults at run time — warming it through :meth:`warm_plan` is
+    warming the engine.
+    """
 
     def __init__(self, disk_dir: Optional[str] = None) -> None:
         self._mem: Dict[str, Any] = {}
@@ -61,6 +78,7 @@ class ProgramCache:
         if self.disk_dir is not None:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
+        self.plans = PLAN_CACHE
 
     # ------------------------------------------------------------------
     def get_or_compile(self, key: str, compile_fn: Callable[[], Any]) -> Any:
@@ -79,6 +97,24 @@ class ProgramCache:
         self._mem[key] = value
         self._store_disk(key, value)
         return value
+
+    # ------------------------------------------------------------------
+    # plan layer
+    # ------------------------------------------------------------------
+    def warm_plan(self, program: Any, params: Any) -> Optional[Any]:
+        """Compile (or fetch) the whole-program execution plan.
+
+        Populates the shared plan cache so the machine's ``"fast"``
+        backend starts fused on its first run.  Returns the plan, or
+        None when the program cannot be fused (the engine will use the
+        per-issue path — not an error).
+        """
+        from repro.sim.progplan import FusionUnsupported, compiled_plan
+
+        try:
+            return compiled_plan(program, params)
+        except FusionUnsupported:
+            return None
 
     def __contains__(self, key: str) -> bool:
         if key in self._mem:

@@ -118,6 +118,10 @@ def _run_single(job: SimJob, cache: ProgramCache) -> Dict[str, Any]:
     setup, program = cache.get_or_compile(
         job.cache_key(), lambda: _compile_single(job, node)
     )
+    if job.backend == "fast":
+        # warm the shared plan layer: repeated jobs reuse the compiled
+        # whole-program schedule instead of re-deriving it per run
+        cache.warm_plan(program, node.params)
     machine = NSCMachine(node, backend=job.backend)
     machine.load_program(program)
 

@@ -11,12 +11,14 @@ node streams.  This module provides the ``backend="fast"`` alternative:
 - :func:`execute_image_fast`, a drop-in replacement for
   :func:`~repro.sim.pipeline_exec.execute_image` producing bit-identical
   grids, cycle counts, exception flags, and interrupts;
-- :class:`FastMultiNodeEngine`, which executes the SPMD multi-node sweep
-  with *whole-system* NumPy operations: every node's planes are stacked
-  into ``(n_nodes, words)`` arrays and one set of kernel calls updates all
-  slabs at once, with cycle counts derived analytically from
-  :func:`repro.codegen.timing.instruction_cycles` instead of per-node
-  stepping.
+- the keyed :data:`PLAN_CACHE`, shared with the whole-program compiler
+  (:mod:`repro.sim.progplan`), so plans survive across programs, params
+  sets, and batch-service jobs within one process.
+
+The whole-program layer — fusing the sequencer's control script, and the
+batched multi-node engine that stacks every node's planes into
+``(n_nodes, words)`` arrays — lives in :mod:`repro.sim.progplan` and
+builds on the per-image plans compiled here.
 
 Parity is a hard contract, not an aspiration: the fast path uses the same
 opcode kernels, the same operation order, and the same cycle formula as the
@@ -26,8 +28,10 @@ every run, and CI runs it on every PR).
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -46,7 +50,6 @@ from repro.sim.streams import (
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.machine import NSCMachine
-    from repro.sim.multinode import MultiNodeStencil
 
 #: The selectable execution backends, in documentation order.
 BACKENDS = ("reference", "fast")
@@ -262,13 +265,111 @@ def _build_plan(image: PipelineImage, params: Any) -> _FastPlan:
     return plan
 
 
-def plan_for(image: PipelineImage, params: Any) -> _FastPlan:
-    """Get the compiled plan for *image*, building and caching on first use."""
-    cached = image.__dict__.get("_fastpath_plan")
-    if cached is not None and cached.params == params:
+# ----------------------------------------------------------------------
+# the keyed plan cache (shared with repro.sim.progplan's program plans)
+# ----------------------------------------------------------------------
+@dataclass
+class PlanCacheStats:
+    """Hit/miss accounting for compiled-plan lookups."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+class PlanCache:
+    """LRU cache for compiled execution plans, keyed by content.
+
+    Keys are ``(layer, fingerprint, params)`` tuples: image-level fast
+    plans use the image's content digest, whole-program plans
+    (:mod:`repro.sim.progplan`) the :meth:`MachineProgram.fingerprint`.
+    The same params on the same bits always replays the same plan, so two
+    parameterizations of one image coexist instead of thrashing a single
+    stashed slot.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+        self.stats = PlanCacheStats()
+
+    def get_or_build(self, key: Any, build: Callable[[], Any]) -> Any:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        value = build()
+        self.stats.misses += 1
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats = PlanCacheStats()
+
+
+#: Process-wide plan cache.  The batch service's
+#: :class:`repro.service.cache.ProgramCache` exposes this same object as its
+#: plan layer, so jobs sharing a process reuse compiled plans across runs.
+PLAN_CACHE = PlanCache()
+
+
+def image_fingerprint(image: PipelineImage) -> str:
+    """Content digest over everything a fast plan depends on.
+
+    Memoized on the image object; two images with equal digests compile to
+    interchangeable plans (the plan carries no pipeline number).
+    """
+    cached = image.__dict__.get("_fastpath_digest")
+    if cached is not None:
         return cached
-    plan = _build_plan(image, params)
-    image.__dict__["_fastpath_plan"] = plan
+    payload = repr(
+        (
+            image.vector_length,
+            image.fu_order,
+            sorted(image.fu_ops.items()),
+            sorted(image.inputs.items()),
+            sorted(image.read_programs.items(), key=repr),
+            image.write_programs,
+            sorted(image.sd_feeders.items()),
+            sorted(image.sd_shifts.items()),
+            image.condition,
+        )
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    image.__dict__["_fastpath_digest"] = digest
+    return digest
+
+
+def plan_for(image: PipelineImage, params: Any) -> _FastPlan:
+    """Get the compiled plan for *image*, building and caching on first use.
+
+    A last-used ``(params, plan)`` pair on the image answers the common
+    case (one machine issuing the same image repeatedly) without hashing;
+    everything else goes through the keyed :data:`PLAN_CACHE`, so two
+    parameterizations of one image do not recompile each other away.
+    """
+    memo = image.__dict__.get("_fastpath_plan")
+    if memo is not None and (memo[0] is params or memo[0] == params):
+        return memo[1]
+    key = ("image", image_fingerprint(image), params)
+    plan = PLAN_CACHE.get_or_build(key, lambda: _build_plan(image, params))
+    image.__dict__["_fastpath_plan"] = (params, plan)
     return plan
 
 
@@ -474,279 +575,14 @@ def execute_image_fast(
     )
 
 
-# ----------------------------------------------------------------------
-# batched multi-node engine
-# ----------------------------------------------------------------------
-class HaloCommPlan:
-    """Analytic accounting for a repeated, identical halo exchange.
-
-    The reference loop re-routes the same message set through the
-    hyperspace router every sweep.  Routing is deterministic, so the fast
-    path routes once, records the makespan and the per-link traffic deltas,
-    and replays those deltas on subsequent sweeps — the router ends a run
-    with exactly the statistics a reference run produces, without
-    recomputing e-cube paths a thousand times.
-    """
-
-    def __init__(self, router: Any, messages: List[Any]) -> None:
-        self.router = router
-        self.messages = messages
-        self._replay: Optional[Tuple[int, List[Tuple[Any, int, int]], int]] = None
-
-    def exchange(self) -> int:
-        if not self.messages:
-            return 0
-        if self._replay is None:
-            before = {
-                key: (stats.messages, stats.words)
-                for key, stats in self.router.link_stats.items()
-            }
-            sent_before = self.router.messages_sent
-            cycles = self.router.exchange(self.messages)
-            deltas = []
-            for key, stats in self.router.link_stats.items():
-                base_messages, base_words = before.get(key, (0, 0))
-                delta = (
-                    key,
-                    stats.messages - base_messages,
-                    stats.words - base_words,
-                )
-                if delta[1] or delta[2]:
-                    deltas.append(delta)
-            self._replay = (cycles, deltas, self.router.messages_sent - sent_before)
-            return cycles
-        cycles, deltas, sent = self._replay
-        from repro.arch.router import LinkStats
-
-        for key, d_messages, d_words in deltas:
-            stats = self.router.link_stats.setdefault(key, LinkStats())
-            stats.messages += d_messages
-            stats.words += d_words
-        self.router.messages_sent += sent
-        return cycles
-
-
-class FastMultiNodeEngine:
-    """Whole-system vectorized execution of the SPMD multi-node sweep.
-
-    Every node runs the same program on its own slab, so the engine stacks
-    all nodes' memory planes into ``(n_nodes, words)`` arrays and issues one
-    set of NumPy operations per instruction for the entire machine.  Grids,
-    residual histories, and cycle/flop counts are bit-identical to the
-    per-node reference loop; what the fast engine deliberately does *not*
-    model are per-node side channels nobody aggregates — DMA statistics and
-    interrupt queues of the individual :class:`NSCMachine` objects stay
-    untouched, and FP exception interrupts are not posted during sweeps.
-
-    Machine plane memory (and cache buffers) are pulled once at
-    construction and pushed back by :meth:`finish`, so ``gather`` and
-    direct variable inspection behave exactly as after a reference run.
-    """
-
-    def __init__(self, stencil: "MultiNodeStencil") -> None:
-        self.stencil = stencil
-        self.machines = stencil.machines
-        self.params = stencil.params
-        self.n_nodes = len(self.machines)
-        program = stencil.machine_program
-        self.load_image = program.images[0]
-        self.update_image = program.images[1]
-        self.load_plan = plan_for(self.load_image, self.params)
-        self.update_plan = plan_for(self.update_image, self.params)
-        self.variables = dict(self.machines[0].memory.variables)
-        self.sweep_flops = self.n_nodes * self.update_image.total_flops
-        self.planes: Dict[int, np.ndarray] = {}
-        self.cache_front: Dict[int, np.ndarray] = {}
-        self.cache_back: Dict[int, np.ndarray] = {}
-        self._pull_state()
-
-    # ------------------------------------------------------------------
-    # state transfer between machines and stacked arrays
-    # ------------------------------------------------------------------
-    def _abs_base(self, prog: Any) -> int:
-        spec = prog.spec
-        if spec.is_symbolic:
-            var = self.variables.get(spec.variable or "")
-            if var is None:
-                raise ExecutionError(
-                    f"variable {spec.variable!r} is not loaded on this node"
-                )
-            return var.offset + spec.offset
-        return prog.base_offset
-
-    def _prog_extent(self, prog: Any) -> int:
-        base = self._abs_base(prog)
-        spec = prog.spec
-        if prog.count == 0:
-            return base
-        last = base + (prog.count - 1) * spec.stride
-        if min(base, last) < 0:
-            raise ExecutionError(f"negative address in DMA program {spec}")
-        return max(base, last) + 1
-
-    def _pull_state(self) -> None:
-        plane_extent: Dict[int, int] = {}
-        cache_extent: Dict[int, int] = {}
-        for plan in (self.load_plan, self.update_plan):
-            progs = [p for _, p in plan.reads] + [w.prog for w in plan.writes]
-            for prog in progs:
-                extent = self._prog_extent(prog)
-                target = (
-                    plane_extent
-                    if prog.spec.device_kind is DeviceKind.MEMORY
-                    else cache_extent
-                )
-                device = prog.spec.device
-                target[device] = max(target.get(device, 0), extent)
-        for var in self.variables.values():
-            plane_extent[var.plane] = max(plane_extent.get(var.plane, 0), var.end)
-
-        for plane, extent in plane_extent.items():
-            self.planes[plane] = np.stack(
-                [m.memory.plane(plane).read(0, extent) for m in self.machines]
-            )
-        for cache, extent in cache_extent.items():
-            self.cache_front[cache] = np.stack(
-                [m.caches[cache].front[:extent].copy() for m in self.machines]
-            )
-            self.cache_back[cache] = np.stack(
-                [m.caches[cache].back[:extent].copy() for m in self.machines]
-            )
-
-    def finish(self) -> None:
-        """Push the stacked state back into every machine's storage."""
-        for plane, stacked in self.planes.items():
-            for i, machine in enumerate(self.machines):
-                machine.memory.plane(plane).write(0, stacked[i])
-        for cache, stacked in self.cache_front.items():
-            for i, machine in enumerate(self.machines):
-                machine.caches[cache].front[: stacked.shape[1]] = stacked[i]
-        for cache, stacked in self.cache_back.items():
-            for i, machine in enumerate(self.machines):
-                machine.caches[cache].back[: stacked.shape[1]] = stacked[i]
-
-    # ------------------------------------------------------------------
-    # batched instruction issue
-    # ------------------------------------------------------------------
-    def _read_streams(self, plan: _FastPlan) -> Dict[Endpoint, np.ndarray]:
-        streams: Dict[Endpoint, np.ndarray] = {}
-        for ep, prog in plan.reads:
-            spec = prog.spec
-            base = self._abs_base(prog)
-            if spec.device_kind is DeviceKind.MEMORY:
-                arr = self.planes[spec.device]
-            else:
-                arr = self.cache_front[spec.device]
-            if spec.stride > 0:
-                streams[ep] = arr[:, base : base + prog.count * spec.stride : spec.stride]
-            else:
-                last = base + (prog.count - 1) * spec.stride
-                stop = last - 1 if last > 0 else None
-                streams[ep] = arr[:, base : stop : spec.stride]
-        return streams
-
-    def _write_streams(
-        self,
-        plan: _FastPlan,
-        outputs: Dict[int, np.ndarray],
-        taps: Dict[Tuple[int, int], np.ndarray],
-        streams: Dict[Endpoint, np.ndarray],
-    ) -> None:
-        for write in plan.writes:
-            if write.code == _OP_OUTPUT:
-                values = outputs[write.key]
-            elif write.code == _OP_TAP:
-                values = taps[write.key]
-            else:
-                values = streams[write.key]
-            prog = write.prog
-            spec = prog.spec
-            if values.shape[1] > prog.count:
-                values = values[:, : prog.count]
-            width = values.shape[1]
-            base = self._abs_base(prog)
-            if spec.device_kind is DeviceKind.MEMORY:
-                arr = self.planes[spec.device]
-            else:
-                arr = self.cache_back[spec.device]
-            if spec.stride > 0:
-                arr[:, base : base + width * spec.stride : spec.stride] = values
-            else:
-                last = base + (width - 1) * spec.stride
-                stop = last - 1 if last > 0 else None
-                arr[:, base : stop : spec.stride] = values
-
-    def _issue(self, plan: _FastPlan) -> Dict[int, np.ndarray]:
-        streams = self._read_streams(plan)
-        taps = _materialize_taps(plan, streams)
-        outputs = _eval_steps(plan, streams, taps, (self.n_nodes, plan.n))
-        self._write_streams(plan, outputs, taps, streams)
-        return outputs
-
-    def _cycles(self, image: PipelineImage, plan: _FastPlan) -> int:
-        return instruction_cycles(image.total_cycles, plan.dma_cycles, self.params)
-
-    # ------------------------------------------------------------------
-    # the multi-node protocol (mirrors MultiNodeStencil's reference loop)
-    # ------------------------------------------------------------------
-    def load_caches(self) -> int:
-        """Run the mask-load pipeline on all nodes at once; returns cycles."""
-        self._issue(self.load_plan)
-        setup = self.stencil.setup
-        for cache_id in (setup.mask_cache, setup.invmask_cache):
-            if cache_id in self.cache_front:
-                self.cache_front[cache_id], self.cache_back[cache_id] = (
-                    self.cache_back[cache_id],
-                    self.cache_front[cache_id],
-                )
-            for machine in self.machines:
-                machine.caches[cache_id].swap()
-        return self._cycles(self.load_image, self.load_plan)
-
-    def _swap_vars(self, a: str, b: str) -> None:
-        va = self.variables[a]
-        vb = self.variables[b]
-        slab_a = self.planes[va.plane][:, va.offset : va.end]
-        slab_b = self.planes[vb.plane][:, vb.offset : vb.end]
-        tmp = slab_a.copy()
-        slab_a[:] = slab_b
-        slab_b[:] = tmp
-
-    def sweep(self) -> Tuple[int, float]:
-        """One Jacobi sweep on every node; returns (cycles, global residual)."""
-        outputs = self._issue(self.update_plan)
-        residual = 0.0
-        cond = self.update_image.condition
-        if cond is not None:
-            for value in outputs[cond.fu][:, -1]:
-                residual = max(residual, float(value))
-        self._swap_vars("u", "u_new")
-        return self._cycles(self.update_image, self.update_plan), residual
-
-    def exchange_halos(self) -> None:
-        """Ghost-plane exchange between adjacent slabs, vectorized."""
-        if self.n_nodes < 2:
-            return
-        var = self.variables["u"]
-        plane = self.planes[var.plane]
-        nx, ny, _nz = self.stencil.shape
-        pw = nx * ny
-        nzl = self.stencil.nz_local
-        off = var.offset
-        # each slab's last real plane -> its upper neighbour's low ghost
-        plane[1:, off : off + pw] = plane[:-1, off + nzl * pw : off + (nzl + 1) * pw]
-        # each slab's first real plane -> its lower neighbour's high ghost
-        plane[:-1, off + (nzl + 1) * pw : off + (nzl + 2) * pw] = plane[
-            1:, off + pw : off + 2 * pw
-        ]
-
-
 __all__ = [
     "BACKENDS",
     "validate_backend",
     "shift_last",
     "execute_image_fast",
     "plan_for",
-    "FastMultiNodeEngine",
-    "HaloCommPlan",
+    "image_fingerprint",
+    "PlanCache",
+    "PlanCacheStats",
+    "PLAN_CACHE",
 ]

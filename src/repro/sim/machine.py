@@ -135,10 +135,13 @@ class NSCMachine:
         keep_outputs: bool = False,
         max_instructions: int = 1_000_000,
         backend: Optional[str] = None,
+        fuse: bool = True,
     ) -> SequencerResult:
         """Run the loaded program; ``backend`` overrides the machine's
         backend for this run only (the construction-time choice is
-        restored afterwards)."""
+        restored afterwards).  ``fuse=False`` keeps the fast backend on
+        the per-issue path instead of the whole-program compiled engine
+        (observable results are identical either way)."""
         previous_backend = self.backend
         if backend is not None:
             from repro.sim.fastpath import validate_backend
@@ -150,7 +153,7 @@ class NSCMachine:
             self.backend = previous_backend
             raise MachineError("no program loaded")
         self.reset()
-        sequencer = Sequencer(self)
+        sequencer = Sequencer(self, fuse=fuse)
         try:
             return sequencer.run(
                 self.program,

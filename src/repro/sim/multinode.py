@@ -279,32 +279,28 @@ class MultiNodeStencil:
         return self._load_caches, sweep, lambda: None
 
     def _fast_stepper(self):
-        """(load, sweep, finish) callables for the batched fast engine."""
-        from repro.sim.fastpath import FastMultiNodeEngine, HaloCommPlan
+        """(load, sweep, finish) callables for the compiled engine.
 
-        engine = FastMultiNodeEngine(self)
-        comm_plan = HaloCommPlan(self.router, self._halo_messages())
-        nx, ny, _nz = self.shape
-        sweep_words = 2 * (self.n_nodes - 1) * nx * ny
+        Programs the compiler declines (e.g. residual skew from an
+        ablation build) fall back to the reference stepper — identical
+        results, per-node speed."""
+        from repro.sim.progplan import FusionUnsupported, fused_stepper
 
-        def sweep():
-            cycles, residual = engine.sweep()
-            comm = comm_plan.exchange()
-            engine.exchange_halos()
-            return cycles, residual, comm, sweep_words, engine.sweep_flops
-
-        return engine.load_caches, sweep, engine.finish
+        try:
+            return fused_stepper(self)
+        except FusionUnsupported:
+            return self._reference_stepper()
 
     def run(self, max_iterations: int = 1000) -> MultiNodeResult:
         """Iterate to convergence (or the bound); returns aggregate results.
 
         With ``backend="fast"`` the whole system executes through the
-        batched :class:`~repro.sim.fastpath.FastMultiNodeEngine` — same
-        grids, residual history, and cycle/flop counts, one set of NumPy
-        operations per sweep instead of one interpreter pass per node.
-        Both backends share this one accumulation loop, so they cannot
-        drift apart in accounting; only the three stepper callables
-        differ.
+        batched :class:`~repro.sim.progplan.FastMultiNodeEngine` — mask
+        load, fused compute sweeps, and route-once halo replay driven
+        from one compiled schedule, state pulled once and pushed back at
+        the end.  Both backends share this one accumulation loop, so
+        they cannot drift apart in accounting; only the three stepper
+        callables differ.
         """
         load, sweep, finish = (
             self._fast_stepper() if self.backend == "fast"

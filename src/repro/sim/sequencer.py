@@ -56,13 +56,23 @@ class SequencerResult:
 
 
 class Sequencer:
-    """Executes a :class:`MachineProgram`'s control script on a machine."""
+    """Executes a :class:`MachineProgram`'s control script on a machine.
+
+    With the machine on the ``"fast"`` backend the whole control script —
+    loops, convergence checks, relocations — is first offered to the
+    whole-program compiler (:mod:`repro.sim.progplan`), which executes it
+    as one fused schedule with bit-identical observable behaviour.
+    Anything the compiler declines falls back to this walk, issuing one
+    image at a time.  ``fuse=False`` forces the per-issue walk (the
+    benchmark harness uses it to measure the compiled engine's gain).
+    """
 
     #: Safety bound on issue-trace retention (traces are for debugging).
     MAX_TRACE = 100_000
 
-    def __init__(self, machine: "NSCMachine") -> None:
+    def __init__(self, machine: "NSCMachine", fuse: bool = True) -> None:
         self.machine = machine
+        self.fuse = fuse
 
     def run(
         self,
@@ -70,6 +80,17 @@ class Sequencer:
         keep_outputs: bool = False,
         max_instructions: int = 1_000_000,
     ) -> SequencerResult:
+        if (
+            self.fuse
+            and not keep_outputs
+            and getattr(self.machine, "backend", "reference") == "fast"
+        ):
+            from repro.sim.progplan import try_run_fused
+
+            fused = try_run_fused(self.machine, program, max_instructions)
+            if fused is not None:
+                self.machine.interrupts.drain()
+                return fused
         result = SequencerResult()
         self._run_block(
             program, program.control, result, keep_outputs, max_instructions

@@ -178,3 +178,38 @@ class TestCliBench:
                      "--out", str(tmp_path),
                      "--min-speedup", "1000000"]) == 1
         assert "below required" in capsys.readouterr().err
+
+    def test_bench_save_baseline_then_compare(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        assert main(["bench", "--quick", "--scenarios", "jacobi_single",
+                     "--out", str(tmp_path / "out1"),
+                     "--save-baseline", str(base)]) == 0
+        payload = json.loads(base.read_text())
+        assert "jacobi_single" in payload["scenarios"]
+        # against its own baseline the run is within tolerance by a mile
+        # unless timing is catastrophically unstable; use a zeroed floor
+        payload["scenarios"]["jacobi_single"]["speedup"] = 0.001
+        base.write_text(json.dumps(payload))
+        assert main(["bench", "--quick", "--scenarios", "jacobi_single",
+                     "--out", str(tmp_path / "out2"),
+                     "--compare", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "baseline comparison" in out
+        assert (tmp_path / "out2" / "BENCH_compare.json").exists()
+
+    def test_bench_compare_detects_regression(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps({
+            "tolerance": 0.2,
+            "scenarios": {"jacobi_single": {"speedup": 1_000_000.0}},
+        }))
+        assert main(["bench", "--quick", "--scenarios", "jacobi_single",
+                     "--out", str(tmp_path / "out"),
+                     "--compare", str(base)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_bench_compare_missing_baseline_exits_2(self, tmp_path, capsys):
+        assert main(["bench", "--quick", "--scenarios", "jacobi_single",
+                     "--out", str(tmp_path),
+                     "--compare", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read baseline" in capsys.readouterr().err

@@ -75,6 +75,40 @@ class TestParallel:
         assert outcomes[0].error_type == "TimeoutError"
 
 
+class TestChunkedSubmission:
+    """Many small jobs ride a bounded number of futures, in order."""
+
+    def test_ordering_preserved_across_chunks(self):
+        pool = WorkerPool(max_workers=2)
+        items = list(range(40))
+        outcomes = pool.map(_square, items)
+        assert [o.index for o in outcomes] == items
+        assert [o.value for o in outcomes] == [i * i for i in items]
+
+    def test_throughput_bounded_future_count(self):
+        """The chunked path submits at most workers * CHUNKS_PER_WORKER
+        futures — a 64-job batch must not pay 64 executor round-trips."""
+        pool = WorkerPool(max_workers=2)
+        outcomes = pool.map(_square, list(range(64)))
+        assert len(outcomes) == 64
+        assert 0 < pool.last_submitted <= 2 * WorkerPool.CHUNKS_PER_WORKER
+
+    def test_failures_inside_chunks_stay_isolated(self):
+        pool = WorkerPool(max_workers=2)
+        outcomes = pool.map(_explode_on_three, list(range(10)))
+        assert [o.ok for o in outcomes] == [i != 3 for i in range(10)]
+        assert outcomes[3].error_type == "ValueError"
+        assert "boom at 3" in outcomes[3].traceback
+
+    def test_timeout_forces_per_item_futures(self):
+        """A timeout must bound each job individually, so the chunked
+        path is bypassed and every item gets its own future."""
+        pool = WorkerPool(max_workers=2, timeout=30.0)
+        outcomes = pool.map(_square, [1, 2, 3, 4])
+        assert [o.value for o in outcomes] == [1, 4, 9, 16]
+        assert pool.last_submitted == 4
+
+
 class TestOutcome:
     def test_failure_constructor(self):
         outcome = WorkerOutcome.failure(4, KeyError("missing"))

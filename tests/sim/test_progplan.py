@@ -1,0 +1,392 @@
+"""The whole-program compiled engine: parity with the reference sequencer.
+
+The compiled schedule's contract is the same as the per-issue fast path's —
+bit-identical observable behaviour — but it covers the *control script*
+too: loop iteration counts, issue traces, relocations, cache swaps, the
+interrupt stream, and DMA statistics all have to match a step-by-step
+reference run exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen.generator import MicrocodeGenerator
+from repro.compose.jacobi import build_jacobi_program, load_jacobi_inputs
+from repro.diagram.program import (
+    CacheSwap,
+    ExecPipeline,
+    Halt,
+    LoopUntil,
+    Repeat,
+    SwapVars,
+)
+from repro.sim import progplan
+from repro.sim.fastpath import PLAN_CACHE
+from repro.sim.machine import NSCMachine
+from repro.sim.sequencer import SequencerError
+
+
+def _generate(node, shape=(6, 6, 6), eps=1e-4, max_iterations=300, loop=True):
+    setup = build_jacobi_program(
+        node, shape, eps=eps, max_iterations=max_iterations, loop=loop
+    )
+    return setup, MicrocodeGenerator(node).generate(setup.program)
+
+
+def _run(node, setup, program, u0, f, backend, fuse=True, **kwargs):
+    shape = setup.shape
+    machine = NSCMachine(node, backend=backend)
+    machine.load_program(program)
+    load_jacobi_inputs(machine, setup, u0, f)
+    result = machine.run(fuse=fuse, **kwargs)
+    return machine, result
+
+
+def _irq_stream(machine):
+    return [
+        (i.cycle, i.kind, i.source, i.payload)
+        for i in machine.interrupts.delivered
+    ]
+
+
+def _assert_runs_identical(ref, fused):
+    (m_ref, r_ref), (m_fast, r_fast) = ref, fused
+    assert r_ref.total_cycles == r_fast.total_cycles
+    assert r_ref.total_flops == r_fast.total_flops
+    assert r_ref.instructions_issued == r_fast.instructions_issued
+    assert r_ref.issue_trace == r_fast.issue_trace
+    assert r_ref.loop_iterations == r_fast.loop_iterations
+    assert r_ref.converged == r_fast.converged
+    assert r_ref.halted == r_fast.halted
+    assert len(r_ref.pipeline_results) == len(r_fast.pipeline_results)
+    for p_ref, p_fast in zip(r_ref.pipeline_results, r_fast.pipeline_results):
+        assert p_ref.cycles == p_fast.cycles
+        assert p_ref.condition_result == p_fast.condition_result
+        assert p_ref.condition_value == p_fast.condition_value
+        assert p_ref.exceptions == p_fast.exceptions
+    for name in m_ref.memory.variables:
+        np.testing.assert_array_equal(
+            m_ref.get_variable(name), m_fast.get_variable(name)
+        )
+    assert m_ref.metrics(r_ref).summary() == m_fast.metrics(r_fast).summary()
+    assert m_ref.cycle == m_fast.cycle
+    assert m_ref.dma.stats == m_fast.dma.stats
+    assert m_ref.dma.device_busy == m_fast.dma.device_busy
+    # Interrupt.__eq__ compares cycles only; parity means the full
+    # (cycle, kind, source, payload) stream matches
+    assert _irq_stream(m_ref) == _irq_stream(m_fast)
+    assert m_ref.interrupts.pending() == m_fast.interrupts.pending()
+
+
+class TestFusedRunParity:
+    def test_convergence_run_bit_identical(self, node, rng):
+        setup, program = _generate(node)
+        u0 = rng.random((6, 6, 6))
+        f = rng.standard_normal((6, 6, 6))
+        ref = _run(node, setup, program, u0, f, "reference")
+        fused = _run(node, setup, program, u0, f, "fast", fuse=True)
+        _assert_runs_identical(ref, fused)
+        assert fused[1].converged
+
+    def test_fused_matches_per_issue_path(self, node, rng):
+        setup, program = _generate(node)
+        u0 = rng.random((6, 6, 6))
+        f = rng.standard_normal((6, 6, 6))
+        unfused = _run(node, setup, program, u0, f, "fast", fuse=False)
+        fused = _run(node, setup, program, u0, f, "fast", fuse=True)
+        _assert_runs_identical(unfused, fused)
+
+    def test_bounded_run_not_converged(self, node, rng):
+        setup, program = _generate(node, eps=1e-30, max_iterations=9)
+        u0 = rng.random((6, 6, 6))
+        f = rng.standard_normal((6, 6, 6))
+        ref = _run(node, setup, program, u0, f, "reference")
+        fused = _run(node, setup, program, u0, f, "fast")
+        _assert_runs_identical(ref, fused)
+        assert not fused[1].converged
+        assert fused[1].loop_iterations[setup.update_pipeline] == 9
+
+    def test_exception_flags_and_drops_match(self, node):
+        """Non-finite data must route through the exact path with the
+        reference's per-FU flags and dropped FP interrupts."""
+        setup, program = _generate(node, max_iterations=20)
+        shape = (6, 6, 6)
+        u0 = np.zeros(shape)
+        u0[2, 2, 2] = np.inf
+        u0[3, 3, 3] = np.nan
+        f = np.zeros(shape)
+        m_ref, r_ref = _run(node, setup, program, u0, f, "reference")
+        m_fast, r_fast = _run(node, setup, program, u0, f, "fast")
+        assert [p.exceptions for p in r_ref.pipeline_results] == [
+            p.exceptions for p in r_fast.pipeline_results
+        ]
+        assert any(p.exceptions for p in r_fast.pipeline_results)
+        assert [
+            (i.cycle, i.kind, i.source) for i in m_ref.interrupts.dropped
+        ] == [
+            (i.cycle, i.kind, i.source) for i in m_fast.interrupts.dropped
+        ]
+        np.testing.assert_array_equal(
+            m_ref.get_variable("u"), m_fast.get_variable("u")
+        )
+
+    def test_keep_outputs_still_matches_reference(self, node, rng):
+        """keep_outputs uses the per-issue path; behaviour is unchanged."""
+        setup, program = _generate(node, max_iterations=5)
+        u0 = rng.random((6, 6, 6))
+        f = rng.standard_normal((6, 6, 6))
+        m_ref, r_ref = _run(
+            node, setup, program, u0, f, "reference", keep_outputs=True
+        )
+        m_fast, r_fast = _run(
+            node, setup, program, u0, f, "fast", keep_outputs=True
+        )
+        assert r_ref.total_cycles == r_fast.total_cycles
+        last_ref = r_ref.pipeline_results[-1]
+        last_fast = r_fast.pipeline_results[-1]
+        assert set(last_ref.fu_outputs) == set(last_fast.fu_outputs)
+        for fu in last_ref.fu_outputs:
+            np.testing.assert_array_equal(
+                last_ref.fu_outputs[fu], last_fast.fu_outputs[fu]
+            )
+
+    def test_instruction_budget_error_matches(self, node, rng):
+        setup, program = _generate(node, eps=1e-30, max_iterations=50)
+        u0 = rng.random((6, 6, 6))
+        f = rng.standard_normal((6, 6, 6))
+        for backend in ("reference", "fast"):
+            machine = NSCMachine(node, backend=backend)
+            machine.load_program(program)
+            load_jacobi_inputs(machine, setup, u0, f)
+            with pytest.raises(SequencerError, match="instruction budget"):
+                machine.run(max_instructions=10)
+
+    def test_negative_feedback_init_reduces_identically(self, node, rng):
+        """The folded residual reduction must seed |init| exactly like
+        eval_feedback does — a negative register-file init value changes
+        the MAXABS running value's floor."""
+        import dataclasses
+
+        setup, program = _generate(node, shape=(5, 5, 5), eps=5e-1,
+                                   max_iterations=40)
+        image = program.images[1]
+        fb_key = next(
+            key for key, resolved in image.inputs.items()
+            if resolved.kind == "feedback"
+        )
+        image.inputs[fb_key] = dataclasses.replace(
+            image.inputs[fb_key], value=-0.75
+        )
+        u0 = rng.random((5, 5, 5))
+        f = rng.standard_normal((5, 5, 5))
+        ref = _run(node, setup, program, u0, f, "reference")
+        fused = _run(node, setup, program, u0, f, "fast")
+        _assert_runs_identical(ref, fused)
+
+    def test_non_default_interrupt_config_falls_back(self, node, rng):
+        """An armed-set tweak disables fusion but not correctness."""
+        from repro.arch.interrupts import InterruptKind
+
+        setup, program = _generate(node, max_iterations=30)
+        u0 = rng.random((6, 6, 6))
+        f = rng.standard_normal((6, 6, 6))
+        results = {}
+        for backend in ("reference", "fast"):
+            machine = NSCMachine(node, backend=backend)
+            machine.load_program(program)
+            load_jacobi_inputs(machine, setup, u0, f)
+            machine.interrupts.arm(InterruptKind.FP_OVERFLOW)
+            results[backend] = (machine, machine.run())
+        (m_ref, r_ref), (m_fast, r_fast) = (
+            results["reference"], results["fast"]
+        )
+        assert r_ref.total_cycles == r_fast.total_cycles
+        np.testing.assert_array_equal(
+            m_ref.get_variable("u"), m_fast.get_variable("u")
+        )
+
+
+class TestMultiNodeFallback:
+    def test_unfusable_program_falls_back_to_reference_stepper(self):
+        """An ablation build (no auto-balancing: residual stream skew) is
+        unfusable; the fast backend must still run it, bit-identically."""
+        from repro.arch.node import NodeConfig
+        from repro.sim.multinode import MultiNodeStencil
+
+        node = NodeConfig()
+        setup = build_jacobi_program(node, (4, 4, 6), eps=1e-30, loop=False)
+        program = MicrocodeGenerator(node, auto_balance=False).generate(
+            setup.program
+        )
+        results = {}
+        for backend in ("reference", "fast"):
+            stencil = MultiNodeStencil(
+                hypercube_dim=1,
+                shape=(4, 4, 8),
+                eps=1e-30,
+                precompiled=(setup, program),
+                backend=backend,
+            )
+            results[backend] = (stencil, stencil.run(max_iterations=4))
+        (s_ref, r_ref), (s_fast, r_fast) = (
+            results["reference"], results["fast"]
+        )
+        assert r_ref.compute_cycles == r_fast.compute_cycles
+        assert r_ref.residual_history == r_fast.residual_history
+        np.testing.assert_array_equal(s_ref.gather("u"), s_fast.gather("u"))
+
+
+class TestControlScriptShapes:
+    """Fused execution of scripts beyond the straight convergence loop."""
+
+    def _custom_program(self, node, control_ops):
+        setup = build_jacobi_program(node, (5, 5, 5), eps=1e-3, loop=False)
+        prog = setup.program
+        prog.control.clear()
+        for op in control_ops:
+            prog.add_control(op)
+        return setup, MicrocodeGenerator(node).generate(prog)
+
+    def _parity(self, node, setup, program, rng):
+        u0 = rng.random((5, 5, 5))
+        f = rng.standard_normal((5, 5, 5))
+        ref = _run(node, setup, program, u0, f, "reference")
+        fused = _run(node, setup, program, u0, f, "fast")
+        _assert_runs_identical(ref, fused)
+        return fused
+
+    def test_nested_repeat_with_swaps(self, node, rng):
+        ops = [
+            ExecPipeline(0),
+            CacheSwap(caches=(0, 1)),
+            Repeat(
+                body=(
+                    ExecPipeline(1),
+                    SwapVars("u", "u_new"),
+                    Repeat(body=(ExecPipeline(1), SwapVars("u", "u_new")), times=2),
+                ),
+                times=3,
+            ),
+            Halt(),
+        ]
+        setup, program = self._custom_program(node, ops)
+        _m, result = self._parity(node, setup, program, rng)
+        assert result.instructions_issued == 1 + 3 * 3
+        assert result.halted
+
+    def test_halt_inside_repeat_stops_everything(self, node, rng):
+        ops = [
+            ExecPipeline(0),
+            CacheSwap(caches=(0, 1)),
+            Repeat(body=(ExecPipeline(1), Halt()), times=5),
+            ExecPipeline(1),
+        ]
+        setup, program = self._custom_program(node, ops)
+        _m, result = self._parity(node, setup, program, rng)
+        assert result.instructions_issued == 2
+        assert result.halted
+
+    def test_loop_with_multi_op_body(self, node, rng):
+        ops = [
+            ExecPipeline(0),
+            CacheSwap(caches=(0, 1)),
+            LoopUntil(
+                body=(
+                    ExecPipeline(1),
+                    SwapVars("u", "u_new"),
+                    CacheSwap(caches=(0,)),
+                    CacheSwap(caches=(0,)),
+                ),
+                condition_pipeline=1,
+                max_iterations=40,
+            ),
+            Halt(),
+        ]
+        setup, program = self._custom_program(node, ops)
+        self._parity(node, setup, program, rng)
+
+    def test_repeat_zero_times_is_noop(self, node, rng):
+        ops = [
+            ExecPipeline(0),
+            CacheSwap(caches=(0, 1)),
+            Repeat(body=(ExecPipeline(1),), times=0),
+            ExecPipeline(1),
+            Halt(),
+        ]
+        setup, program = self._custom_program(node, ops)
+        _m, result = self._parity(node, setup, program, rng)
+        assert result.instructions_issued == 2
+
+
+class TestPlanCache:
+    def test_program_plans_shared_across_machines(self, node, rng):
+        setup, program = _generate(node, max_iterations=10)
+        plan_a = progplan.compiled_plan(program, node.params)
+        plan_b = progplan.compiled_plan(program, node.params)
+        assert plan_a is plan_b
+
+    def test_control_script_distinguishes_plans(self, node):
+        """Identical microwords, different loop bound: distinct plans."""
+        setup_a, prog_a = _generate(node, max_iterations=10)
+        setup_b, prog_b = _generate(node, max_iterations=20)
+        assert prog_a.fingerprint() == prog_b.fingerprint()  # same microcode
+        assert (
+            progplan.program_fingerprint(prog_a)
+            != progplan.program_fingerprint(prog_b)
+        )
+        plan_a = progplan.compiled_plan(prog_a, node.params)
+        plan_b = progplan.compiled_plan(prog_b, node.params)
+        assert plan_a is not plan_b
+
+    def test_two_param_sets_on_one_image_do_not_thrash(self, node, subset_node,
+                                                       monkeypatch):
+        """Alternating params on one image must not recompile each time."""
+        import repro.sim.fastpath as fastpath
+
+        setup, program = _generate(node, shape=(4, 4, 4))
+        image = program.images[1]
+        image.__dict__.pop("_fastpath_plan", None)
+        builds = []
+        real_build = fastpath._build_plan
+
+        def counting_build(img, params):
+            builds.append(params)
+            return real_build(img, params)
+
+        monkeypatch.setattr(fastpath, "_build_plan", counting_build)
+        PLAN_CACHE.clear()
+        for _round in range(4):
+            fastpath.plan_for(image, node.params)
+            fastpath.plan_for(image, subset_node.params)
+        assert len(builds) == 2  # one compile per params set, ever
+        stats = PLAN_CACHE.stats
+        assert stats.misses == 2
+        assert stats.hits >= 4
+
+    def test_plan_cache_lru_bound(self):
+        from repro.sim.fastpath import PlanCache
+
+        cache = PlanCache(maxsize=2)
+        for i in range(5):
+            cache.get_or_build(("k", i), lambda i=i: i)
+        assert len(cache) == 2
+        assert ("k", 4) in cache and ("k", 3) in cache
+
+
+class TestServicePlanLayer:
+    def test_program_cache_exposes_shared_plan_layer(self):
+        from repro.service.cache import ProgramCache
+
+        cache = ProgramCache()
+        assert cache.plans is PLAN_CACHE
+
+    def test_warm_plan_populates_engine_cache(self, node):
+        from repro.service.cache import ProgramCache
+
+        setup, program = _generate(node, shape=(4, 4, 4), max_iterations=5)
+        PLAN_CACHE.clear()
+        cache = ProgramCache()
+        plan = cache.warm_plan(program, node.params)
+        assert plan is not None
+        assert progplan.compiled_plan(program, node.params) is plan
+        assert PLAN_CACHE.stats.hits >= 1
