@@ -23,8 +23,10 @@ def test_quick_scenarios_agree_and_emit_artifacts(tmp_path):
         assert path.exists()
         on_disk = json.loads(path.read_text(encoding="utf-8"))
         assert on_disk["scenario"] == record["scenario"]
-        # jacobi_converge adds a third, per-issue-fast side
-        assert set(on_disk["backends"]) >= {"reference", "fast"}
+        # jacobi_converge adds a third, per-issue-fast side; batch_shm's
+        # sides are transports (pickle vs shm), not backends
+        pair = on_disk.get("speedup_pair", ["reference", "fast"])
+        assert set(on_disk["backends"]) >= set(pair)
         line = format_record(record)
         assert "parity ok" in line
     by_name = {r["scenario"]: r for r in records}

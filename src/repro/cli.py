@@ -28,7 +28,15 @@ exception: its scenarios are fixed full-machine workloads, so it rejects
 ``--backend {reference,fast}`` on the executing commands (``jacobi``,
 ``solve``, ``batch``, ``sweep``) selects the execution backend; results
 are bit-identical either way (``nsc-vpe bench`` proves it and measures
-the speedup).
+the speedup — see ``docs/BACKENDS.md`` for the full matrix).
+
+``batch`` and ``sweep`` additionally take ``--workers``, ``--timeout``,
+``--cache-dir``, ``--results``, ``--transport {pickle,shm}`` (how grids
+move between parent and workers on parallel runs — ``shm`` is the
+zero-copy shared-memory path) and ``--run-checker {auto,always,never}``
+(when the design-rule checker runs at compile time; ``auto`` skips it
+for fingerprint-verified cache-warmed programs).  ``docs/SERVICE.md``
+is the cookbook.
 """
 
 from __future__ import annotations
@@ -222,13 +230,15 @@ def cmd_batch(args: argparse.Namespace) -> int:
             if getattr(args, "subset", False):
                 spec.setdefault("subset", True)
             spec.setdefault("backend", args.backend)
+            spec.setdefault("run_checker", args.run_checker)
             jobs.append(SimJob.from_dict(spec))
     except (JobSpecError, TypeError, ValueError) as exc:
         print(f"error: bad job spec: {exc}", file=sys.stderr)
         return 2
     store = ResultStore(args.results) if args.results else None
     runner = BatchRunner(workers=args.workers, timeout=args.timeout,
-                         cache_dir=args.cache_dir, store=store)
+                         cache_dir=args.cache_dir, store=store,
+                         transport=args.transport)
     records, summary = runner.run(jobs)
     _print_batch(records, summary)
     return 0 if summary.failed == 0 else 1
@@ -258,6 +268,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             omega=args.omega,
             repeats=args.repeats,
             backend=args.backend,
+            run_checker=args.run_checker,
         )
     except (JobSpecError, ValueError) as exc:
         print(f"error: bad sweep axes: {exc}", file=sys.stderr)
@@ -266,7 +277,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     jobs = spec.expand()
     store = ResultStore(args.results) if args.results else None
     runner = BatchRunner(workers=args.workers, timeout=args.timeout,
-                         cache_dir=args.cache_dir, store=store)
+                         cache_dir=args.cache_dir, store=store,
+                         transport=args.transport)
     records, summary = runner.run(jobs)
     _print_batch(records, summary)
     return 0 if summary.failed == 0 else 1
@@ -448,11 +460,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark the execution backends against each other",
         parents=[common],
     )
+    from repro.bench import SCENARIOS as _BENCH_SCENARIOS
+
     p.add_argument("--quick", action="store_true",
                    help="smaller problems / fewer sweeps (the CI smoke "
-                   "configuration)")
+                   "configuration; batch_shm's quick run is a parity "
+                   "check, not a perf claim)")
     p.add_argument("--scenarios", default=None,
-                   help="comma-separated scenario names (default: all)")
+                   help="comma-separated scenario names (default: run all "
+                   f"of: {', '.join(_BENCH_SCENARIOS)})")
     p.add_argument("--out", default="benchmarks/perf/out",
                    help="directory for BENCH_<scenario>.json artifacts")
     p.add_argument("--min-speedup", type=float, default=0.0,
@@ -475,6 +491,8 @@ def _add_backend_option(p: argparse.ArgumentParser) -> None:
 
 
 def _add_service_options(p: argparse.ArgumentParser) -> None:
+    from repro.service.jobs import CHECKER_MODES
+
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes (1 = in-process serial)")
     p.add_argument("--timeout", type=float, default=None,
@@ -482,7 +500,20 @@ def _add_service_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--results", default=None,
                    help="append JSONL records to this file")
     p.add_argument("--cache-dir", default=None,
-                   help="on-disk program cache shared across workers/runs")
+                   help="on-disk program cache shared across workers/runs "
+                   "(also persists checker trust marks for --run-checker "
+                   "auto)")
+    p.add_argument("--transport", choices=("pickle", "shm"),
+                   default="pickle",
+                   help="how grids move between parent and workers on "
+                   "parallel runs: classic pickling, or zero-copy "
+                   "shared-memory segments (ignored when running "
+                   "serially)")
+    p.add_argument("--run-checker", choices=CHECKER_MODES, default="auto",
+                   dest="run_checker",
+                   help="when the design-rule checker runs at compile "
+                   "time; 'auto' skips it for fingerprint-verified "
+                   "cache-warmed programs")
     _add_backend_option(p)
 
 

@@ -11,6 +11,9 @@ simulated node; this package treats simulations as cacheable, schedulable
   ``(program hash, params hash)``;
 - :mod:`repro.service.pool`    — a :class:`WorkerPool` fanning jobs out
   across processes with deterministic result ordering and failure capture;
+- :mod:`repro.service.shm`     — the zero-copy shared-memory transport
+  (:class:`ShmArena` and friends) that lets grids and result arrays ride
+  named segments instead of executor pipes;
 - :mod:`repro.service.sweep`   — declarative parameter sweeps expanding
   into job batches;
 - :mod:`repro.service.results` — a JSONL result store for later comparison;
@@ -18,32 +21,41 @@ simulated node; this package treats simulations as cacheable, schedulable
   (imported lazily to keep spec-only users light).
 
 The ``nsc-vpe batch`` and ``nsc-vpe sweep`` CLI subcommands are the
-front door.
+front door; ``docs/SERVICE.md`` is the cookbook (batch and sweep recipes,
+the shared-memory transport, and the ``run_checker`` trusted path) and
+``docs/ARCHITECTURE.md`` places this package in the system.
 """
 
 from repro.service.cache import CacheStats, ProgramCache
-from repro.service.jobs import JobSpecError, SimJob
+from repro.service.jobs import CHECKER_MODES, JobSpecError, SimJob
 from repro.service.pool import WorkerOutcome, WorkerPool
 from repro.service.results import ResultStore
+from repro.service.shm import ShmArena, ShmArrayRef
 from repro.service.sweep import SweepSpec
 
 __all__ = [
     "CacheStats",
     "ProgramCache",
+    "CHECKER_MODES",
     "JobSpecError",
     "SimJob",
     "WorkerOutcome",
     "WorkerPool",
     "ResultStore",
+    "ShmArena",
+    "ShmArrayRef",
     "SweepSpec",
     "BatchRunner",
     "BatchSummary",
+    "TRANSPORTS",
     "execute_job",
+    "execute_job_shm",
 ]
 
 
 def __getattr__(name):  # lazy: runner pulls in the whole toolchain
-    if name in ("BatchRunner", "BatchSummary", "execute_job"):
+    if name in ("BatchRunner", "BatchSummary", "TRANSPORTS",
+                "execute_job", "execute_job_shm"):
         from repro.service import runner
 
         return getattr(runner, name)

@@ -15,6 +15,15 @@ Values are opaque to the cache; the runner stores
 ``(setup, MachineProgram)`` pairs.  Disk entries are written atomically
 (tmp file + rename) and unreadable entries are treated as misses.
 
+Alongside the compiled entries lives a *verified registry*: for every
+cache key whose compile ran the design-rule checker, the fingerprint of
+the microcode that checked clean.  The runner's ``run_checker="auto"``
+trusted path consults it to skip :meth:`Checker.check_program` on
+recompiles of already-vetted ``(program, machine)`` pairs — and because
+the registry records the expected *fingerprint*, a skipped check is still
+verified after the fact (a mismatch triggers a checked recompile rather
+than silent trust).
+
 A third layer holds *execution plans*: the whole-program schedules the
 compiled engine (:mod:`repro.sim.progplan`) builds on top of a compiled
 program.  Plans hold closures and scratch structure, so they are
@@ -43,6 +52,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     disk_hits: int = 0  # subset of hits satisfied from the disk layer
+    checks_skipped: int = 0  # compiles that rode the verified registry
 
     @property
     def lookups(self) -> int:
@@ -53,6 +63,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "disk_hits": self.disk_hits,
+            "checks_skipped": self.checks_skipped,
         }
 
     def format(self) -> str:
@@ -74,6 +85,7 @@ class ProgramCache:
 
     def __init__(self, disk_dir: Optional[str] = None) -> None:
         self._mem: Dict[str, Any] = {}
+        self._verified: Dict[str, str] = {}
         self.disk_dir = Path(disk_dir) if disk_dir else None
         if self.disk_dir is not None:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
@@ -116,6 +128,59 @@ class ProgramCache:
         except FusionUnsupported:
             return None
 
+    # ------------------------------------------------------------------
+    # verified registry (the run_checker="auto" trusted path)
+    # ------------------------------------------------------------------
+    def verified_fingerprint(self, key: str) -> Optional[str]:
+        """Fingerprint recorded by a checker-validated compile of ``key``,
+        or None if this ``(program, machine)`` pair was never vetted."""
+        if key in self._verified:
+            return self._verified[key]
+        path = self._verified_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            fingerprint = path.read_text(encoding="utf-8").strip()
+        except OSError:
+            return None
+        if fingerprint:
+            self._verified[key] = fingerprint
+            return fingerprint
+        return None
+
+    def mark_verified(self, key: str, fingerprint: str) -> None:
+        """Record that ``key``'s program checked clean and compiled to
+        ``fingerprint`` (persisted when a disk layer is configured)."""
+        self._verified[key] = fingerprint
+        path = self._verified_path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(fingerprint)
+            os.replace(tmp, path)
+        except Exception:
+            pass  # the registry is an optimisation; never sink a job
+
+    def clear_verified(self) -> None:
+        """Forget every trust mark (in-memory and on-disk)."""
+        self._verified.clear()
+        if self.disk_dir is None:
+            return
+        for path in (self.disk_dir / "verified").glob("*.fp"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _verified_path(self, key: str) -> Optional[Path]:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / "verified" / f"{key}.fp"
+
+    # ------------------------------------------------------------------
     def __contains__(self, key: str) -> bool:
         if key in self._mem:
             return True
@@ -126,7 +191,9 @@ class ProgramCache:
         return len(self._mem)
 
     def clear(self) -> None:
-        """Drop the in-memory layer (disk entries are left alone)."""
+        """Drop the in-memory compiled layer.  Disk entries and the
+        verified registry are left alone — forgetting a compiled program
+        does not unvet it (use :meth:`clear_verified` for that)."""
         self._mem.clear()
 
     # ------------------------------------------------------------------

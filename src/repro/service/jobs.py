@@ -28,6 +28,9 @@ from repro.sim.fastpath import BACKENDS
 #: Solvers the service can build itself, plus "program" for saved diagrams.
 METHODS = ("jacobi", "rb-gs", "rb-sor", "program")
 
+#: Design-rule-checker gating modes for compilation (see ``run_checker``).
+CHECKER_MODES = ("auto", "always", "never")
+
 
 class JobSpecError(ValueError):
     """The job specification is malformed or self-contradictory."""
@@ -50,10 +53,41 @@ class SimJob:
     stays hashable and canonically ordered.
 
     ``backend`` picks the execution backend (``"reference"`` or ``"fast"``,
-    see :mod:`repro.sim.fastpath`).  The backend changes how streams are
-    evaluated, never what they produce, so it is deliberately excluded from
-    :meth:`program_key`/:meth:`cache_key` — both backends share one
-    compiled program.
+    see :mod:`repro.sim.fastpath` and ``docs/BACKENDS.md``).  The backend
+    changes how streams are evaluated, never what they produce, so it is
+    deliberately excluded from :meth:`program_key`/:meth:`cache_key` —
+    both backends share one compiled program.
+
+    ``run_checker`` gates :meth:`repro.checker.checker.Checker.check_program`
+    at compile time:
+
+    - ``"always"`` — validate the visual program on every compile (the
+      pre-PR-4 behavior);
+    - ``"never"``  — skip validation entirely (for programs already
+      vetted out of band);
+    - ``"auto"`` (default) — run the checker the first time a
+      ``(program, machine)`` pair compiles, record the resulting
+      microcode fingerprint in the
+      :class:`~repro.service.cache.ProgramCache`'s verified registry, and
+      skip it on later compiles of the same pair whose fingerprint
+      matches.  With an on-disk cache directory the trust marks persist
+      across processes and sessions, so cache-warmed service jobs never
+      pay the checker's rule sweep again.
+
+    Like ``backend``, neither ``run_checker`` nor ``keep_fields`` changes
+    the compiled microcode, so both are excluded from
+    :meth:`program_key`/:meth:`cache_key`.
+
+    ``keep_fields=True`` asks the run to return its final grids: the
+    record gains a ``"fields"`` mapping — currently the solution ``"u"``
+    in grid layout ``(nz, ny, nx)``, the same orientation
+    ``manufactured_solution`` and the multinode gather use (the reverse
+    of this spec's ``(nx, ny, nz)`` shape).  Builder solvers only — a
+    saved program file
+    has no canonical output field.  Under
+    :class:`~repro.service.runner.BatchRunner`'s ``transport="shm"`` the
+    arrays ride preallocated shared-memory segments instead of being
+    pickled back (see :mod:`repro.service.shm`).
     """
 
     method: str = "jacobi"
@@ -66,6 +100,8 @@ class SimJob:
     program_path: Optional[str] = None
     param_overrides: Tuple[Tuple[str, Any], ...] = ()
     backend: str = "reference"
+    run_checker: str = "auto"
+    keep_fields: bool = False
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -76,6 +112,16 @@ class SimJob:
         if self.backend not in BACKENDS:
             raise JobSpecError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.run_checker not in CHECKER_MODES:
+            raise JobSpecError(
+                f"unknown run_checker {self.run_checker!r}; "
+                f"expected one of {CHECKER_MODES}"
+            )
+        if self.keep_fields and self.method == "program":
+            raise JobSpecError(
+                "keep_fields requires a builder solver (saved programs "
+                "have no canonical output field)"
             )
         if self.method == "program" and not self.program_path:
             raise JobSpecError("method 'program' requires program_path")
@@ -159,6 +205,8 @@ class SimJob:
             "program_path": self.program_path,
             "param_overrides": [list(p) for p in self.param_overrides],
             "backend": self.backend,
+            "run_checker": self.run_checker,
+            "keep_fields": self.keep_fields,
             "label": self.label,
         }
 
@@ -196,4 +244,4 @@ class SimJob:
         return tag
 
 
-__all__ = ["SimJob", "JobSpecError", "METHODS", "BACKENDS"]
+__all__ = ["SimJob", "JobSpecError", "METHODS", "BACKENDS", "CHECKER_MODES"]

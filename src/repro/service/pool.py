@@ -11,6 +11,13 @@ execution: no subprocesses, no pickling, and the caller's objects (e.g.
 a shared :class:`~repro.service.cache.ProgramCache`) are used directly.
 A timeout always forces the process path — an in-process job cannot be
 preempted, so a serial "timeout" would be a lie.
+
+The pool is transport-agnostic: items are whatever the caller's worker
+function takes.  The batch runner's pickle transport sends job dicts and
+receives whole records (arrays included) through these futures, while
+its shm transport sends only :class:`~repro.service.shm.ShmArrayRef`
+handles — a few dozen bytes per grid — and moves the arrays through
+shared memory instead (see :mod:`repro.service.runner`).
 """
 
 from __future__ import annotations

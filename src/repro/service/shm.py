@@ -1,0 +1,212 @@
+"""Zero-copy shared-memory transport for the batch service.
+
+The paper's machine gets its throughput from keeping data in place while
+programs stream over it; the batch service does the same across *process*
+boundaries.  Instead of pickling grids and result arrays through the
+executor's pipes, the parent maps them into named
+:mod:`multiprocessing.shared_memory` segments:
+
+- **input segments** are written once per distinct grid shape (the
+  manufactured problem ``u_star``/``f`` arrays) and attached *read-only*
+  by every worker that needs them — a batch of same-shape jobs shares one
+  copy of its inputs instead of regenerating them per job;
+- **output segments** are preallocated by the parent (field shapes and
+  dtypes are known from the job spec), attached writable by the worker,
+  and filled in place — the parent reads the result without a single byte
+  crossing a pipe.
+
+Ownership is strictly parent-side: the :class:`ShmArena` that created the
+segments closes *and unlinks* every one of them in
+:meth:`ShmArena.destroy`, which the runner calls in a ``finally`` block —
+a worker crash or timeout can therefore never leak a segment (the OS
+releases the dead worker's mappings; the names are gone once the arena is
+destroyed).  Workers hold attachments only inside a ``with``
+(:func:`attached`) and never unlink.
+
+A :class:`ShmArrayRef` is the picklable coordinate of one array — segment
+name, shape, dtype — small enough that task payloads stay cheap no matter
+how large the grids are.
+
+See ``docs/SERVICE.md`` for the user-facing knobs
+(``BatchRunner(transport="shm")``, ``SimJob(keep_fields=True)``) and
+``nsc-vpe bench --scenarios batch_shm`` for the measured speedup over the
+pickling pool.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ShmArrayRef:
+    """Picklable handle to one array living in a named shared segment."""
+
+    segment: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape)))
+
+    def as_array(self, buf) -> np.ndarray:
+        """View ``buf`` (a segment's memory) as this ref's array."""
+        return np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=buf)
+
+
+#: Whether this process shares its parent's resource tracker (decided on
+#: the first attach and cached: the discriminator — "was a tracker
+#: already running before this process attached anything?" — is only
+#: meaningful once per process).
+_TRACKER_INHERITED: "bool | None" = None
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without taking ownership of its cleanup.
+
+    Attachers must never unlink: the creating :class:`ShmArena` owns the
+    name.  Python 3.13+ supports ``track=False`` directly.  Earlier
+    versions register every attachment with the ``resource_tracker``;
+    what to do about that depends on whose tracker this process talks to:
+
+    - a *forked* pool worker (and the parent itself) shares the parent's
+      tracker, where registrations collapse by name into one entry that
+      the arena's ``unlink`` will retire — unregistering here too would
+      double-release it and spray KeyErrors from the tracker daemon;
+    - a *spawned* worker runs its own tracker, which would "helpfully"
+      unlink the parent's still-live segments when the worker exits — so
+      there every attachment's registration is undone by hand.  The case
+      is recognised by no tracker running before this process's first
+      attach (a forked worker inherits a running one), and the verdict
+      cached so every later attachment in the process behaves the same.
+    """
+    global _TRACKER_INHERITED
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    if _TRACKER_INHERITED is None:
+        _TRACKER_INHERITED = getattr(
+            resource_tracker._resource_tracker, "_fd", None
+        ) is not None
+    seg = shared_memory.SharedMemory(name=name)
+    if not _TRACKER_INHERITED:
+        try:
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:
+            pass
+    return seg
+
+
+@contextmanager
+def attached(ref: ShmArrayRef, readonly: bool = True) -> Iterator[np.ndarray]:
+    """Worker-side attachment: yield the ref's array, detach on exit.
+
+    The yielded array is a view into the segment and is only valid inside
+    the ``with`` block — copy anything that must outlive it.  ``readonly``
+    clears the numpy writeable flag (input segments are shared across
+    workers; nobody gets to scribble on them).
+    """
+    seg = _attach_segment(ref.segment)
+    try:
+        array = ref.as_array(seg.buf)
+        if readonly:
+            array.flags.writeable = False
+        yield array
+        del array  # drop the buffer view before closing the mapping
+    finally:
+        seg.close()
+
+
+class ShmArena:
+    """Parent-side allocator and owner of a batch's shared segments.
+
+    One arena serves one :meth:`BatchRunner.run` call: inputs are
+    :meth:`place`\\ d, outputs :meth:`allocate`\\ d, workers attach by
+    :class:`ShmArrayRef`, and :meth:`destroy` (always reached via
+    ``finally``) closes and unlinks everything.  Usable as a context
+    manager for the same guarantee.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+
+    # ------------------------------------------------------------------
+    def place(self, array: np.ndarray) -> ShmArrayRef:
+        """Copy ``array`` into a fresh segment; returns its ref."""
+        array = np.ascontiguousarray(array)
+        ref, view = self._new_segment(array.shape, array.dtype)
+        view[...] = array
+        return ref
+
+    def allocate(self, shape: Tuple[int, ...],
+                 dtype: str = "float64") -> ShmArrayRef:
+        """Preallocate a zero-filled output segment; returns its ref."""
+        ref, view = self._new_segment(tuple(shape), np.dtype(dtype))
+        view[...] = 0
+        return ref
+
+    def _new_segment(
+        self, shape: Tuple[int, ...], dtype: np.dtype
+    ) -> Tuple[ShmArrayRef, np.ndarray]:
+        nbytes = max(1, int(dtype.itemsize * int(np.prod(shape))))
+        seg = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._segments[seg.name] = seg
+        ref = ShmArrayRef(segment=seg.name, shape=tuple(int(s) for s in shape),
+                          dtype=dtype.name)
+        return ref, ref.as_array(seg.buf)
+
+    # ------------------------------------------------------------------
+    def view(self, ref: ShmArrayRef) -> np.ndarray:
+        """Zero-copy view of an arena-owned array (valid until destroy)."""
+        seg = self._segments[ref.segment]
+        return ref.as_array(seg.buf)
+
+    def materialize(self, ref: ShmArrayRef) -> np.ndarray:
+        """Copy an arena-owned array out into ordinary process memory,
+        so it survives :meth:`destroy` (one local memcpy — no pickling,
+        no pipe)."""
+        return np.array(self.view(ref))
+
+    @property
+    def names(self) -> List[str]:
+        """Names of every live segment this arena owns."""
+        return list(self._segments)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently mapped by this arena."""
+        return sum(seg.size for seg in self._segments.values())
+
+    # ------------------------------------------------------------------
+    def destroy(self) -> None:
+        """Close and unlink every segment.  Idempotent; missing segments
+        (already gone however improbably) are ignored — after this call
+        no name created by the arena exists on the system."""
+        segments, self._segments = self._segments, {}
+        for seg in segments.values():
+            try:
+                seg.close()
+            except Exception:
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.destroy()
+
+
+__all__ = ["ShmArena", "ShmArrayRef", "attached"]

@@ -18,15 +18,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.service.jobs import BACKENDS, METHODS, JobSpecError, SimJob
+from repro.service.jobs import (
+    BACKENDS,
+    CHECKER_MODES,
+    METHODS,
+    JobSpecError,
+    SimJob,
+)
 
 
 @dataclass(frozen=True)
 class SweepSpec:
     """Axes and shared settings for one sweep.
 
-    ``backend`` is a shared setting, not an axis: a sweep runs entirely on
-    one execution backend (jobs carry it so the records say which)."""
+    ``backend`` and ``run_checker`` are shared settings, not axes: a
+    sweep runs entirely on one execution backend and one checker-gating
+    mode (jobs carry them so the records say which)."""
 
     grids: Tuple[int, ...] = (7,)
     methods: Tuple[str, ...] = ("jacobi",)
@@ -37,6 +44,7 @@ class SweepSpec:
     omega: float = 1.5
     repeats: int = 1
     backend: str = "reference"
+    run_checker: str = "auto"
 
     def __post_init__(self) -> None:
         if self.repeats < 1:
@@ -44,6 +52,11 @@ class SweepSpec:
         if self.backend not in BACKENDS:
             raise JobSpecError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.run_checker not in CHECKER_MODES:
+            raise JobSpecError(
+                f"unknown run_checker {self.run_checker!r}; "
+                f"expected one of {CHECKER_MODES}"
             )
         if not self.grids or not self.methods or not self.dims or not self.subset:
             raise JobSpecError("every sweep axis needs at least one value")
@@ -113,6 +126,7 @@ class SweepSpec:
                                 subset=sub,
                                 hypercube_dim=dim,
                                 backend=self.backend,
+                                run_checker=self.run_checker,
                                 label=label,
                             ))
         return jobs, skips

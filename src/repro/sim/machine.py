@@ -10,6 +10,12 @@ session::
     machine.set_variable("u", initial_grid)
     result = machine.run()
     metrics = machine.metrics(result)
+
+``NSCMachine(node, backend="fast")`` selects the compiled execution
+backend — bit-identical results, measurably faster; the matrix of
+engines and fallbacks is documented in ``docs/BACKENDS.md``.  For
+running many machines as cacheable batch jobs, see
+:mod:`repro.service` and ``docs/SERVICE.md``.
 """
 
 from __future__ import annotations

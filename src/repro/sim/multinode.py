@@ -8,6 +8,11 @@ adjacent slabs are physical neighbours; each node runs the *same* Jacobi
 update program on its slab (SPMD); ghost planes are exchanged through the
 hyperspace router between sweeps, with compute and communication cycle
 counts tracked separately.
+
+``MultiNodeStencil(..., backend="fast")`` drives the whole sweep/halo/
+convergence loop from one compiled schedule (see ``docs/BACKENDS.md``);
+multi-node runs are schedulable as service jobs via
+``SimJob(hypercube_dim=...)`` (see ``docs/SERVICE.md``).
 """
 
 from __future__ import annotations

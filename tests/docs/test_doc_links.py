@@ -1,0 +1,88 @@
+"""The documentation link contract, riding the tier-1 suite.
+
+`tools/check_docs.py` is also run standalone by the CI docs job; this
+test keeps the same contract enforced in every local `pytest` run and
+unit-tests the checker's own parsing rules.
+"""
+
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+class TestRepoDocs:
+    def test_expected_documents_exist(self):
+        names = {p.name for p in check_docs.doc_files()}
+        assert {"README.md", "ARCHITECTURE.md", "SERVICE.md",
+                "BACKENDS.md"} <= names
+
+    def test_every_link_resolves(self):
+        problems = check_docs.check_all()
+        formatted = [
+            f"{path.relative_to(check_docs.REPO_ROOT)}:{line}: "
+            f"{reason}: {target}"
+            for path, line, target, reason in problems
+        ]
+        assert not problems, "\n".join(formatted)
+
+
+class TestCheckerRules:
+    def _check(self, tmp_path, text, name="doc.md"):
+        path = tmp_path / name
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+        return check_docs.check_file(path, {})
+
+    def test_missing_file_reported(self, tmp_path):
+        problems = self._check(tmp_path, "[dead](no-such-file.md)")
+        assert [p[3] for p in problems] == ["missing file"]
+
+    def test_existing_relative_path_ok(self, tmp_path):
+        (tmp_path / "other.md").write_text("# Other\n", encoding="utf-8")
+        assert self._check(tmp_path, "[ok](other.md)") == []
+
+    def test_anchor_within_file(self, tmp_path):
+        text = """\
+        # A Title
+
+        [good](#a-title) [bad](#nope)
+        """
+        problems = self._check(tmp_path, text)
+        assert [(p[2], p[3]) for p in problems] == [
+            ("#nope", "missing anchor")
+        ]
+
+    def test_anchor_in_other_file(self, tmp_path):
+        (tmp_path / "other.md").write_text(
+            "# The `run_checker` trusted path\n", encoding="utf-8"
+        )
+        assert self._check(
+            tmp_path, "[x](other.md#the-run_checker-trusted-path)"
+        ) == []
+        problems = self._check(tmp_path, "[x](other.md#gone)")
+        assert [p[3] for p in problems] == ["missing anchor"]
+
+    def test_code_fences_ignored(self, tmp_path):
+        text = """\
+        ```bash
+        cat [not-a-link](missing.json)
+        ```
+        """
+        assert self._check(tmp_path, text) == []
+
+    def test_external_urls_skipped(self, tmp_path):
+        assert self._check(
+            tmp_path, "[x](https://example.com/no-such-page)"
+        ) == []
+
+    def test_slug_rules(self):
+        assert check_docs.github_slug("Recipe: run a batch of jobs") == \
+            "recipe-run-a-batch-of-jobs"
+        assert check_docs.github_slug("The `run_checker` trusted path") == \
+            "the-run_checker-trusted-path"
+        assert check_docs.github_slug("Backends & benchmarking") == \
+            "backends--benchmarking"

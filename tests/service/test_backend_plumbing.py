@@ -10,8 +10,10 @@ from repro.service.jobs import JobSpecError, SimJob
 from repro.service.runner import BatchRunner, execute_job, reset_process_cache
 from repro.service.sweep import SweepSpec
 
-#: record keys that legitimately differ between backend runs
-VOLATILE = ("job_id", "label", "backend", "cache_hit")
+#: record keys that legitimately differ between backend runs ("checker"
+#: depends on compile history, like "cache_hit": a cache hit skips the
+#: compile entirely and reports neither)
+VOLATILE = ("job_id", "label", "backend", "cache_hit", "checker")
 
 
 def _comparable(record):

@@ -1,0 +1,158 @@
+"""The run_checker trusted path: gating, trust marks, defensive recheck."""
+
+import pytest
+
+from repro.checker.checker import Checker
+from repro.service.cache import ProgramCache
+from repro.service.jobs import JobSpecError, SimJob
+from repro.service.runner import BatchRunner, execute_job
+
+FAST = dict(eps=1e-3, max_sweeps=500)
+
+
+@pytest.fixture
+def check_calls(monkeypatch):
+    """Count (and still perform) every Checker.check_program call."""
+    calls = []
+    real = Checker.check_program
+
+    def counting(self, program):
+        calls.append(program.name)
+        return real(self, program)
+
+    monkeypatch.setattr(Checker, "check_program", counting)
+    return calls
+
+
+class TestSimJobValidation:
+    def test_default_is_auto(self):
+        assert SimJob().run_checker == "auto"
+        assert SimJob().keep_fields is False
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(JobSpecError, match="unknown run_checker"):
+            SimJob(run_checker="sometimes")
+
+    def test_keep_fields_rejected_for_saved_programs(self):
+        with pytest.raises(JobSpecError, match="keep_fields"):
+            SimJob(method="program", program_path="x.json",
+                   keep_fields=True)
+
+    def test_new_knobs_do_not_change_cache_key(self):
+        plain = SimJob(shape=(5, 5, 5))
+        tuned = SimJob(shape=(5, 5, 5), run_checker="never",
+                       keep_fields=True)
+        assert plain.cache_key() == tuned.cache_key()
+        assert plain.job_id != tuned.job_id
+
+    def test_roundtrips_through_dict(self):
+        job = SimJob(shape=(5, 5, 5), run_checker="never", keep_fields=True)
+        assert SimJob.from_dict(job.to_dict()) == job
+
+
+class TestCheckerGating:
+    def test_auto_checks_first_compile_then_skips(self, check_calls):
+        cache = ProgramCache()
+        job = SimJob(method="jacobi", shape=(5, 5, 5), **FAST)
+        first = execute_job(job.to_dict(), cache=cache)
+        assert first["checker"] == "ran"
+        assert len(check_calls) == 1
+        cache.clear()  # forget the compiled program, keep the trust mark
+        second = execute_job(job.to_dict(), cache=cache)
+        assert second["checker"] == "skipped"
+        assert len(check_calls) == 1  # no new check
+        assert cache.stats.checks_skipped == 1
+        # the unchecked recompile produced the exact vetted microcode
+        assert (first["program_fingerprint"]
+                == second["program_fingerprint"])
+
+    def test_cache_hit_reports_no_checker_at_all(self, check_calls):
+        cache = ProgramCache()
+        job = SimJob(method="jacobi", shape=(5, 5, 5), **FAST)
+        execute_job(job.to_dict(), cache=cache)
+        hit = execute_job(job.to_dict(), cache=cache)
+        assert hit["cache_hit"] is True
+        assert "checker" not in hit  # nothing compiled, nothing to gate
+
+    def test_always_rechecks_even_when_verified(self, check_calls):
+        cache = ProgramCache()
+        job = SimJob(method="jacobi", shape=(5, 5, 5), **FAST)
+        execute_job(job.to_dict(), cache=cache)
+        cache.clear()
+        spec = dict(job.to_dict(), run_checker="always")
+        record = execute_job(spec, cache=cache)
+        assert record["checker"] == "ran"
+        assert len(check_calls) == 2
+
+    def test_never_skips_and_leaves_no_trust_mark(self, check_calls):
+        cache = ProgramCache()
+        job = SimJob(method="jacobi", shape=(5, 5, 5),
+                     run_checker="never", **FAST)
+        record = execute_job(job.to_dict(), cache=cache)
+        assert record["checker"] == "skipped"
+        assert check_calls == []
+        # an unchecked compile must not vouch for later auto compiles
+        cache.clear()
+        auto = execute_job(dict(job.to_dict(), run_checker="auto"),
+                           cache=cache)
+        assert auto["checker"] == "ran"
+        assert len(check_calls) == 1
+
+    def test_stale_trust_mark_triggers_checked_recompile(self, check_calls):
+        cache = ProgramCache()
+        job = SimJob(method="jacobi", shape=(5, 5, 5), **FAST)
+        cache.mark_verified(job.cache_key(), "not-the-real-fingerprint")
+        record = execute_job(job.to_dict(), cache=cache)
+        assert record["ok"]
+        assert record["checker"] == "ran"  # mismatch fell back to checking
+        assert len(check_calls) == 1
+        # and the registry now holds the true fingerprint
+        assert (cache.verified_fingerprint(job.cache_key())
+                == record["program_fingerprint"])
+
+    def test_trust_marks_persist_on_disk(self, check_calls, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        job = SimJob(method="jacobi", shape=(5, 5, 5), **FAST)
+        BatchRunner(workers=1, cache_dir=cache_dir).run([job])
+        assert len(check_calls) == 1
+        # evict the compiled entries; the trust marks survive
+        for entry in (tmp_path / "cache").glob("*.pkl"):
+            entry.unlink()
+        records, _ = BatchRunner(workers=1, cache_dir=cache_dir).run([job])
+        assert records[0]["checker"] == "skipped"
+        assert len(check_calls) == 1
+
+    def test_clear_verified_forgets_marks(self, check_calls):
+        cache = ProgramCache()
+        job = SimJob(method="jacobi", shape=(5, 5, 5), **FAST)
+        execute_job(job.to_dict(), cache=cache)
+        cache.clear()
+        cache.clear_verified()
+        record = execute_job(job.to_dict(), cache=cache)
+        assert record["checker"] == "ran"
+        assert len(check_calls) == 2
+
+    def test_runner_override_beats_job_setting(self, check_calls):
+        job = SimJob(method="jacobi", shape=(5, 5, 5),
+                     run_checker="never", **FAST)
+        runner = BatchRunner(workers=1, run_checker="always")
+        records, _ = runner.run([job])
+        assert records[0]["checker"] == "ran"
+        assert len(check_calls) == 1
+
+    def test_multinode_compiles_are_gated_too(self, check_calls):
+        cache = ProgramCache()
+        job = SimJob(method="jacobi", shape=(5, 5, 6), hypercube_dim=1,
+                     **FAST)
+        first = execute_job(job.to_dict(), cache=cache)
+        assert first["ok"] and first["checker"] == "ran"
+        cache.clear()
+        second = execute_job(job.to_dict(), cache=cache)
+        assert second["checker"] == "skipped"
+        assert len(check_calls) == 1
+
+    def test_invalid_runner_configuration(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            BatchRunner(transport="carrier-pigeon")
+        with pytest.raises(ValueError, match="unknown run_checker"):
+            BatchRunner(run_checker="sometimes")

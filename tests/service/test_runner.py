@@ -27,6 +27,18 @@ class TestExecuteJob:
         assert record["metrics"]["flops"] > 0
         assert record["error_vs_analytic"] < 1.0
 
+    def test_non_cubic_single_node(self):
+        # u is compared against (and returned in) grid layout (nz,ny,nx);
+        # a non-cubic shape catches any (nx,ny,nz) reshape confusion
+        record = execute_job(
+            SimJob(method="jacobi", shape=(5, 5, 8), keep_fields=True,
+                   **FAST).to_dict(),
+            cache=ProgramCache(),
+        )
+        assert record["ok"], record.get("error")
+        assert record["fields"]["u"].shape == (8, 5, 5)
+        assert record["error_vs_analytic"] < 1.0
+
     def test_multinode_jacobi(self):
         record = execute_job(
             SimJob(method="jacobi", shape=(5, 5, 6),

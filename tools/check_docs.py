@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Link-check the repo's markdown documentation.
+
+Validates, for ``README.md`` and every ``docs/*.md``:
+
+- **relative links** — ``[text](path)`` must point at a file or
+  directory that exists in the worktree (checked relative to the linking
+  file; absolute URLs with a scheme are skipped);
+- **anchors** — ``[text](#heading)`` and ``[text](path#heading)`` must
+  name a heading that exists in the target file, using GitHub's slug
+  rules (lowercase, punctuation stripped, spaces to hyphens).
+
+Fenced code blocks are ignored, so shell snippets can mention
+``results.jsonl`` without the checker demanding the file exist.
+
+Exit status 0 when every link resolves; 1 otherwise, with one line per
+broken link.  Run directly (``python tools/check_docs.py``) or through
+the tier-1 suite (``tests/docs/test_doc_links.py``); CI runs both.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — target captured up to the closing paren.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+_FENCE_RE = re.compile(r"^(```|~~~)")
+#: Markdown emphasis/code markers stripped before slugging a heading
+#: (underscores stay: GitHub keeps them, e.g. in `run_checker`).
+_MARKUP_RE = re.compile(r"[`*]")
+_SLUG_DROP_RE = re.compile(r"[^\w\- ]")
+
+
+def doc_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def _strip_fences(text: str) -> List[str]:
+    """The document's lines with fenced code blocks blanked out."""
+    lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            lines.append("")
+            continue
+        lines.append("" if in_fence else line)
+    return lines
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line's text."""
+    text = _MARKUP_RE.sub("", heading.strip()).lower()
+    text = _SLUG_DROP_RE.sub("", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path, cache: Dict[Path, set]) -> set:
+    if path not in cache:
+        slugs = set()
+        for line in _strip_fences(path.read_text(encoding="utf-8")):
+            match = _HEADING_RE.match(line)
+            if match:
+                slugs.add(github_slug(match.group(2)))
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_file(
+    path: Path, anchor_cache: Dict[Path, set]
+) -> List[Tuple[Path, int, str, str]]:
+    """All broken links in one file as (file, line, target, reason)."""
+    problems = []
+    for lineno, line in enumerate(
+        _strip_fences(path.read_text(encoding="utf-8")), start=1
+    ):
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                continue  # external URL (http:, https:, mailto:, ...)
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                resolved = (path.parent / file_part).resolve()
+                if not resolved.exists():
+                    problems.append((path, lineno, target, "missing file"))
+                    continue
+            else:
+                resolved = path
+            if anchor:
+                if resolved.suffix != ".md":
+                    continue  # anchors into non-markdown: not checkable
+                if anchor not in _anchors(resolved, anchor_cache):
+                    problems.append((path, lineno, target, "missing anchor"))
+    return problems
+
+
+def check_all() -> List[Tuple[Path, int, str, str]]:
+    anchor_cache: Dict[Path, set] = {}
+    problems = []
+    for path in doc_files():
+        problems.extend(check_file(path, anchor_cache))
+    return problems
+
+
+def main() -> int:
+    files = doc_files()
+    problems = check_all()
+    for path, lineno, target, reason in problems:
+        rel = path.relative_to(REPO_ROOT)
+        print(f"{rel}:{lineno}: broken link ({reason}): {target}")
+    status = "all links resolve"
+    if problems:
+        status = f"{len(problems)} broken link(s)"
+    print(f"checked {len(files)} documents: {status}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
