@@ -9,7 +9,11 @@ node against a manufactured Poisson problem.  The result is validated two
 ways: bit-for-bit against a machine-semantics NumPy reference, and
 physically against the analytic solution.
 
-Run:  python examples/jacobi3d.py [n]
+Run:  python examples/jacobi3d.py [nx [ny nz]]
+
+With one argument the grid is cubic; with three it is non-cubic, which
+also exercises the (nz, ny, nx) grid layout end to end (see
+``repro.apps.poisson3d.grid_shape``).
 """
 
 import sys
@@ -17,6 +21,7 @@ import sys
 import numpy as np
 
 from repro.apps.poisson3d import (
+    grid_shape,
     jacobi_reference_run,
     manufactured_solution,
     poisson_residual,
@@ -29,13 +34,20 @@ from repro.sim.machine import NSCMachine
 
 
 def main() -> None:
-    n = int(sys.argv[1]) if len(sys.argv) > 1 else 9
-    shape = (n, n, n)
+    if len(sys.argv) == 4:
+        shape = (int(sys.argv[1]), int(sys.argv[2]), int(sys.argv[3]))
+    elif len(sys.argv) <= 2:
+        n = int(sys.argv[1]) if len(sys.argv) == 2 else 9
+        shape = (n, n, n)
+    else:
+        sys.exit("usage: jacobi3d.py [nx [ny nz]] — give one size (cubic) "
+                 "or all three")
+    nx, ny, nz = shape
     eps = 1e-8
 
     node = NodeConfig()
     setup = build_jacobi_program(node, shape, eps=eps, max_iterations=5000)
-    print(f"== visual program for Eq. 1 on a {n}^3 grid ==")
+    print(f"== visual program for Eq. 1 on a {nx}x{ny}x{nz} grid ==")
     print(f"pipelines: {[p.label for p in setup.program.pipelines]}")
     print()
     print(render_pipeline_diagram(setup.program.pipelines[1]))
@@ -63,7 +75,7 @@ def main() -> None:
           f"{result.loop_iterations[setup.update_pipeline]} sweeps "
           f"(reference: {ref_iters})")
     print(f"simulator vs reference max |diff|: {np.max(np.abs(u - ref)):.3e}")
-    err = np.max(np.abs(u.reshape(shape) - u_star))
+    err = np.max(np.abs(u.reshape(grid_shape(shape)) - u_star))
     print(f"error vs analytic solution:        {err:.3e}")
     print(f"PDE residual of the iterate:       "
           f"{poisson_residual(u, f, shape, h):.3e}")

@@ -17,7 +17,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.arch.shift_delay import shift_stream
-from repro.compose.jacobi import interior_masks
+from repro.compose.jacobi import grid_shape, interior_masks
 
 
 def jacobi_step_flat(
@@ -82,11 +82,20 @@ def jacobi_reference_run(
 def manufactured_solution(
     shape: Tuple[int, int, int], h: float | None = None
 ) -> Tuple[np.ndarray, np.ndarray, float]:
-    """Analytic test problem on the unit cube.
+    """Analytic test problem with homogeneous Dirichlet boundaries.
 
-    ``u*(x,y,z) = sin(pi x) sin(pi y) sin(pi z)`` satisfies
-    ``laplacian(u*) = -3 pi^2 u*``; returns ``(u_star, f, h)`` as
-    ``(nz, ny, nx)`` grids with homogeneous Dirichlet boundaries.
+    On a cubic grid at the default spacing (``h = 1/(n-1)``, the value
+    every builder computes) this is the classic unit-cube problem:
+    ``u*(x,y,z) = sin(pi x) sin(pi y) sin(pi z)`` with
+    ``laplacian(u*) = -3 pi^2 u*`` (this code path is kept verbatim —
+    committed benchmark artifacts are byte-stable against it).  Any
+    other grid — non-cubic, or cubic with a non-default ``h`` — spans a
+    box with per-axis extents ``L = (n-1) h``, so the sine modes are
+    scaled per axis — ``sin(pi x / Lx) ...`` with
+    ``laplacian(u*) = -pi^2 (1/Lx^2 + 1/Ly^2 + 1/Lz^2) u*`` — and still
+    vanish on *every* face (the single-mode unit-cube formula does not,
+    which made error-vs-analytic meaningless off the unit cube).
+    Returns ``(u_star, f, h)`` as ``(nz, ny, nx)`` grids.
     """
     nx, ny, nz = shape
     if h is None:
@@ -95,8 +104,17 @@ def manufactured_solution(
     y = np.linspace(0.0, (ny - 1) * h, ny)
     z = np.linspace(0.0, (nz - 1) * h, nz)
     zz, yy, xx = np.meshgrid(z, y, x, indexing="ij")
-    u_star = np.sin(np.pi * xx) * np.sin(np.pi * yy) * np.sin(np.pi * zz)
-    f = -3.0 * np.pi**2 * u_star
+    if nx == ny == nz and h == 1.0 / (nx - 1):
+        u_star = np.sin(np.pi * xx) * np.sin(np.pi * yy) * np.sin(np.pi * zz)
+        f = -3.0 * np.pi**2 * u_star
+        return u_star, f, h
+    lx, ly, lz = (nx - 1) * h, (ny - 1) * h, (nz - 1) * h
+    u_star = (
+        np.sin(np.pi * xx / lx)
+        * np.sin(np.pi * yy / ly)
+        * np.sin(np.pi * zz / lz)
+    )
+    f = -(np.pi**2) * (1.0 / lx**2 + 1.0 / ly**2 + 1.0 / lz**2) * u_star
     return u_star, f, h
 
 
@@ -105,9 +123,8 @@ def poisson_residual(
 ) -> float:
     """Max-norm PDE residual ``|laplacian(u) - f|`` over interior points,
     computed with standard second-order differences on the 3-D grid."""
-    nx, ny, nz = shape
-    u3 = np.asarray(u, dtype=np.float64).reshape(nz, ny, nx)
-    f3 = np.asarray(f, dtype=np.float64).reshape(nz, ny, nx)
+    u3 = np.asarray(u, dtype=np.float64).reshape(grid_shape(shape))
+    f3 = np.asarray(f, dtype=np.float64).reshape(grid_shape(shape))
     lap = (
         u3[1:-1, 1:-1, :-2]
         + u3[1:-1, 1:-1, 2:]
@@ -154,6 +171,7 @@ def poisson_jobs(
 
 
 __all__ = [
+    "grid_shape",
     "jacobi_step_flat",
     "jacobi_reference_run",
     "manufactured_solution",

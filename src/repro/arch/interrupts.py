@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 
 class InterruptKind(enum.Enum):
@@ -23,6 +23,35 @@ class InterruptKind(enum.Enum):
     FP_DIVIDE_BY_ZERO = "fp_divide_by_zero"
     FP_INVALID = "fp_invalid"
     DMA_FAULT = "dma_fault"
+
+
+#: The controller's construction-time armed set: completions and
+#: conditions delivered, exceptions masked (recorded in ``dropped``).
+DEFAULT_ARMED_KINDS: FrozenSet[InterruptKind] = frozenset(
+    {
+        InterruptKind.PIPELINE_COMPLETE,
+        InterruptKind.CONDITION_TRUE,
+        InterruptKind.CONDITION_FALSE,
+    }
+)
+
+
+@dataclass(frozen=True)
+class InterruptConfig:
+    """Observable controller configuration, for engines that must decide
+    whether (and how) they can model a controller without stepping it."""
+
+    armed: FrozenSet[InterruptKind]
+    handler_kinds: Tuple[InterruptKind, ...]
+    pending: int
+
+    @property
+    def is_default(self) -> bool:
+        return (
+            self.armed == DEFAULT_ARMED_KINDS
+            and not self.handler_kinds
+            and self.pending == 0
+        )
 
 
 @dataclass(frozen=True, order=True)
@@ -44,11 +73,7 @@ class InterruptController:
 
     def __init__(self, latency_cycles: int = 0) -> None:
         self.latency_cycles = latency_cycles
-        self._armed: set[InterruptKind] = {
-            InterruptKind.PIPELINE_COMPLETE,
-            InterruptKind.CONDITION_TRUE,
-            InterruptKind.CONDITION_FALSE,
-        }
+        self._armed: set[InterruptKind] = set(DEFAULT_ARMED_KINDS)
         self._queue: List[Interrupt] = []
         self._handlers: Dict[InterruptKind, Callable[[Interrupt], None]] = {}
         self.delivered: List[Interrupt] = []
@@ -62,6 +87,23 @@ class InterruptController:
 
     def is_armed(self, kind: InterruptKind) -> bool:
         return kind in self._armed
+
+    def configuration(self) -> InterruptConfig:
+        """Snapshot of the armed set, registered handlers, and queue depth.
+
+        This is the public surface execution engines gate on (the fused
+        engine replays the post/deliver sequence analytically and must
+        know the armed set; registered handlers force the stepped path)."""
+        return InterruptConfig(
+            armed=frozenset(self._armed),
+            handler_kinds=tuple(sorted(self._handlers, key=lambda k: k.value)),
+            pending=len(self._queue),
+        )
+
+    def is_default_config(self) -> bool:
+        """True when the controller is in its construction-time state:
+        default armed set, no handlers, nothing queued."""
+        return self.configuration().is_default
 
     def on(self, kind: InterruptKind, handler: Callable[[Interrupt], None]) -> None:
         """Register *handler* to run when *kind* is delivered."""
@@ -123,4 +165,10 @@ class InterruptController:
         self.dropped.clear()
 
 
-__all__ = ["InterruptKind", "Interrupt", "InterruptController"]
+__all__ = [
+    "InterruptKind",
+    "Interrupt",
+    "InterruptConfig",
+    "InterruptController",
+    "DEFAULT_ARMED_KINDS",
+]

@@ -26,7 +26,12 @@ Scenarios:
   the classic pickling pool and through the zero-copy shared-memory
   transport (:mod:`repro.service.shm`), with bit-identical field arrays
   required and the speedup gated at
-  :data:`BATCH_SHM_MIN_SPEEDUP` on the full configuration.
+  :data:`BATCH_SHM_MIN_SPEEDUP` on the full configuration;
+- ``fused_coverage`` — the formerly-fallback program classes through the
+  fused engine: a multi-node residual-skew *ablation* build (timed,
+  gated at :data:`FUSED_COVERAGE_MIN_SPEEDUP` full), plus
+  ``keep_outputs`` and rearmed-interrupt runs with bit-identical
+  streams and proof the compiled engine accepted each.
 
 Drive it with ``nsc-vpe bench [--quick] [--scenarios ...] [--out DIR]``,
 or programmatically via :func:`run_scenario` / :func:`run_bench`.  A
@@ -55,6 +60,7 @@ SCENARIOS = (
     "jacobi_converge",
     "hypercube_scaling",
     "batch_shm",
+    "fused_coverage",
 )
 
 #: Allowed fractional drop of a speedup below its committed baseline.
@@ -62,6 +68,10 @@ REGRESSION_TOLERANCE = 0.2
 
 #: Required shm-vs-pickle speedup for batch_shm's full configuration.
 BATCH_SHM_MIN_SPEEDUP = 1.3
+
+#: Required fused-vs-reference speedup for fused_coverage's full
+#: configuration (the multi-node residual-skew ablation workload).
+FUSED_COVERAGE_MIN_SPEEDUP = 3.0
 
 
 class BenchError(ValueError):
@@ -531,6 +541,198 @@ def _scenario_batch_shm(quick: bool) -> Dict[str, Any]:
     return record
 
 
+def _scenario_fused_coverage(quick: bool) -> Dict[str, Any]:
+    """The formerly-fallback program classes through the fused engine.
+
+    One record covers the three fallback classes the coverage work
+    closed, with hard evidence that the *fused* engine (not a fallback
+    tier) executed each of them:
+
+    - **residual-skew ablation** (timed, the headline): a multi-node
+      Jacobi build with auto-balancing disabled — skewed operand streams
+      — on a non-cubic grid, reference backend vs the fused fast
+      backend.  Exactly the ablation study the paper motivates; this
+      used to drop all the way to the reference stepper.  Full parity is
+      asserted and the full configuration gates
+      :data:`FUSED_COVERAGE_MIN_SPEEDUP`.
+    - **keep_outputs** (single node): per-issue ``fu_outputs`` streams
+      must come back bit-identical to the reference, and the compiled
+      engine must *accept* the run (``try_run_fused`` is not None).
+    - **rearmed interrupts** (single node): FP kinds armed, a condition
+      kind disarmed, non-finite inputs — delivered *and* dropped
+      interrupt streams must match the reference exactly, again with the
+      fused engine provably engaged.
+    """
+    from repro.apps.poisson3d import manufactured_solution
+    from repro.arch.interrupts import InterruptKind
+    from repro.arch.node import NodeConfig
+    from repro.codegen.generator import MicrocodeGenerator
+    from repro.compose.jacobi import build_jacobi_program, load_jacobi_inputs
+    from repro.sim import progplan
+    from repro.sim.machine import NSCMachine
+    from repro.sim.multinode import MultiNodeStencil
+
+    node = NodeConfig()
+    checks: Dict[str, bool] = {}
+
+    # --- timed sides: the multi-node residual-skew ablation build -------
+    dim = 3 if quick else 4
+    n_nodes = 1 << dim
+    shape = (6, 8, 32)  # non-cubic; nz divides both node counts
+    sweeps = 10 if quick else 40
+    reps = 1 if quick else 2
+    local_shape = (shape[0], shape[1], shape[2] // n_nodes + 2)
+    setup = build_jacobi_program(node, local_shape, eps=1e-30, loop=False)
+    skew_program = MicrocodeGenerator(node, auto_balance=False).generate(
+        setup.program
+    )
+    u_star, _f, _h = manufactured_solution(shape)
+
+    def make_stencil(backend: str) -> MultiNodeStencil:
+        stencil = MultiNodeStencil(
+            hypercube_dim=dim,
+            shape=shape,
+            eps=1e-30,
+            precompiled=(setup, skew_program),
+            backend=backend,
+        )
+        stencil.scatter("u", u_star)
+        return stencil
+
+    # the whole-system compiler must *accept* the skewed build — a
+    # FusionUnsupported here would silently time a fallback tier instead
+    try:
+        progplan.fused_stepper(make_stencil("fast"))
+        checks["skew_fuses_multinode"] = True
+    except progplan.FusionUnsupported:
+        checks["skew_fuses_multinode"] = False
+
+    runs: Dict[str, Any] = {}
+    sides: Dict[str, Dict[str, Any]] = {}
+    for backend in BACKENDS:
+        wall = float("inf")
+        for _rep in range(reps):
+            stencil = make_stencil(backend)
+            result, elapsed = _timed(lambda: stencil.run(max_iterations=sweeps))
+            wall = min(wall, elapsed)
+        runs[backend] = (stencil, result)
+        sides[backend] = _side(
+            wall,
+            result.total_cycles,
+            iterations=result.iterations,
+            achieved_gflops=result.achieved_gflops,
+        )
+    (s_ref, r_ref), (s_fast, r_fast) = runs["reference"], runs["fast"]
+    checks.update(
+        {
+            "grids_identical": bool(
+                np.array_equal(s_ref.gather("u"), s_fast.gather("u"))
+            ),
+            "compute_cycles_equal": r_ref.compute_cycles == r_fast.compute_cycles,
+            "comm_cycles_equal": r_ref.comm_cycles == r_fast.comm_cycles,
+            "flops_equal": r_ref.flops == r_fast.flops,
+            "residual_history_equal": (
+                r_ref.residual_history == r_fast.residual_history
+            ),
+        }
+    )
+
+    # --- untimed coverage checks on one node ----------------------------
+    cov_shape = (5, 6, 7)  # non-cubic again
+    cov_setup = build_jacobi_program(node, cov_shape, eps=1e-4, max_iterations=40)
+    cov_program = MicrocodeGenerator(node).generate(cov_setup.program)
+    _u, cov_f, _h2 = manufactured_solution(cov_shape, h=cov_setup.h)
+    rng = np.random.default_rng(20260726)
+    cov_u0 = rng.random(cov_shape)
+
+    def fresh(backend: str) -> NSCMachine:
+        machine = NSCMachine(node, backend=backend)
+        machine.load_program(cov_program)
+        load_jacobi_inputs(machine, cov_setup, cov_u0, cov_f)
+        return machine
+
+    def irq_streams(machine: NSCMachine) -> Tuple[List[str], List[str]]:
+        # repr: NaN payloads must compare equal, not unequal-to-itself
+        return (
+            [
+                repr((i.cycle, i.kind, i.source, i.payload))
+                for i in machine.interrupts.delivered
+            ],
+            [
+                repr((i.cycle, i.kind, i.source, i.payload))
+                for i in machine.interrupts.dropped
+            ],
+        )
+
+    # keep_outputs: fused engine engaged, per-issue streams bit-identical
+    probe = fresh("fast")
+    checks["keep_outputs_runs_fused"] = (
+        progplan.try_run_fused(probe, cov_program, 1_000_000, keep_outputs=True)
+        is not None
+    )
+    m_ref = fresh("reference")
+    r_ref1 = m_ref.run(keep_outputs=True)
+    m_fast = fresh("fast")
+    r_fast1 = m_fast.run(keep_outputs=True)
+    checks["keep_outputs_streams_identical"] = (
+        r_ref1.total_cycles == r_fast1.total_cycles
+        and len(r_ref1.pipeline_results) == len(r_fast1.pipeline_results)
+        and all(
+            set(p.fu_outputs) == set(q.fu_outputs)
+            and all(
+                np.array_equal(p.fu_outputs[fu], q.fu_outputs[fu])
+                for fu in p.fu_outputs
+            )
+            for p, q in zip(r_ref1.pipeline_results, r_fast1.pipeline_results)
+        )
+    )
+
+    # rearmed interrupts: FP armed, CONDITION_FALSE masked, inf/nan input
+    bad_u0 = cov_u0.copy()
+    bad_u0[2, 3, 1] = np.inf
+    bad_u0[1, 2, 3] = np.nan
+
+    def rearm(machine: NSCMachine) -> NSCMachine:
+        machine.set_variable("u", bad_u0.reshape(-1))
+        machine.interrupts.arm(InterruptKind.FP_OVERFLOW)
+        machine.interrupts.arm(InterruptKind.FP_INVALID)
+        machine.interrupts.disarm(InterruptKind.CONDITION_FALSE)
+        return machine
+
+    probe = rearm(fresh("fast"))
+    checks["rearmed_runs_fused"] = (
+        progplan.try_run_fused(probe, cov_program, 1_000_000) is not None
+    )
+    m_ref = rearm(fresh("reference"))
+    m_ref.run()
+    m_fast = rearm(fresh("fast"))
+    m_fast.run()
+    checks["rearmed_interrupts_identical"] = irq_streams(m_ref) == irq_streams(m_fast)
+    # the NaN seed propagates into the grid; NaNs at equal positions match
+    checks["rearmed_grids_identical"] = bool(
+        np.array_equal(
+            m_ref.get_variable("u"), m_fast.get_variable("u"), equal_nan=True
+        )
+    )
+
+    config = {
+        "shape": list(shape),
+        "hypercube_dim": dim,
+        "n_nodes": n_nodes,
+        "sweeps": sweeps,
+        "coverage_shape": list(cov_shape),
+        "min_speedup": None if quick else FUSED_COVERAGE_MIN_SPEEDUP,
+    }
+    record = _finish("fused_coverage", quick, config, sides, checks)
+    if not quick:
+        # the acceptance gate rides the record so CI and humans see it
+        record["checks"]["meets_min_speedup"] = (
+            record["speedup"] >= FUSED_COVERAGE_MIN_SPEEDUP
+        )
+        record["ok"] = all(record["checks"].values())
+    return record
+
+
 _SCENARIO_FNS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "jacobi_single": _scenario_jacobi_single,
     "jacobi_multinode": _scenario_jacobi_multinode,
@@ -538,6 +740,7 @@ _SCENARIO_FNS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "jacobi_converge": _scenario_jacobi_converge,
     "hypercube_scaling": _scenario_hypercube_scaling,
     "batch_shm": _scenario_batch_shm,
+    "fused_coverage": _scenario_fused_coverage,
 }
 
 

@@ -129,7 +129,11 @@ def cmd_render(args: argparse.Namespace) -> int:
 def cmd_jacobi(args: argparse.Namespace) -> int:
     from repro.apps.poisson3d import manufactured_solution
     from repro.codegen.generator import MicrocodeGenerator
-    from repro.compose.jacobi import build_jacobi_program, load_jacobi_inputs
+    from repro.compose.jacobi import (
+        build_jacobi_program,
+        grid_shape,
+        load_jacobi_inputs,
+    )
     from repro.sim.machine import NSCMachine
 
     node = _node(args)
@@ -143,7 +147,9 @@ def cmd_jacobi(args: argparse.Namespace) -> int:
     load_jacobi_inputs(machine, setup, np.zeros(shape), f)
     result = machine.run()
     metrics = machine.metrics(result)
-    u = machine.get_variable("u").reshape(shape)
+    # machine grids flatten x-fastest: the 3-D view is (nz, ny, nx),
+    # the layout manufactured_solution returns
+    u = machine.get_variable("u").reshape(grid_shape(shape))
     print(f"converged: {result.converged} in "
           f"{result.loop_iterations.get(setup.update_pipeline, 0)} sweeps")
     print(f"error vs analytic solution: "
@@ -159,7 +165,11 @@ def cmd_solve(args: argparse.Namespace) -> int:
         build_rbsor_program,
         load_rbsor_inputs,
     )
-    from repro.compose.jacobi import build_jacobi_program, load_jacobi_inputs
+    from repro.compose.jacobi import (
+        build_jacobi_program,
+        grid_shape,
+        load_jacobi_inputs,
+    )
     from repro.sim.machine import NSCMachine
 
     node = _node(args)
@@ -181,7 +191,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
         load_rbsor_inputs(machine, setup, np.zeros(shape), f)
         watch = setup.black_pipeline
     result = machine.run()
-    u = machine.get_variable("u").reshape(shape)
+    u = machine.get_variable("u").reshape(grid_shape(shape))
     print(f"{args.method}: converged={result.converged} "
           f"sweeps={result.loop_iterations.get(watch, 0)} "
           f"cycles={result.total_cycles} "

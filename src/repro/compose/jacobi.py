@@ -72,6 +72,20 @@ def jacobi_grid_index(i: int, j: int, k: int, shape: Tuple[int, int, int]) -> in
     return i + nx * (j + ny * k)
 
 
+def grid_shape(shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+    """Array shape of a flattened problem grid: ``(nz, ny, nx)``.
+
+    Problem shapes are quoted ``(nx, ny, nz)`` throughout (the paper's
+    convention), but the flattening order is x-fastest
+    (:func:`jacobi_grid_index`: ``i + nx*(j + ny*k)``), so the NumPy
+    view of a flat grid is z-major.  Every ``reshape`` of machine grid
+    data must use this — on a cubic grid the two orders coincide, which
+    is exactly how transposed-axis bugs hide until a non-cubic run.
+    """
+    nx, ny, nz = shape
+    return (nz, ny, nx)
+
+
 def build_jacobi_program(
     node: NodeConfig,
     shape: Tuple[int, int, int],
@@ -215,6 +229,7 @@ def load_jacobi_inputs(
 __all__ = [
     "JacobiSetup",
     "build_jacobi_program",
+    "grid_shape",
     "jacobi_grid_index",
     "interior_masks",
     "load_jacobi_inputs",

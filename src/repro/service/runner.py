@@ -287,9 +287,10 @@ def _run_single(
 def _field_shape(job: SimJob) -> Tuple[int, int, int]:
     """Kept fields are ``(nz, ny, nx)`` grids — the layout
     :func:`manufactured_solution` and :meth:`MultiNodeStencil.gather`
-    already share."""
-    nx, ny, nz = job.shape
-    return (nz, ny, nx)
+    already share (see :func:`repro.compose.jacobi.grid_shape`)."""
+    from repro.compose.jacobi import grid_shape
+
+    return grid_shape(job.shape)
 
 
 def _compile_multinode(

@@ -26,7 +26,7 @@ from repro.arch.node import NodeConfig
 from repro.arch.params import NSCParameters
 from repro.arch.router import HyperspaceRouter, Message
 from repro.codegen.generator import MicrocodeGenerator
-from repro.compose.jacobi import build_jacobi_program
+from repro.compose.jacobi import build_jacobi_program, grid_shape
 from repro.sim.machine import NSCMachine
 from repro.sim.pipeline_exec import execute_image
 
@@ -187,7 +187,7 @@ class MultiNodeStencil:
         """Distribute a global ``(nz, ny, nx)`` grid into slab variables,
         filling ghost planes from neighbouring slabs."""
         nx, ny, nz = self.shape
-        g = np.asarray(grid, dtype=np.float64).reshape(nz, ny, nx)
+        g = np.asarray(grid, dtype=np.float64).reshape(grid_shape(self.shape))
         for slab, machine in enumerate(self.machines):
             local = np.zeros((self.nz_local + 2, ny, nx))
             z0 = slab * self.nz_local
@@ -201,7 +201,7 @@ class MultiNodeStencil:
     def gather(self, name: str = "u") -> np.ndarray:
         """Reassemble the global grid from slab variables (ghosts dropped)."""
         nx, ny, nz = self.shape
-        out = np.zeros((nz, ny, nx))
+        out = np.zeros(grid_shape(self.shape))
         for slab, machine in enumerate(self.machines):
             local = machine.get_variable(name).reshape(
                 self.nz_local + 2, ny, nx
@@ -213,18 +213,20 @@ class MultiNodeStencil:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def _load_caches(self) -> int:
+    def _load_caches(self, backend: str = "reference") -> int:
         """Run the mask-cache load pipeline on every node (and swap the
         double buffers to expose the loaded masks); returns cycles."""
         worst = 0
         for machine in self.machines:
-            res = execute_image(self.machine_program.images[0], machine)
+            res = execute_image(
+                self.machine_program.images[0], machine, backend=backend
+            )
             machine.caches[0].swap()
             machine.caches[1].swap()
             worst = max(worst, res.cycles)
         return worst
 
-    def _sweep(self) -> Tuple[int, float, int]:
+    def _sweep(self, backend: str = "reference") -> Tuple[int, float, int]:
         """One Jacobi sweep on every node plus the halo exchange.
 
         Returns (cycles, global residual, words exchanged this sweep)."""
@@ -232,7 +234,9 @@ class MultiNodeStencil:
         residual = 0.0
         flops = 0
         for machine in self.machines:
-            res = execute_image(self.machine_program.images[1], machine)
+            res = execute_image(
+                self.machine_program.images[1], machine, backend=backend
+            )
             machine.swap_vars("u", "u_new")
             compute = max(compute, res.cycles)
             if res.condition_value is not None:
@@ -274,27 +278,43 @@ class MultiNodeStencil:
             right.set_variable("u", u_right.reshape(-1))
         return 2 * (self.n_nodes - 1) * plane_words
 
-    def _reference_stepper(self):
-        """(load, sweep, finish) callables for the per-node interpreter."""
+    def _per_issue_stepper(self, backend: str = "reference"):
+        """(load, sweep, finish) callables walking node by node.
+
+        ``backend="reference"`` is the interpreter tier;
+        ``backend="fast"`` is the middle tier — the same walk, but every
+        instruction issues through the compiled per-image plans
+        (:func:`repro.sim.fastpath.execute_image_fast`): identical
+        results at per-node fast-path speed."""
+        def load():
+            return self._load_caches(backend=backend)
+
         def sweep():
-            cycles, residual, sweep_words = self._sweep()
+            cycles, residual, sweep_words = self._sweep(backend=backend)
             return (cycles, residual, self._comm_cycles_last, sweep_words,
                     self._sweep_flops)
 
-        return self._load_caches, sweep, lambda: None
+        return load, sweep, lambda: None
+
+    def _reference_stepper(self):
+        """(load, sweep, finish) callables for the per-node interpreter."""
+        return self._per_issue_stepper("reference")
 
     def _fast_stepper(self):
         """(load, sweep, finish) callables for the compiled engine.
 
-        Programs the compiler declines (e.g. residual skew from an
-        ablation build) fall back to the reference stepper — identical
-        results, per-node speed."""
+        Programs the whole-system compiler declines (an exotic build the
+        batched :class:`~repro.sim.progplan.FastMultiNodeEngine` cannot
+        prove fusable — residual-skew ablation builds fuse as of the
+        coverage work, so this is now rare) fall back to the *per-issue
+        fast* stepper, not the reference interpreter: identical results,
+        per-node fast-path speed."""
         from repro.sim.progplan import FusionUnsupported, fused_stepper
 
         try:
             return fused_stepper(self)
         except FusionUnsupported:
-            return self._reference_stepper()
+            return self._per_issue_stepper("fast")
 
     def run(self, max_iterations: int = 1000) -> MultiNodeResult:
         """Iterate to convergence (or the bound); returns aggregate results.

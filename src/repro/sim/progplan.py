@@ -28,12 +28,24 @@ step: it compiles an entire :class:`~repro.codegen.generator.MachineProgram`
   charge table per image) and materialized at the end, byte-identical to
   what the reference sequencer accumulates step by step.
 
+Coverage extends beyond the happy path: residual-skew (ablation)
+programs compile their skewed operands as offset windows into zero-padded
+copies — the same trick shifted taps use — ``keep_outputs`` runs
+materialize per-FU output streams from the already-bound buffers, and
+non-default interrupt *armed sets* (arm/disarm of any kind) fold into the
+exact heap replay.  Controllers with registered handlers stay on the
+fallback: handlers observe delivery order mid-run, which only the stepped
+paths model.
+
 Compiled plans are cached in :data:`repro.sim.fastpath.PLAN_CACHE` keyed
-by ``MachineProgram.fingerprint()`` + params, so the batch service and
-sweeps reuse schedules across jobs.  Anything the compiler cannot prove
-it can fuse raises :class:`FusionUnsupported` and the sequencer falls
-back to the per-issue fast path — fusion is an optimisation, never a
-semantics change.
+by ``MachineProgram.fingerprint()`` + params (+ the ``keep_outputs``
+mode), so the batch service and sweeps reuse schedules across jobs.
+Anything the compiler cannot prove it can fuse raises
+:class:`FusionUnsupported` and the sequencer falls back to the per-issue
+fast path — fusion is an optimisation, never a semantics change.  That
+holds mid-run too: until the commit point at the end of a fused run, no
+machine state is mutated, so a late rejection falls back against
+pristine state.
 
 The batched multi-node engine (:class:`FastMultiNodeEngine`) is built on
 the same bound-image machinery with a leading node axis, and
@@ -93,16 +105,6 @@ class FusionUnsupported(Exception):
     """
 
 
-#: Default armed set the fused interrupt model assumes (the controller's
-#: construction-time state); anything else falls back to per-issue posting.
-_DEFAULT_ARMED = frozenset(
-    {
-        InterruptKind.PIPELINE_COMPLETE,
-        InterruptKind.CONDITION_TRUE,
-        InterruptKind.CONDITION_FALSE,
-    }
-)
-
 # step-op modes interpreted by BoundImage.compute()
 _M_BINARY = 0      # ufunc(a, b, out=row)
 _M_CONST = 1       # ufunc(a, scalar, out=row)
@@ -111,6 +113,7 @@ _M_FALLBACK = 3    # row[...] = kernel(...)   (exact, allocating)
 _M_ACCUM = 4       # feedback via ufunc.accumulate into a seeded buffer
 _M_REDUCE = 5      # feedback consumed only by the condition: pure reduction
 _M_FEEDBACK = 6    # general feedback fallback (eval_feedback per row)
+_M_SKEWCOPY = 7    # copy a freshly-computed FU row into its skew pad
 
 _BINARY_UFUNCS = {
     Opcode.FADD: np.add,
@@ -267,17 +270,27 @@ class ImageKernel:
     """Compile-time form of one image's fused executor.
 
     Holds everything derivable from ``(image, plan, params)``; per-run
-    buffers live in the :class:`BoundImage` this produces.  Raises
+    buffers live in the :class:`BoundImage` this produces.  Residual
+    stream skew (the ablation configuration) compiles to offset windows
+    into zero-padded copies of the skewed source — streams share their
+    feeder's pad, FU rows and taps get pads of their own — so a skewed
+    operand costs one copy, exactly like a shifted tap.  Raises
     :class:`FusionUnsupported` for constructs the fused executor does not
-    model (residual skew, mismatched stream lengths, zero-length vectors).
+    model (mismatched stream lengths, zero-length vectors).
+
+    With ``keep_outputs`` the residual-reduction folding is disabled so
+    every functional unit materializes its full output stream — the
+    :class:`BoundImage` can then snapshot per-FU outputs per issue at
+    reference fidelity.
     """
 
     def __init__(self, index: int, image: PipelineImage, plan: _FastPlan,
-                 params: Any) -> None:
+                 params: Any, keep_outputs: bool = False) -> None:
         self.index = index
         self.image = image
         self.plan = plan
         self.params = params
+        self.keep_outputs = keep_outputs
         self.n = plan.n
         if self.n <= 0:
             raise FusionUnsupported("zero-length vector")
@@ -288,14 +301,15 @@ class ImageKernel:
 
         consumed = self._consumed_fus()
         self.reduce_fus: Set[int] = set()
-        for step in plan.steps:
-            if (
-                step.fb_port is not None
-                and step.opcode in _REDUCIBLE
-                and step.fu not in consumed
-                and _isfinite(float(step.fb_init))
-            ):
-                self.reduce_fus.add(step.fu)
+        if not keep_outputs:
+            for step in plan.steps:
+                if (
+                    step.fb_port is not None
+                    and step.opcode in _REDUCIBLE
+                    and step.fu not in consumed
+                    and _isfinite(float(step.fb_init))
+                ):
+                    self.reduce_fus.add(step.fu)
 
         # exception-screen planning: a unit whose non-finite elements
         # provably surface in some consumer's output (IEEE: inf*0=nan,
@@ -309,10 +323,22 @@ class ImageKernel:
         self.n_rows = len(ordered)
         self.n_checked = len([f for f in ordered if f in checked])
 
+        # skewed operands (ablation builds): windows into padded copies.
+        # streams share their feeder's pad; FU rows and taps pad their own
+        # buffer, filled by an in-line copy (_M_SKEWCOPY for rows, an
+        # extra tap-load pair for taps).
+        self._stream_skews: Dict[Tuple[int, int], Tuple] = {}
+        self._row_skews: Dict[Tuple[int, int], Tuple] = {}
+        self._tap_skews: Dict[Tuple[Any, int], Tuple] = {}
+        self._produced: Set[int] = set()
+        self._pending_row_copies: List[int] = []
+        self._emitted_row_copies: Set[int] = set()
+
         self.steps: List[Tuple] = []       # symbolic step descriptors
         for step in plan.steps:
             if step.fb_port is not None:
                 descr = self._ref(step.other)
+                self._flush_row_copies()
                 init = float(step.fb_init)
                 if step.fu in self.reduce_fus:
                     ufunc, use_abs = _REDUCIBLE[step.opcode]
@@ -321,6 +347,7 @@ class ImageKernel:
                     self.steps.append(
                         (_M_REDUCE, ufunc, use_abs, descr, seed, step.fu)
                     )
+                    self._produced.add(step.fu)
                     continue
                 row = self.row_of[step.fu]
                 accum = _ACCUMULATING.get(step.opcode)
@@ -341,10 +368,12 @@ class ImageKernel:
                         (_M_FEEDBACK, step.opcode, descr, step.fb_port, init,
                          step.fu, row)
                     )
+                self._produced.add(step.fu)
                 continue
 
             a = self._ref(step.a)
             b = self._ref(step.b) if step.b is not None else None
+            self._flush_row_copies()
             row = self.row_of[step.fu]
             if step.uses_constant and step.opcode in _CONST_UFUNCS:
                 self.steps.append(
@@ -363,15 +392,19 @@ class ImageKernel:
                 )
             else:
                 self.steps.append((_M_FALLBACK, step, a, b, row))
+            self._produced.add(step.fu)
 
         # taps: every shifted stream is a window into one zero-padded copy
         # of its feeder, so a 7-tap stencil costs one copy, not seven —
-        # the pad supplies shift_stream's zero fill on both ends
+        # the pad supplies shift_stream's zero fill on both ends.  Skewed
+        # stream operands ride the same pads as extra windows.
         by_feeder: Dict[int, List[Tuple[Any, int]]] = {}
         for key, (feeder, shift) in plan.taps.items():
             by_feeder.setdefault(self._read_index[feeder], []).append(
                 (key, shift)
             )
+        for (read_index, skew), view_key in self._stream_skews.items():
+            by_feeder.setdefault(read_index, []).append((view_key, skew))
         # (read_index, left pad, total padded words, [(tap key, shift)...])
         self.feeder_pads: List[Tuple[int, int, int, List[Tuple[Any, int]]]] = []
         for read_index, tap_list in sorted(by_feeder.items()):
@@ -379,6 +412,9 @@ class ImageKernel:
             left = max(0, -min(shifts))
             total = left + self.n + max(0, max(shifts))
             self.feeder_pads.append((read_index, left, total, tap_list))
+        # second-level pads: skewed views of FU rows and of taps
+        self.row_pads = self._second_level_pads(self._row_skews)
+        self.tap_pads = self._second_level_pads(self._tap_skews)
 
         cond = image.condition
         if cond is not None and cond.fu not in self.row_of \
@@ -472,10 +508,13 @@ class ImageKernel:
             if step.fb_port is not None:
                 # MIN/MINABS/MAX variants can silently absorb an extreme
                 # of the wrong sign; MAXABS and the sticky accumulators
-                # (FADD, FMUL) cannot, so only those cover their input
+                # (FADD, FMUL) cannot, so only those cover their input.
+                # A skewed position never covers: the shift can push the
+                # offending element out of the window (zero fill).
                 if step.opcode in self._PROP_FEEDBACK:
                     descr = step.other
-                    if descr is not None and descr[0] == _OP_OUTPUT:
+                    if descr is not None and descr[0] == _OP_OUTPUT \
+                            and descr[2] == 0:
                         covered.add(descr[1])
                 continue
             if step.opcode in self._PROP_BOTH:
@@ -485,7 +524,8 @@ class ImageKernel:
             else:
                 continue
             for descr in positions:
-                if descr is not None and descr[0] == _OP_OUTPUT:
+                if descr is not None and descr[0] == _OP_OUTPUT \
+                        and descr[2] == 0:
                     covered.add(descr[1])
         return {
             s.fu for s in self.plan.steps
@@ -494,15 +534,66 @@ class ImageKernel:
 
     def _ref(self, descr: Tuple[int, Any, int]) -> _Ref:
         code, key, skew = descr
-        if skew != 0:
-            raise FusionUnsupported("residual stream skew (ablation mode)")
         if code == _OP_CONST:
+            if skew != 0:
+                # the interpreters resolve constants before applying skew,
+                # so a skewed constant cannot occur; refuse rather than guess
+                raise FusionUnsupported("skewed constant operand")
             return ("const", key)
-        if code == _OP_OUTPUT:
-            return ("row", key)
+        if skew == 0:
+            if code == _OP_OUTPUT:
+                return ("row", key)
+            if code == _OP_STREAM:
+                return ("stream", self._read_index[key])
+            return ("tap", key)
+        # residual skew (ablation mode): the shifted view is a window into
+        # a zero-padded copy of the source, like any other tap
         if code == _OP_STREAM:
-            return ("stream", self._read_index[key])
-        return ("tap", key)
+            read_index = self._read_index[key]
+            view_key = ("skew:stream", read_index, skew)
+            self._stream_skews[(read_index, skew)] = view_key
+            return ("tap", view_key)
+        if code == _OP_OUTPUT:
+            if key not in self._produced:
+                # the interpreters fault on this too ("needed before it
+                # was produced"); let the stepped path report it
+                raise FusionUnsupported(
+                    f"skewed read of fu{key} before it was produced"
+                )
+            view_key = ("skew:row", key, skew)
+            if (key, skew) not in self._row_skews:
+                self._row_skews[(key, skew)] = view_key
+                if key not in self._emitted_row_copies:
+                    self._emitted_row_copies.add(key)
+                    self._pending_row_copies.append(key)
+            return ("tap", view_key)
+        view_key = ("skew:tap", key, skew)
+        self._tap_skews[(key, skew)] = view_key
+        return ("tap", view_key)
+
+    def _flush_row_copies(self) -> None:
+        """Emit the pad-fill copies for row skews the current step's
+        operands just registered — after the producer, before the
+        consumer."""
+        for fu in self._pending_row_copies:
+            self.steps.append((_M_SKEWCOPY, fu))
+        self._pending_row_copies.clear()
+
+    def _second_level_pads(
+        self, skews: Dict[Tuple[Any, int], Tuple]
+    ) -> List[Tuple[Any, int, int, List[Tuple[Any, int]]]]:
+        """Group skewed views by their source into padded-buffer specs:
+        ``(source key, left pad, total padded words, [(view key, skew)])``."""
+        by_source: Dict[Any, List[Tuple[Any, int]]] = {}
+        for (source, skew), view_key in skews.items():
+            by_source.setdefault(source, []).append((view_key, skew))
+        pads: List[Tuple[Any, int, int, List[Tuple[Any, int]]]] = []
+        for source, views in sorted(by_source.items(), key=repr):
+            shifts = [s for _k, s in views]
+            left = max(0, -min(shifts))
+            total = left + self.n + max(0, max(shifts))
+            pads.append((source, left, total, views))
+        return pads
 
     def _issue_stats(self) -> None:
         """Analytic per-issue accounting, matching the DMA engine's."""
@@ -644,6 +735,28 @@ class BoundImage:
             self._pad_centers.append((padded[..., left : left + n], read_index))
             for key, shift in tap_list:
                 self._tap_views[key] = padded[..., left + shift : left + shift + n]
+        # second-level pads for skewed operands: tap skews are filled right
+        # after the feeder pads each issue (their source is a tap view);
+        # row skews are filled in-line by _M_SKEWCOPY steps as soon as the
+        # producing row lands
+        self._static_tap_pairs: List[Tuple[np.ndarray, np.ndarray]] = []
+        for tap_key, left, total, views in kernel.tap_pads:
+            padded = np.zeros(batch_shape + (total,))
+            self._static_tap_pairs.append(
+                (padded[..., left : left + n], self._tap_views[tap_key])
+            )
+            for view_key, skew in views:
+                self._tap_views[view_key] = (
+                    padded[..., left + skew : left + skew + n]
+                )
+        self._row_pad_centers: Dict[int, np.ndarray] = {}
+        for fu, left, total, views in kernel.row_pads:
+            padded = np.zeros(batch_shape + (total,))
+            self._row_pad_centers[fu] = padded[..., left : left + n]
+            for view_key, skew in views:
+                self._tap_views[view_key] = (
+                    padded[..., left + skew : left + skew + n]
+                )
         self._seeded: Dict[int, np.ndarray] = {}
         self._reduce_scratch: Dict[int, np.ndarray] = {}
         self._finals: Dict[int, Any] = {}
@@ -722,6 +835,10 @@ class BoundImage:
             _m, ufunc, use_abs, descr, init, fu = step
             return (mode, ufunc, use_abs, self._operand(descr), init, fu,
                     self._reduce_scratch.get(fu))
+        if mode == _M_SKEWCOPY:
+            _m, fu = step
+            return (mode, self._rows[self.kernel.row_of[fu]],
+                    self._row_pad_centers[fu])
         _m, opcode, descr, port, init, fu, row = step
         return (mode, opcode, self._operand(descr), port, init,
                 self._rows[row])
@@ -775,6 +892,8 @@ class BoundImage:
                 resolved = list(op)
                 resolved[3] = live(op[3])
                 ops.append(tuple(resolved))
+            elif mode == _M_SKEWCOPY:
+                ops.append(op)  # both sides are fixed local buffers
             else:  # _M_FEEDBACK
                 resolved = list(op)
                 resolved[2] = live(op[2])
@@ -782,7 +901,7 @@ class BoundImage:
         self._tap_live = [
             (center, streams[read_index])
             for center, read_index in self._pad_centers
-        ]
+        ] + self._static_tap_pairs
         pairs: List[Tuple[np.ndarray, np.ndarray]] = []
         for (kind, key), view in zip(
             (w[0] for w in kernel.writes), views
@@ -825,6 +944,9 @@ class BoundImage:
             elif mode == _M_UNARY:
                 env[f"_f{i}"], env[f"_a{i}"], env[f"_o{i}"] = op[1], op[2], op[3]
                 body.append(f"    _f{i}(_a{i}, _o{i})")
+            elif mode == _M_SKEWCOPY:
+                env[f"_a{i}"], env[f"_o{i}"] = op[1], op[2]
+                body.append(f"    _copyto(_o{i}, _a{i})")
             else:
                 env[f"_g{i}"] = self._make_closure(op)
                 body.append(f"    _ok = _g{i}() and _ok")
@@ -1016,6 +1138,23 @@ class BoundImage:
             np.copyto(view, src[..., :width] if src.shape[-1] != width
                       else src)
 
+    def capture_outputs(self) -> Dict[int, np.ndarray]:
+        """Fresh per-FU output streams for ``keep_outputs`` runs.
+
+        Only meaningful on a kernel compiled with ``keep_outputs`` (every
+        unit then owns a full output row — the residual-reduction folding
+        is disabled).  Everything is copied out: the row buffers are
+        reused by the next issue, and exact-path outputs can *alias* live
+        stream/tap views (a PASS kernel returns its input object), which
+        the next issue's tap refill would silently mutate.
+        """
+        if self._exact is not None:
+            return {fu: np.array(arr) for fu, arr in self._exact.items()}
+        return {
+            fu: self._rows[row].copy()
+            for fu, row in self.kernel.row_of.items()
+        }
+
 
 # ----------------------------------------------------------------------
 # whole-program compilation
@@ -1031,11 +1170,18 @@ _S_BAD_ISSUE = 6
 
 
 class ProgramPlan:
-    """A compiled control script plus the kernels and extents it needs."""
+    """A compiled control script plus the kernels and extents it needs.
 
-    def __init__(self, program: MachineProgram, params: Any) -> None:
+    ``keep_outputs`` compiles every kernel in output-retention mode (full
+    per-FU streams, no reduction folding) so :class:`ProgramRun` can
+    snapshot ``fu_outputs`` per issue; such plans are cached separately.
+    """
+
+    def __init__(self, program: MachineProgram, params: Any,
+                 keep_outputs: bool = False) -> None:
         self.program = program
         self.params = params
+        self.keep_outputs = keep_outputs
         self.kernels: Dict[int, ImageKernel] = {}
         self.swap_names: Set[str] = set()
         self.cache_ids: Set[int] = set()
@@ -1098,7 +1244,8 @@ class ProgramPlan:
                         plan = plan_for(image, self.params)
                     except Exception as exc:
                         raise FusionUnsupported(str(exc)) from exc
-                    kernel = ImageKernel(index, image, plan, self.params)
+                    kernel = ImageKernel(index, image, plan, self.params,
+                                         keep_outputs=self.keep_outputs)
                     self.kernels[index] = kernel
                 out.append((_S_ISSUE, index))
             elif isinstance(op, Repeat):
@@ -1142,18 +1289,21 @@ class _Unfusable:
     reason: str
 
 
-def compiled_plan(program: MachineProgram, params: Any) -> ProgramPlan:
+def compiled_plan(program: MachineProgram, params: Any,
+                  keep_outputs: bool = False) -> ProgramPlan:
     """Compile (or fetch from the shared cache) the program's fused plan.
 
     Rejections are cached too: a program the compiler declines raises
     :class:`FusionUnsupported` from a dictionary hit on every later run
     instead of re-walking the control script to the same conclusion.
+    ``keep_outputs`` plans key separately (they disable the reduction
+    folding, so the compiled kernels differ).
     """
-    key = ("program", program_fingerprint(program), params)
+    key = ("program", program_fingerprint(program), params, keep_outputs)
 
     def build() -> Any:
         try:
-            return ProgramPlan(program, params)
+            return ProgramPlan(program, params, keep_outputs=keep_outputs)
         except FusionUnsupported as exc:
             return _Unfusable(str(exc))
 
@@ -1176,9 +1326,17 @@ class ProgramRun:
         self.plan = plan
         self.machine = machine
         self.max_instructions = max_instructions
-        irq = machine.interrupts
-        if irq._handlers or irq.pending() or irq._armed != _DEFAULT_ARMED:
-            raise FusionUnsupported("non-default interrupt configuration")
+        irq_config = machine.interrupts.configuration()
+        if irq_config.handler_kinds:
+            # handlers observe delivery order mid-run; only the stepped
+            # paths model that
+            raise FusionUnsupported("interrupt handlers registered")
+        if irq_config.pending:
+            # pre-queued interrupts would interleave with the replay
+            raise FusionUnsupported("interrupts already pending")
+        # arm/disarm is host-driven (no handlers), so the armed set is
+        # constant for the whole run: the finish replay folds it in
+        self.armed = irq_config.armed
         # machine variable table must match the program's layout (a host
         # may have declared the same names elsewhere before loading)
         self.variables: Dict[str, Any] = {}
@@ -1205,7 +1363,12 @@ class ProgramRun:
         self.cycle = 0
         self.halted = False
         self.last_cond: Dict[int, Tuple[Optional[bool], Optional[float]]] = {}
-        self.irq_log: List[Tuple[int, str, Optional[bool], float]] = []
+        # (issue-start cycle, fire cycle, source, cond result, payload,
+        #  exception tags) — everything the finish replay needs to repeat
+        # the reference's exact post/deliver sequence
+        self.irq_log: List[
+            Tuple[int, int, str, Optional[bool], float, Tuple[str, ...]]
+        ] = []
         self.transfers = 0
         self.words_read = 0
         self.words_written = 0
@@ -1217,10 +1380,24 @@ class ProgramRun:
 
     # ------------------------------------------------------------------
     def run(self) -> SequencerResult:
+        """Execute the fused schedule; commit to the machine at the end.
+
+        Everything up to :meth:`_finish` mutates only the run's local
+        storage copy, so a :class:`FusionUnsupported` surfacing mid-run
+        (a bound image refusing something it could not see at compile
+        time) leaves the machine pristine and the caller free to fall
+        back to the per-issue path.  Reference-visible faults
+        (:class:`SequencerError`, a host ``MachineError``) do commit —
+        a step-by-step run would have mutated state up to the same point.
+        """
         try:
             self._exec_block(self.plan.ops)
-        finally:
+        except FusionUnsupported:
+            raise
+        except BaseException:
             self._finish()
+            raise
+        self._finish()
         return self.result
 
     # ------------------------------------------------------------------
@@ -1270,20 +1447,14 @@ class ProgramRun:
         bound = self.bound[index]
         kernel = bound.kernel
         consts = kernel.consts
+        start = self.cycle
         if bound.issue_compute():
             exceptions: List[str] = []
         else:
+            # exception interrupts are *logged* here and posted in the
+            # finish replay: no machine state moves before the commit point
             exceptions = bound.issue_exact()
             bound.write_back_exact()
-            irq = self.machine.interrupts
-            for tag in exceptions:
-                source, flag = tag.split(":", 1)
-                kind = (
-                    InterruptKind.FP_OVERFLOW
-                    if flag == "overflow"
-                    else InterruptKind.FP_INVALID
-                )
-                irq.post(kind, self.cycle, source=source)
         cond_last = bound.condition_last()
         if cond_last is None:
             cond_result: Optional[bool] = None
@@ -1292,22 +1463,25 @@ class ProgramRun:
             cond_value = float(cond_last)
             cond_result = kernel.cond_fn(cond_value, kernel.cond_threshold)
 
-        fire = self.cycle + consts.cycles
+        fire = start + consts.cycles
         self.cycle = fire
         record = PipelineResult.__new__(PipelineResult)
         record.__dict__.update(kernel.result_template)
         record.condition_result = cond_result
         record.condition_value = cond_value
         record.exceptions = exceptions
-        record.fu_outputs = {}
+        record.fu_outputs = (
+            bound.capture_outputs() if self.plan.keep_outputs else {}
+        )
         result.pipeline_results.append(record)
         result.instructions_issued += 1
         trace = result.issue_trace
         if len(trace) < self.MAX_TRACE:
             trace.append(index)
         self.last_cond[consts.number] = (cond_result, cond_value)
-        self.irq_log.append((fire, consts.source, cond_result,
-                             cond_value if cond_value is not None else 0.0))
+        self.irq_log.append((start, fire, consts.source, cond_result,
+                             cond_value if cond_value is not None else 0.0,
+                             tuple(exceptions)))
         counts = self.issue_counts
         counts[index] = counts.get(index, 0) + 1
         self.last_device_busy = consts.device_busy
@@ -1456,36 +1630,61 @@ class ProgramRun:
         irq = machine.interrupts
         latency = irq.latency_cycles
         delivered = irq.delivered
+        dropped = irq.dropped
+        armed = self.armed
         queue = irq._queue
         heappush = heapq.heappush
         heappop = heapq.heappop
         new_interrupt = Interrupt.__new__
         complete_kind = InterruptKind.PIPELINE_COMPLETE
+        overflow_kind = InterruptKind.FP_OVERFLOW
+        invalid_kind = InterruptKind.FP_INVALID
         # replay the reference's exact post/deliver sequence through the
-        # same heap: equal-cycle orderings fall out of heapq's mechanics,
-        # so only an identical operation sequence reproduces them (the
-        # frozen-dataclass __init__ is bypassed for speed; the instances
-        # are bit-identical)
-        for fire, source, cond_result, payload in self.irq_log:
+        # same heap: per issue, FP exceptions post at the issue-start
+        # cycle, completion/condition at the fire cycle, delivery drains
+        # everything due.  The armed set routes each post to the queue or
+        # to ``dropped`` exactly as InterruptController.post would, so
+        # arm/disarm variations replay bit-identically.  Equal-cycle
+        # orderings fall out of heapq's mechanics, so only an identical
+        # operation sequence reproduces them (the frozen-dataclass
+        # __init__ is bypassed for speed; the instances are bit-identical)
+        for start, fire, source, cond_result, payload, exceptions in \
+                self.irq_log:
+            for tag in exceptions:
+                fu_source, flag = tag.split(":", 1)
+                kind = overflow_kind if flag == "overflow" else invalid_kind
+                exc = new_interrupt(Interrupt)
+                exc.__dict__.update(
+                    cycle=start + latency, kind=kind, source=fu_source,
+                    payload=0.0,
+                )
+                if kind in armed:
+                    heappush(queue, exc)
+                else:
+                    dropped.append(exc)
             when = fire + latency
             complete = new_interrupt(Interrupt)
             complete.__dict__.update(
                 cycle=when, kind=complete_kind, source=source, payload=0.0
             )
-            heappush(queue, complete)
+            if complete_kind in armed:
+                heappush(queue, complete)
+            else:
+                dropped.append(complete)
             if cond_result is not None:
+                cond_kind = (
+                    InterruptKind.CONDITION_TRUE
+                    if cond_result
+                    else InterruptKind.CONDITION_FALSE
+                )
                 condition = new_interrupt(Interrupt)
                 condition.__dict__.update(
-                    cycle=when,
-                    kind=(
-                        InterruptKind.CONDITION_TRUE
-                        if cond_result
-                        else InterruptKind.CONDITION_FALSE
-                    ),
-                    source=source,
-                    payload=payload,
+                    cycle=when, kind=cond_kind, source=source, payload=payload
                 )
-                heappush(queue, condition)
+                if cond_kind in armed:
+                    heappush(queue, condition)
+                else:
+                    dropped.append(condition)
             while queue and queue[0].cycle <= fire:
                 delivered.append(heappop(queue))
         self.irq_log.clear()
@@ -1495,19 +1694,26 @@ def try_run_fused(
     machine: "NSCMachine",
     program: MachineProgram,
     max_instructions: int,
+    keep_outputs: bool = False,
 ) -> Optional[SequencerResult]:
     """Run *program* through the compiled engine, or return None.
 
-    None means "not fusable here" — unusual interrupt configuration,
+    None means "not fusable here" — registered interrupt handlers,
     relocated variables, or a construct the compiler rejects — and the
-    caller should use the per-issue path instead.
+    caller should use the per-issue path instead.  Execution itself is
+    inside the guard: a :class:`FusionUnsupported` surfacing only once
+    the run has begun also returns None, and because the fused run
+    commits machine state only at its end, the fallback then executes
+    against untouched state.
     """
     try:
-        plan = compiled_plan(program, machine.node.params)
+        plan = compiled_plan(
+            program, machine.node.params, keep_outputs=keep_outputs
+        )
         run = ProgramRun(plan, machine, max_instructions)
+        return run.run()
     except FusionUnsupported:
         return None
-    return run.run()
 
 
 # ----------------------------------------------------------------------

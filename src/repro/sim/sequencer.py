@@ -82,12 +82,14 @@ class Sequencer:
     ) -> SequencerResult:
         if (
             self.fuse
-            and not keep_outputs
             and getattr(self.machine, "backend", "reference") == "fast"
         ):
             from repro.sim.progplan import try_run_fused
 
-            fused = try_run_fused(self.machine, program, max_instructions)
+            fused = try_run_fused(
+                self.machine, program, max_instructions,
+                keep_outputs=keep_outputs,
+            )
             if fused is not None:
                 self.machine.interrupts.drain()
                 return fused

@@ -4,12 +4,13 @@ import numpy as np
 import pytest
 
 from repro.apps.poisson3d import (
+    grid_shape,
     jacobi_reference_run,
     jacobi_step_flat,
     manufactured_solution,
     poisson_residual,
 )
-from repro.compose.jacobi import interior_masks
+from repro.compose.jacobi import interior_masks, jacobi_grid_index
 
 
 class TestStep:
@@ -94,3 +95,48 @@ class TestManufactured:
             np.zeros(shape), f, shape, h, eps=1e-11, max_iterations=5000
         )
         assert np.max(np.abs(u.reshape(shape) - u_star)) < 0.07
+
+
+class TestGridShape:
+    def test_transposes_problem_shape(self):
+        assert grid_shape((5, 6, 7)) == (7, 6, 5)
+        assert grid_shape((9, 9, 9)) == (9, 9, 9)
+
+    def test_matches_flattening_convention(self):
+        """reshape(grid_shape(shape))[k, j, i] is flat[jacobi_grid_index]."""
+        shape = (4, 5, 6)
+        n = 4 * 5 * 6
+        flat = np.arange(n, dtype=np.float64)
+        cube = flat.reshape(grid_shape(shape))
+        assert cube[3, 2, 1] == flat[jacobi_grid_index(1, 2, 3, shape)]
+        assert cube[0, 4, 3] == flat[jacobi_grid_index(3, 4, 0, shape)]
+
+
+class TestNonCubicManufacturedSolution:
+    def test_vanishes_on_every_face(self):
+        u_star, _f, _h = manufactured_solution((5, 6, 9))
+        for face in (u_star[0], u_star[-1], u_star[:, 0], u_star[:, -1],
+                     u_star[:, :, 0], u_star[:, :, -1]):
+            assert np.max(np.abs(face)) < 1e-12
+
+    def test_cubic_with_custom_h_vanishes_on_every_face(self):
+        # cubic but spanning [0, 1.2]: the unit-cube formula would leave
+        # the far faces nonzero; the scaled branch must take over
+        u_star, _f, _h = manufactured_solution((5, 5, 5), h=0.3)
+        for face in (u_star[0], u_star[-1], u_star[:, 0], u_star[:, -1],
+                     u_star[:, :, 0], u_star[:, :, -1]):
+            assert np.max(np.abs(face)) < 1e-12
+
+    def test_discrete_residual_small_off_cube(self):
+        shape = (9, 11, 17)
+        u_star, f, h = manufactured_solution(shape)
+        assert poisson_residual(u_star, f, shape, h) < 2.0
+
+    def test_jacobi_converges_to_analytic_off_cube(self):
+        shape = (6, 7, 9)
+        u_star, f, h = manufactured_solution(shape)
+        u, _iters, _hist = jacobi_reference_run(
+            np.zeros(shape), f, shape, h, eps=1e-11, max_iterations=8000
+        )
+        err = np.max(np.abs(u.reshape(grid_shape(shape)) - u_star))
+        assert err < 0.07

@@ -37,7 +37,9 @@ class TestExecuteJob:
         )
         assert record["ok"], record.get("error")
         assert record["fields"]["u"].shape == (8, 5, 5)
-        assert record["error_vs_analytic"] < 1.0
+        # discretization-level error: the analytic solution vanishes on
+        # every face even off the cube (per-axis manufactured modes)
+        assert record["error_vs_analytic"] < 0.2
 
     def test_multinode_jacobi(self):
         record = execute_job(

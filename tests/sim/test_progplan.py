@@ -130,8 +130,9 @@ class TestFusedRunParity:
             m_ref.get_variable("u"), m_fast.get_variable("u")
         )
 
-    def test_keep_outputs_still_matches_reference(self, node, rng):
-        """keep_outputs uses the per-issue path; behaviour is unchanged."""
+    def test_keep_outputs_fused_bit_identical(self, node, rng):
+        """keep_outputs now runs through the fused engine: every issue's
+        per-FU output streams must match the reference bit for bit."""
         setup, program = _generate(node, max_iterations=5)
         u0 = rng.random((6, 6, 6))
         f = rng.standard_normal((6, 6, 6))
@@ -142,13 +143,72 @@ class TestFusedRunParity:
             node, setup, program, u0, f, "fast", keep_outputs=True
         )
         assert r_ref.total_cycles == r_fast.total_cycles
-        last_ref = r_ref.pipeline_results[-1]
-        last_fast = r_fast.pipeline_results[-1]
-        assert set(last_ref.fu_outputs) == set(last_fast.fu_outputs)
-        for fu in last_ref.fu_outputs:
-            np.testing.assert_array_equal(
-                last_ref.fu_outputs[fu], last_fast.fu_outputs[fu]
-            )
+        assert _irq_stream(m_ref) == _irq_stream(m_fast)
+        assert len(r_ref.pipeline_results) == len(r_fast.pipeline_results)
+        for p_ref, p_fast in zip(r_ref.pipeline_results,
+                                 r_fast.pipeline_results):
+            assert set(p_ref.fu_outputs) == set(p_fast.fu_outputs)
+            if p_ref.active_fus:
+                assert p_ref.fu_outputs  # retention actually happened
+            for fu in p_ref.fu_outputs:
+                np.testing.assert_array_equal(
+                    p_ref.fu_outputs[fu], p_fast.fu_outputs[fu]
+                )
+        np.testing.assert_array_equal(
+            m_ref.get_variable("u"), m_fast.get_variable("u")
+        )
+
+    def test_keep_outputs_uses_fused_engine(self, node, rng):
+        """The gap this PR closes: keep_outputs must not skip fusion."""
+        setup, program = _generate(node, max_iterations=5)
+        machine = NSCMachine(node, backend="fast")
+        machine.load_program(program)
+        load_jacobi_inputs(
+            machine, setup, rng.random((6, 6, 6)),
+            rng.standard_normal((6, 6, 6)),
+        )
+        result = progplan.try_run_fused(
+            machine, program, 1_000_000, keep_outputs=True
+        )
+        assert result is not None
+        assert all(
+            p.fu_outputs for p in result.pipeline_results if p.active_fus
+        )
+        assert any(p.fu_outputs for p in result.pipeline_results)
+
+    def test_keep_outputs_exact_path_does_not_alias_buffers(self, node, rng):
+        """Exact-path outputs of a PASS unit are the live tap/stream view
+        itself; captured fu_outputs must be copies, or the next issue's
+        tap refill silently mutates the record (rb-sor keeps real PASS
+        steps, and a NaN forces every issue down the exact path)."""
+        from repro.compose.iterative import (
+            build_rbsor_program,
+            load_rbsor_inputs,
+        )
+
+        shape = (5, 5, 5)
+        setup = build_rbsor_program(node, shape, omega=1.3, eps=1e-4,
+                                    max_iterations=8)
+        program = MicrocodeGenerator(node).generate(setup.program)
+        u0 = rng.random(shape)
+        u0[2, 2, 2] = np.nan
+        f = rng.standard_normal(shape)
+        runs = {}
+        for backend in ("reference", "fast"):
+            machine = NSCMachine(node, backend=backend)
+            machine.load_program(program)
+            load_rbsor_inputs(machine, setup, u0, f)
+            runs[backend] = machine.run(keep_outputs=True)
+        r_ref, r_fast = runs["reference"], runs["fast"]
+        assert len(r_ref.pipeline_results) == len(r_fast.pipeline_results)
+        assert any(p.exceptions for p in r_fast.pipeline_results)
+        for p_ref, p_fast in zip(r_ref.pipeline_results,
+                                 r_fast.pipeline_results):
+            assert set(p_ref.fu_outputs) == set(p_fast.fu_outputs)
+            for fu in p_ref.fu_outputs:
+                np.testing.assert_array_equal(
+                    p_ref.fu_outputs[fu], p_fast.fu_outputs[fu]
+                )
 
     def test_instruction_budget_error_matches(self, node, rng):
         setup, program = _generate(node, eps=1e-30, max_iterations=50)
@@ -183,33 +243,238 @@ class TestFusedRunParity:
         fused = _run(node, setup, program, u0, f, "fast")
         _assert_runs_identical(ref, fused)
 
-    def test_non_default_interrupt_config_falls_back(self, node, rng):
-        """An armed-set tweak disables fusion but not correctness."""
+    @pytest.mark.parametrize(
+        "arm, disarm",
+        [
+            (("FP_OVERFLOW", "FP_INVALID"), ()),
+            ((), ("CONDITION_FALSE",)),
+            (("FP_OVERFLOW",), ("PIPELINE_COMPLETE",)),
+            ((), ("CONDITION_TRUE", "CONDITION_FALSE")),
+        ],
+    )
+    def test_rearmed_interrupt_configs_fuse_bit_identically(
+        self, node, rng, arm, disarm
+    ):
+        """Armed-set variations fold into the fused heap replay: the
+        delivered *and* dropped interrupt streams match the reference,
+        including FP exceptions raised by non-finite data."""
         from repro.arch.interrupts import InterruptKind
 
-        setup, program = _generate(node, max_iterations=30)
+        setup, program = _generate(node, max_iterations=20)
         u0 = rng.random((6, 6, 6))
+        u0[2, 2, 2] = np.inf
+        u0[3, 3, 3] = np.nan
         f = rng.standard_normal((6, 6, 6))
-        results = {}
-        for backend in ("reference", "fast"):
+
+        def configured(backend):
             machine = NSCMachine(node, backend=backend)
             machine.load_program(program)
             load_jacobi_inputs(machine, setup, u0, f)
-            machine.interrupts.arm(InterruptKind.FP_OVERFLOW)
-            results[backend] = (machine, machine.run())
-        (m_ref, r_ref), (m_fast, r_fast) = (
-            results["reference"], results["fast"]
-        )
+            for name in arm:
+                machine.interrupts.arm(InterruptKind[name])
+            for name in disarm:
+                machine.interrupts.disarm(InterruptKind[name])
+            return machine
+
+        fused_probe = configured("fast")
+        assert progplan.try_run_fused(fused_probe, program, 1_000_000) \
+            is not None, "armed-set variation must not disable fusion"
+
+        m_ref = configured("reference")
+        r_ref = m_ref.run()
+        m_fast = configured("fast")
+        r_fast = m_fast.run()
         assert r_ref.total_cycles == r_fast.total_cycles
+
+        def streams(machine):
+            # repr: NaN condition payloads must compare equal
+            return (
+                [repr(x) for x in _irq_stream(machine)],
+                [
+                    repr((i.cycle, i.kind, i.source, i.payload))
+                    for i in machine.interrupts.dropped
+                ],
+            )
+
+        assert streams(m_ref) == streams(m_fast)
+        np.testing.assert_array_equal(
+            m_ref.get_variable("u"), m_fast.get_variable("u")
+        )
+
+    def test_registered_handler_falls_back(self, node, rng):
+        """Handlers observe mid-run delivery; the fused engine declines
+        (via the public configuration API) and the per-issue path still
+        produces reference behaviour."""
+        from repro.arch.interrupts import InterruptKind
+
+        setup, program = _generate(node, max_iterations=10)
+        u0 = rng.random((6, 6, 6))
+        f = rng.standard_normal((6, 6, 6))
+        seen = []
+
+        def make(backend):
+            machine = NSCMachine(node, backend=backend)
+            machine.load_program(program)
+            load_jacobi_inputs(machine, setup, u0, f)
+            machine.interrupts.on(
+                InterruptKind.PIPELINE_COMPLETE, seen.append
+            )
+            return machine
+
+        probe = make("fast")
+        assert progplan.try_run_fused(probe, program, 1_000_000) is None
+
+        m_ref = make("reference")
+        r_ref = m_ref.run()
+        n_after_ref = len(seen)
+        m_fast = make("fast")
+        r_fast = m_fast.run()
+        assert r_ref.total_cycles == r_fast.total_cycles
+        assert len(seen) == 2 * n_after_ref  # handler fired on both runs
+        np.testing.assert_array_equal(
+            m_ref.get_variable("u"), m_fast.get_variable("u")
+        )
+
+    def test_pending_interrupts_fall_back(self, node, rng):
+        """A pre-queued interrupt would interleave with the replay; the
+        fused engine declines."""
+        from repro.arch.interrupts import InterruptKind
+
+        setup, program = _generate(node, max_iterations=5)
+        machine = NSCMachine(node, backend="fast")
+        machine.load_program(program)
+        load_jacobi_inputs(
+            machine, setup, rng.random((6, 6, 6)),
+            rng.standard_normal((6, 6, 6)),
+        )
+        machine.interrupts.post(InterruptKind.PIPELINE_COMPLETE, 5,
+                                source="host")
+        assert progplan.try_run_fused(machine, program, 1_000_000) is None
+
+
+class TestResidualSkewFusion:
+    """Ablation builds (auto_balance=False: residual stream skew) now
+    compile — skewed operands become offset windows into padded copies."""
+
+    def _skewed(self, node, shape=(5, 6, 7), eps=1e-4, max_iterations=40,
+                loop=True):
+        setup = build_jacobi_program(
+            node, shape, eps=eps, max_iterations=max_iterations, loop=loop
+        )
+        program = MicrocodeGenerator(node, auto_balance=False).generate(
+            setup.program
+        )
+        return setup, program
+
+    def test_skewed_program_compiles(self, node):
+        setup, program = self._skewed(node)
+        plan = progplan.compiled_plan(program, node.params)
+        assert any(
+            kernel._stream_skews or kernel._row_skews or kernel._tap_skews
+            for kernel in plan.kernels.values()
+        ), "ablation build produced no skew: the test lost its subject"
+
+    def test_skewed_run_bit_identical(self, node, rng):
+        setup, program = self._skewed(node)
+        u0 = rng.random((5, 6, 7))
+        f = rng.standard_normal((5, 6, 7))
+        ref = _run(node, setup, program, u0, f, "reference")
+        fused = _run(node, setup, program, u0, f, "fast")
+        _assert_runs_identical(ref, fused)
+
+    def test_skewed_matches_per_issue_path(self, node, rng):
+        setup, program = self._skewed(node)
+        u0 = rng.random((5, 6, 7))
+        f = rng.standard_normal((5, 6, 7))
+        unfused = _run(node, setup, program, u0, f, "fast", fuse=False)
+        fused = _run(node, setup, program, u0, f, "fast")
+        _assert_runs_identical(unfused, fused)
+
+    def test_skewed_exception_flags_match(self, node):
+        """Skew can shift a non-finite element out of a consumer's
+        window, so propagation coverage must not be assumed — per-FU
+        flags and dropped FP interrupts still match the reference."""
+        setup, program = self._skewed(node, max_iterations=10)
+        u0 = np.zeros((5, 6, 7))
+        u0[2, 3, 1] = np.inf
+        u0[1, 2, 3] = np.nan
+        f = np.zeros((5, 6, 7))
+        m_ref, r_ref = _run(node, setup, program, u0, f, "reference")
+        m_fast, r_fast = _run(node, setup, program, u0, f, "fast")
+        assert [p.exceptions for p in r_ref.pipeline_results] == [
+            p.exceptions for p in r_fast.pipeline_results
+        ]
+        assert [
+            (i.cycle, i.kind, i.source) for i in m_ref.interrupts.dropped
+        ] == [
+            (i.cycle, i.kind, i.source) for i in m_fast.interrupts.dropped
+        ]
         np.testing.assert_array_equal(
             m_ref.get_variable("u"), m_fast.get_variable("u")
         )
 
 
-class TestMultiNodeFallback:
-    def test_unfusable_program_falls_back_to_reference_stepper(self):
-        """An ablation build (no auto-balancing: residual stream skew) is
-        unfusable; the fast backend must still run it, bit-identically."""
+class TestMidRunRejection:
+    def test_mid_run_fusion_rejection_falls_back_cleanly(self, node, rng,
+                                                         monkeypatch):
+        """A FusionUnsupported surfacing after execution has begun must
+        not escape as a crash: the machine is untouched up to the commit
+        point, so the per-issue fallback reproduces the reference run."""
+        setup, program = _generate(node, max_iterations=15)
+        u0 = rng.random((6, 6, 6))
+        f = rng.standard_normal((6, 6, 6))
+        ref = _run(node, setup, program, u0, f, "reference")
+
+        calls = {"n": 0}
+        real_issue = progplan.BoundImage.issue_compute
+
+        def flaky_issue(self):
+            calls["n"] += 1
+            if calls["n"] == 4:
+                raise progplan.FusionUnsupported("injected mid-run")
+            return real_issue(self)
+
+        monkeypatch.setattr(progplan.BoundImage, "issue_compute", flaky_issue)
+        fused = _run(node, setup, program, u0, f, "fast")
+        assert calls["n"] >= 4  # the rejection really fired mid-run
+        _assert_runs_identical(ref, fused)
+
+    def test_mid_run_rejection_leaves_machine_unmutated(self, node, rng,
+                                                        monkeypatch):
+        """Until the commit point nothing lands on the machine: cycle,
+        DMA statistics, interrupt queues, and memory stay pristine when a
+        fused run aborts."""
+        setup, program = _generate(node, max_iterations=15)
+        u0 = rng.random((6, 6, 6))
+        f = rng.standard_normal((6, 6, 6))
+        machine = NSCMachine(node, backend="fast")
+        machine.load_program(program)
+        load_jacobi_inputs(machine, setup, u0, f)
+        import copy
+
+        before_u = machine.get_variable("u").copy()
+        before_stats = copy.deepcopy(machine.dma.stats)
+
+        calls = {"n": 0}
+        real_issue = progplan.BoundImage.issue_compute
+
+        def flaky_issue(self):
+            calls["n"] += 1
+            if calls["n"] == 4:
+                raise progplan.FusionUnsupported("injected mid-run")
+            return real_issue(self)
+
+        monkeypatch.setattr(progplan.BoundImage, "issue_compute", flaky_issue)
+        assert progplan.try_run_fused(machine, program, 1_000_000) is None
+        assert machine.cycle == 0
+        assert machine.dma.stats == before_stats
+        assert machine.interrupts.pending() == 0
+        assert not machine.interrupts.delivered
+        np.testing.assert_array_equal(machine.get_variable("u"), before_u)
+
+
+class TestMultiNodeSteppers:
+    def _skewed_pair(self, backend):
         from repro.arch.node import NodeConfig
         from repro.sim.multinode import MultiNodeStencil
 
@@ -218,15 +483,24 @@ class TestMultiNodeFallback:
         program = MicrocodeGenerator(node, auto_balance=False).generate(
             setup.program
         )
+        stencil = MultiNodeStencil(
+            hypercube_dim=1,
+            shape=(4, 4, 8),
+            eps=1e-30,
+            precompiled=(setup, program),
+            backend=backend,
+        )
+        return stencil
+
+    def test_skewed_multinode_program_now_fuses(self):
+        """The ablation build used to drop to the reference stepper; it
+        must now run through the batched fused engine, bit-identically."""
+        fast = self._skewed_pair("fast")
+        # fused_stepper accepting the program proves the engine engaged
+        progplan.fused_stepper(self._skewed_pair("fast"))
         results = {}
-        for backend in ("reference", "fast"):
-            stencil = MultiNodeStencil(
-                hypercube_dim=1,
-                shape=(4, 4, 8),
-                eps=1e-30,
-                precompiled=(setup, program),
-                backend=backend,
-            )
+        for backend, stencil in (("reference", self._skewed_pair("reference")),
+                                 ("fast", fast)):
             results[backend] = (stencil, stencil.run(max_iterations=4))
         (s_ref, r_ref), (s_fast, r_fast) = (
             results["reference"], results["fast"]
@@ -234,6 +508,38 @@ class TestMultiNodeFallback:
         assert r_ref.compute_cycles == r_fast.compute_cycles
         assert r_ref.residual_history == r_fast.residual_history
         np.testing.assert_array_equal(s_ref.gather("u"), s_fast.gather("u"))
+
+    def test_declined_program_uses_per_issue_middle_tier(self, monkeypatch):
+        """When the whole-system compiler declines, the fast backend must
+        land on the per-issue *fast* path — not the reference
+        interpreter — with identical results."""
+        import repro.sim.multinode as multinode_mod
+        import repro.sim.pipeline_exec as pipeline_exec_mod
+
+        def refuse(stencil):
+            raise progplan.FusionUnsupported("forced for the test")
+
+        monkeypatch.setattr(progplan, "fused_stepper", refuse)
+        backends_seen = []
+        real_execute = pipeline_exec_mod.execute_image
+
+        def spying_execute(image, machine, keep_outputs=False,
+                           backend="reference"):
+            backends_seen.append(backend)
+            return real_execute(image, machine, keep_outputs=keep_outputs,
+                                backend=backend)
+
+        monkeypatch.setattr(multinode_mod, "execute_image", spying_execute)
+        ref = self._skewed_pair("reference")
+        r_ref = ref.run(max_iterations=4)
+        assert set(backends_seen) == {"reference"}
+        backends_seen.clear()
+        fast = self._skewed_pair("fast")
+        r_fast = fast.run(max_iterations=4)
+        assert backends_seen and set(backends_seen) == {"fast"}
+        assert r_ref.compute_cycles == r_fast.compute_cycles
+        assert r_ref.residual_history == r_fast.residual_history
+        np.testing.assert_array_equal(ref.gather("u"), fast.gather("u"))
 
 
 class TestControlScriptShapes:
