@@ -1,0 +1,113 @@
+"""The bench history + alert pipeline, end to end through the CLI.
+
+No real scenarios run here: ``run_scenario`` is stubbed with a canned
+record whose speedup the test controls, so the pipeline under test is
+exactly history append → rolling-window detection → ``BENCH_alerts.json``
+→ exit code.  The synthetic slow run proving the detector fires (and the
+command exits non-zero) is the PR's acceptance scenario.
+"""
+
+import json
+
+import pytest
+
+import repro.bench as bench
+from repro.cli import main
+from repro.obs.alerts import append_history, load_history
+
+
+def _canned_record(speedup):
+    return {
+        "scenario": "jacobi_single",
+        "quick": True,
+        "config": {},
+        "backends": {
+            "reference": {"wall_s": 1.0, "sim_cycles": 1000,
+                          "sim_cycles_per_sec": 1000.0},
+            "fast": {"wall_s": 1.0 / speedup, "sim_cycles": 1000,
+                     "sim_cycles_per_sec": 1000.0 * speedup},
+        },
+        "speedup": speedup,
+        "speedup_pair": ["reference", "fast"],
+        "checks": {"parity": True},
+        "ok": True,
+    }
+
+
+@pytest.fixture
+def stub_scenario(monkeypatch):
+    state = {"speedup": 5.0}
+    monkeypatch.setattr(
+        bench, "run_scenario",
+        lambda name, quick=False: _canned_record(state["speedup"]),
+    )
+    return state
+
+
+def _bench(history, out):
+    return main([
+        "bench", "--quick", "--scenarios", "jacobi_single",
+        "--history", str(history), "--out", str(out),
+    ])
+
+
+class TestHistoryPipeline:
+    def test_each_run_appends_one_history_line(self, tmp_path,
+                                               stub_scenario):
+        history = tmp_path / "history.jsonl"
+        assert _bench(history, tmp_path / "out") == 0
+        assert _bench(history, tmp_path / "out") == 0
+        entries = load_history(str(history))
+        assert len(entries) == 2
+        assert all(e["scenario"] == "jacobi_single" for e in entries)
+        assert all(e["speedup"] == 5.0 for e in entries)
+
+    def test_alerts_artifact_written_even_when_quiet(self, tmp_path,
+                                                     stub_scenario):
+        history = tmp_path / "history.jsonl"
+        out = tmp_path / "out"
+        assert _bench(history, out) == 0
+        alerts = json.loads((out / "BENCH_alerts.json").read_text())
+        assert alerts["ok"] is True
+        assert alerts["fired"] == []
+
+    def test_synthetic_slow_run_fires_and_exits_nonzero(
+        self, tmp_path, stub_scenario, capsys
+    ):
+        # the acceptance scenario: four healthy runs build the trend,
+        # then a 5x -> 1x collapse must fire the detector and fail the
+        # command even though every parity check and static floor passed
+        history = tmp_path / "history.jsonl"
+        out = tmp_path / "out"
+        for _ in range(4):
+            assert _bench(history, out) == 0
+        stub_scenario["speedup"] = 1.0
+        assert _bench(history, out) == 1
+        alerts = json.loads((out / "BENCH_alerts.json").read_text())
+        assert alerts["ok"] is False
+        [fired] = alerts["fired"]
+        assert fired["scenario"] == "jacobi_single"
+        assert fired["current"] == 1.0
+        assert fired["window_median"] == 5.0
+        captured = capsys.readouterr().out
+        assert "ALERT" in captured
+        assert "FAILURES" in captured
+        # the slow run still entered the history: the trend self-heals
+        # once the regression is fixed rather than alerting forever
+        assert len(load_history(str(history))) == 5
+
+    def test_fresh_history_warms_up_without_firing(self, tmp_path,
+                                                   stub_scenario):
+        # a brand-new history (no trend yet) must not block the bench
+        history = tmp_path / "history.jsonl"
+        stub_scenario["speedup"] = 1.0  # "slow", but nothing to compare
+        assert _bench(history, tmp_path / "out") == 0
+
+    def test_detector_reads_preexisting_history(self, tmp_path,
+                                                stub_scenario):
+        # history written by earlier CI runs (downloaded artifact) counts
+        history = tmp_path / "history.jsonl"
+        for s in (5.0, 5.1, 4.9):
+            append_history([_canned_record(s)], str(history))
+        stub_scenario["speedup"] = 1.0
+        assert _bench(history, tmp_path / "out") == 1

@@ -73,6 +73,47 @@ class TestComparison:
         baseline = baseline_from_records([_record("a", 2.0)])
         assert compare_records([_record("a", 40.0)], baseline)["ok"]
 
+    def test_baselined_scenario_missing_from_run_is_explicit(self):
+        """A scenario in the baseline that the run never produced gets
+        its own entry — visible, passing (partial --scenarios runs are
+        legitimate), never silently skipped."""
+        baseline = baseline_from_records(
+            [_record("a", 2.0), _record("b", 5.0, vs_unfused=4.0)]
+        )
+        comparison = compare_records([_record("a", 2.0)], baseline)
+        assert comparison["ok"]
+        missing = [e for e in comparison["entries"]
+                   if e.get("note") == "scenario missing from run"]
+        assert [(e["scenario"], e["metric"]) for e in missing] == [
+            ("b", "speedup"), ("b", "speedup_vs_unfused")
+        ]
+        for entry in missing:
+            assert entry["current"] is None
+            assert entry["baseline"] is not None
+            assert entry["ok"]
+        text = format_comparison(comparison)
+        assert "(no run)" in text
+        assert "scenario missing from run" in text
+
+    def test_empty_run_reports_every_baselined_scenario(self):
+        baseline = baseline_from_records([_record("a", 2.0)])
+        comparison = compare_records([], baseline)
+        assert comparison["ok"]
+        [entry] = comparison["entries"]
+        assert entry["scenario"] == "a"
+        assert entry["note"] == "scenario missing from run"
+
+    def test_presence_diff_is_symmetric(self):
+        """Missing-from-run and missing-from-baseline both surface."""
+        baseline = baseline_from_records([_record("gone", 2.0)])
+        comparison = compare_records([_record("new", 3.0)], baseline)
+        assert comparison["ok"]
+        notes = {e["scenario"]: e["note"] for e in comparison["entries"]}
+        assert notes == {
+            "gone": "scenario missing from run",
+            "new": "not in baseline",
+        }
+
     def test_workload_class_mismatch_reported_not_gated(self):
         """A full run against a quick baseline measures different
         problems; it must be flagged, never failed."""

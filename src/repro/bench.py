@@ -223,8 +223,13 @@ def _irq_stream(machine) -> List[Tuple[Any, ...]]:
 
 #: Record keys that may legitimately differ between backend/transport
 #: runs ("checker" and "cache_hit" depend on compile history, not on
-#: what the job computed).
-_BACKEND_DEPENDENT_KEYS = ("job_id", "label", "backend", "cache_hit", "checker")
+#: what the job computed; "timings"/"duration_s" are wall-clock; "tier"
+#: and "fallback_reason" name the execution tier, which is exactly what
+#: differs across backends).
+_BACKEND_DEPENDENT_KEYS = (
+    "job_id", "label", "backend", "cache_hit", "checker",
+    "timings", "duration_s", "tier", "fallback_reason",
+)
 
 
 def _scenario_batch_service(quick: bool) -> Dict[str, Any]:
@@ -855,6 +860,12 @@ def compare_records(
     fail — they are new coverage, to be baselined on the next refresh —
     and so are records from a different workload class than the baseline
     (full runs diffed against quick floors measure different problems).
+
+    The diff is symmetric about presence: a baselined scenario the run
+    never produced gets an explicit ``"scenario missing from run"`` entry
+    per guarded metric (``current: None``, passing — partial runs via
+    ``--scenarios`` are legitimate, but the gap must be visible), just as
+    an unbaselined scenario gets its ``"not in baseline"`` entry.
     """
     if tolerance is None:
         tolerance = float(baseline.get("tolerance", REGRESSION_TOLERANCE))
@@ -862,6 +873,25 @@ def compare_records(
     base_quick = baseline.get("quick")
     entries: List[Dict[str, Any]] = []
     ok = True
+    ran = {record["scenario"] for record in records}
+    for scenario, base_entry in sorted(
+        baseline.get("scenarios", {}).items()
+    ):
+        if scenario in ran:
+            continue
+        for metric in _BASELINE_METRICS:
+            if metric not in base_entry:
+                continue
+            entries.append(
+                {
+                    "scenario": scenario,
+                    "metric": metric,
+                    "current": None,
+                    "baseline": float(base_entry[metric]),
+                    "ok": True,
+                    "note": "scenario missing from run",
+                }
+            )
     for record in records:
         base_entry = baseline.get("scenarios", {}).get(record["scenario"])
         note = None
@@ -910,6 +940,13 @@ def format_comparison(comparison: Dict[str, Any]) -> str:
     lines = []
     for entry in comparison["entries"]:
         name = f"{entry['scenario']}.{entry['metric']}"
+        if entry["current"] is None:
+            note = entry.get("note", "scenario missing from run")
+            lines.append(
+                f"  {name:<40} (no run) vs baseline "
+                f"{entry['baseline']:.2f}x  ({note})"
+            )
+            continue
         if entry["baseline"] is None:
             note = entry.get("note", "not in baseline")
             lines.append(f"  {name:<40} {entry['current']:.2f}x  ({note})")

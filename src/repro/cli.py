@@ -12,6 +12,7 @@ Subcommands mirror the toolchain:
 - ``batch``      — run a JSON file of simulation jobs through the service
 - ``sweep``      — expand a parameter sweep into a job batch and run it
 - ``bench``      — compare the reference and fast execution backends
+- ``stats``      — aggregate telemetry from a result store or history
 
 Programs are the JSON files written by
 :func:`repro.diagram.serialize.save` or :meth:`EditorSession.save`.
@@ -360,9 +361,61 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"  -> {out_path}")
         if not comparison["ok"]:
             ok = False
+    if args.history:
+        from repro.obs import (
+            append_history,
+            detect_alerts,
+            format_alerts,
+            load_history,
+            write_alerts,
+        )
+
+        append_history(records, args.history)
+        print(f"history -> {args.history}")
+        alerts = detect_alerts(load_history(args.history))
+        alerts_path = write_alerts(alerts, args.out)
+        print(format_alerts(alerts))
+        print(f"  -> {alerts_path}")
+        if not alerts["ok"]:
+            ok = False
     print("bench: all backends agree" if ok
           else "bench: FAILURES (see above)")
     return 0 if ok else 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        aggregate_history,
+        aggregate_records,
+        format_history_stats,
+        format_record_stats,
+        load_history,
+    )
+    from repro.service.results import ResultStore
+
+    if bool(args.results) == bool(args.history):
+        print("error: give exactly one of --results or --history",
+              file=sys.stderr)
+        return 2
+    if args.results:
+        store = ResultStore(args.results)
+        if not store.path.exists():
+            print(f"error: no result store at {args.results}",
+                  file=sys.stderr)
+            return 2
+        stats = aggregate_records(store.load())
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            print(format_record_stats(stats))
+        return 0
+    entries = load_history(args.history)
+    summaries = aggregate_history(entries, window=args.window)
+    if args.json:
+        print(json.dumps(summaries, indent=2, sort_keys=True))
+    else:
+        print(format_history_stats(summaries))
+    return 0
 
 
 def _print_batch(records, summary) -> None:
@@ -372,6 +425,8 @@ def _print_batch(records, summary) -> None:
                     f"sweeps={r.get('sweeps')} cycles={r.get('cycles')}")
         else:
             line = f"  FAIL {r['label']:<24} {r.get('error', '')}"
+        if r.get("tier"):
+            line += f"  tier={r['tier']}"
         if "cache_hit" in r:
             line += "  [cache hit]" if r["cache_hit"] else "  [compiled]"
         print(line)
@@ -489,6 +544,27 @@ def build_parser() -> argparse.ArgumentParser:
                    ">20%% regression (writes BENCH_compare.json)")
     p.add_argument("--save-baseline", default=None, metavar="PATH",
                    help="write this run's speedups as a new baseline JSON")
+    p.add_argument("--history", default=None, metavar="PATH",
+                   help="append this run's per-scenario metrics to a JSONL "
+                   "history file, then run the rolling-window alert "
+                   "detector over it (writes BENCH_alerts.json; fires "
+                   "fail the command)")
+
+    p = sub.add_parser(
+        "stats",
+        help="aggregate telemetry from a result store or bench history",
+        parents=[common],
+    )
+    p.add_argument("--results", default=None, metavar="JSONL",
+                   help="result store written by batch/sweep --results: "
+                   "report per-stage timings, tier mix, cache hits")
+    p.add_argument("--history", default=None, metavar="JSONL",
+                   help="bench history written by bench --history: report "
+                   "per-scenario run counts and metric trends")
+    p.add_argument("--window", type=int, default=5,
+                   help="rolling window for history medians (default 5)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the aggregate as JSON instead of text")
     return parser
 
 
@@ -538,6 +614,7 @@ _COMMANDS = {
     "batch": cmd_batch,
     "sweep": cmd_sweep,
     "bench": cmd_bench,
+    "stats": cmd_stats,
 }
 
 

@@ -28,6 +28,7 @@ from repro.arch.node import NodeConfig
 from repro.arch.switch import DeviceKind, Endpoint, fu_in
 from repro.checker.checker import Checker
 from repro.checker.diagnostics import CheckReport
+from repro.obs import tracer as obs
 from repro.codegen.microword import (
     CMP_CODES,
     Microword,
@@ -178,7 +179,10 @@ class MicrocodeGenerator:
     # ------------------------------------------------------------------
     def generate(self, program: VisualProgram) -> MachineProgram:
         if self.run_checker:
-            report = self.checker.check_program(program)
+            # the design-rule sweep is the expensive half of compilation;
+            # time it separately (nested under any enclosing compile span)
+            with obs.span("check"):
+                report = self.checker.check_program(program)
             if not report.ok:
                 raise CodegenError(
                     f"program {program.name!r} fails validation:\n"

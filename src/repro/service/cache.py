@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional
 
+from repro.obs import tracer as obs
 from repro.sim.fastpath import PLAN_CACHE
 
 
@@ -94,21 +95,31 @@ class ProgramCache:
 
     # ------------------------------------------------------------------
     def get_or_compile(self, key: str, compile_fn: Callable[[], Any]) -> Any:
-        """Return the cached value for ``key``, compiling on first sight."""
-        if key in self._mem:
-            self.stats.hits += 1
-            return self._mem[key]
-        value = self._load_disk(key)
-        if value is not None:
+        """Return the cached value for ``key``, compiling on first sight.
+
+        The whole lookup-or-compile rides the active tracer's
+        ``compile`` span (near-zero on a hit), with ``cache.*`` counters
+        mirroring :attr:`stats` into per-extent telemetry.
+        """
+        with obs.span("compile"):
+            if key in self._mem:
+                self.stats.hits += 1
+                obs.count("cache.hit")
+                return self._mem[key]
+            value = self._load_disk(key)
+            if value is not None:
+                self._mem[key] = value
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                obs.count("cache.hit")
+                obs.count("cache.disk_hit")
+                return value
+            value = compile_fn()
+            self.stats.misses += 1
+            obs.count("cache.miss")
             self._mem[key] = value
-            self.stats.hits += 1
-            self.stats.disk_hits += 1
+            self._store_disk(key, value)
             return value
-        value = compile_fn()
-        self.stats.misses += 1
-        self._mem[key] = value
-        self._store_disk(key, value)
-        return value
 
     # ------------------------------------------------------------------
     # plan layer
@@ -123,10 +134,11 @@ class ProgramCache:
         """
         from repro.sim.progplan import FusionUnsupported, compiled_plan
 
-        try:
-            return compiled_plan(program, params)
-        except FusionUnsupported:
-            return None
+        with obs.span("plan_warm"):
+            try:
+                return compiled_plan(program, params)
+            except FusionUnsupported:
+                return None
 
     # ------------------------------------------------------------------
     # verified registry (the run_checker="auto" trusted path)

@@ -2,17 +2,39 @@
 
 Every executed job appends one self-describing record: the job's identity
 (``job_id``, label, method, shape), its outcome (converged, sweeps, cycle
-counts, error), the :class:`~repro.sim.metrics.RunMetrics` summary, and
-whether its program came from the cache.  Records are written with sorted
-keys so identical runs produce byte-identical lines — re-running a sweep
-and diffing the store is the reproducibility check.
+counts, error), the :class:`~repro.sim.metrics.RunMetrics` summary, the
+observability stamps (``timings``, ``tier``, ``duration_s``), and whether
+its program came from the cache.  Records are written with sorted keys so
+identical runs produce byte-identical lines — *after* projecting out the
+:data:`VOLATILE_KEYS`, the wall-clock measurements that legitimately vary
+run to run.  Re-running a sweep and comparing the stores' canonical
+projections (:meth:`ResultStore.canonical_lines` /
+:meth:`ResultStore.digest`) is the reproducibility check.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Dict, List, Mapping
+
+#: Record keys that hold wall-clock measurements: identical reruns differ
+#: here and nowhere else, so the reproducibility compare drops them.
+#: (``tier`` is *not* volatile — which tier runs is deterministic for a
+#: given job and backend.)
+VOLATILE_KEYS = ("duration_s", "timings")
+
+
+def canonical_record(record: Mapping[str, Any]) -> Dict[str, Any]:
+    """The record minus its :data:`VOLATILE_KEYS` — what two runs of the
+    same job must agree on, byte for byte."""
+    return {k: v for k, v in record.items() if k not in VOLATILE_KEYS}
+
+
+def canonical_line(record: Mapping[str, Any]) -> str:
+    """The sorted-keys JSON line of :func:`canonical_record`."""
+    return json.dumps(canonical_record(record), sort_keys=True)
 
 
 class ResultStore:
@@ -58,8 +80,29 @@ class ResultStore:
                 latest[job_id] = record
         return latest
 
+    # ------------------------------------------------------------------
+    # reproducibility projection
+    # ------------------------------------------------------------------
+    def canonical_lines(self) -> List[str]:
+        """Every record as its volatile-free sorted-keys JSON line."""
+        return [canonical_line(record) for record in self.load()]
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical lines — two runs of the same sweep
+        must produce equal digests, whatever their timings measured."""
+        h = hashlib.sha256()
+        for line in self.canonical_lines():
+            h.update(line.encode("utf-8"))
+            h.update(b"\n")
+        return h.hexdigest()
+
     def __len__(self) -> int:
         return len(self.load())
 
 
-__all__ = ["ResultStore"]
+__all__ = [
+    "ResultStore",
+    "VOLATILE_KEYS",
+    "canonical_record",
+    "canonical_line",
+]

@@ -43,6 +43,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import tracer as obs
 from repro.service.cache import ProgramCache
 from repro.service.jobs import CHECKER_MODES, SimJob
 from repro.service.pool import WorkerOutcome, WorkerPool
@@ -82,6 +83,7 @@ def execute_job(
     cache: Optional[ProgramCache] = None,
     inputs: Optional[Mapping[str, Any]] = None,
     fields_out: Optional[Mapping[str, np.ndarray]] = None,
+    tracer: Optional[obs.Tracer] = None,
 ) -> Dict[str, Any]:
     """Run one job to completion; never raises for job-level failures.
 
@@ -97,10 +99,19 @@ def execute_job(
     ordinary arrays.  Records are JSON-serializable except for that
     opt-in ``"fields"`` entry, which :class:`BatchRunner` strips (leaving
     per-field SHA-256 digests) before anything reaches the result store.
+
+    Every job runs under its own :class:`~repro.obs.Tracer` (``tracer``
+    lets a caller that already timed earlier stages — the shm worker's
+    segment attach — keep accumulating into the same one).  The record
+    is stamped with ``timings`` (the fixed per-stage dict, volatile
+    across runs) and ``tier`` (which execution tier actually ran —
+    deterministic for a given job + backend).
     """
     job = SimJob.from_dict(spec)
     if cache is None:
         cache = _process_cache(cache_dir)
+    if tracer is None:
+        tracer = obs.Tracer()
     record: Dict[str, Any] = {
         "job_id": job.job_id,
         "label": job.describe(),
@@ -115,16 +126,22 @@ def execute_job(
     hits_before = cache.stats.hits
     lookups_before = cache.stats.lookups
     try:
-        if job.hypercube_dim > 0:
-            record.update(_run_multinode(job, cache, inputs, fields_out))
-        else:
-            record.update(_run_single(job, cache, inputs, fields_out))
+        with obs.use(tracer):
+            if job.hypercube_dim > 0:
+                record.update(_run_multinode(job, cache, inputs, fields_out))
+            else:
+                record.update(_run_single(job, cache, inputs, fields_out))
         record["ok"] = True
     except Exception as exc:  # failure capture: one bad job != a dead batch
         record["ok"] = False
         record["error"] = f"{type(exc).__name__}: {exc}"
     if cache.stats.lookups > lookups_before:  # job reached compilation
         record["cache_hit"] = cache.stats.hits > hits_before
+    telemetry = tracer.telemetry()
+    record["timings"] = telemetry.stage_timings()
+    record["tier"] = telemetry.annotations.get("tier")
+    if "fallback_reason" in telemetry.annotations:
+        record["fallback_reason"] = telemetry.annotations["fallback_reason"]
     return record
 
 
@@ -141,23 +158,25 @@ def execute_job_shm(
     """
     from repro.service.shm import attached
 
-    with contextlib.ExitStack() as stack:
-        inputs: Optional[Dict[str, Any]] = None
-        if task.get("inputs"):
-            inputs = {
-                name: stack.enter_context(attached(ref, readonly=True))
-                for name, ref in task["inputs"].items()
-            }
-            inputs["h"] = task["inputs_h"]
-        fields_out: Optional[Dict[str, np.ndarray]] = None
-        if task.get("fields"):
-            fields_out = {
-                name: stack.enter_context(attached(ref, readonly=False))
-                for name, ref in task["fields"].items()
-            }
+    tracer = obs.Tracer()
+    with contextlib.ExitStack() as stack, obs.use(tracer):
+        with obs.span("transport"):
+            inputs: Optional[Dict[str, Any]] = None
+            if task.get("inputs"):
+                inputs = {
+                    name: stack.enter_context(attached(ref, readonly=True))
+                    for name, ref in task["inputs"].items()
+                }
+                inputs["h"] = task["inputs_h"]
+            fields_out: Optional[Dict[str, np.ndarray]] = None
+            if task.get("fields"):
+                fields_out = {
+                    name: stack.enter_context(attached(ref, readonly=False))
+                    for name, ref in task["fields"].items()
+                }
         return execute_job(
             task["spec"], cache_dir=cache_dir,
-            inputs=inputs, fields_out=fields_out,
+            inputs=inputs, fields_out=fields_out, tracer=tracer,
         )
 
 
@@ -200,6 +219,7 @@ def _obtain_program(
             cache.mark_verified(key, value[1].fingerprint())
         elif mode == "auto":
             cache.stats.checks_skipped += 1
+            obs.count("cache.check_skipped")
         info["checker"] = "ran" if check else "skipped"
         return value
 
@@ -240,25 +260,27 @@ def _run_single(
     (setup, program), checker = _obtain_program(
         job, cache, lambda check: _compile_single(job, node, check)
     )
-    if job.backend == "fast":
-        # warm the shared plan layer: repeated jobs reuse the compiled
-        # whole-program schedule instead of re-deriving it per run
-        cache.warm_plan(program, node.params)
-    machine = NSCMachine(node, backend=job.backend)
-    machine.load_program(program)
+    with obs.span("bind"):
+        if job.backend == "fast":
+            # warm the shared plan layer: repeated jobs reuse the compiled
+            # whole-program schedule instead of re-deriving it per run
+            cache.warm_plan(program, node.params)
+        machine = NSCMachine(node, backend=job.backend)
+        machine.load_program(program)
 
-    watch = None
-    u_star = None
-    if setup is not None:
-        entry = SOLVERS[job.method]
-        if inputs is not None and inputs.get("h") == setup.h:
-            u_star, f = inputs["u_star"], inputs["f"]
-        else:
-            u_star, f, _h = manufactured_solution(job.shape, h=setup.h)
-        entry.load(machine, setup, np.zeros(job.shape), f)
-        watch = entry.watch_pipeline(setup)
+        watch = None
+        u_star = None
+        if setup is not None:
+            entry = SOLVERS[job.method]
+            if inputs is not None and inputs.get("h") == setup.h:
+                u_star, f = inputs["u_star"], inputs["f"]
+            else:
+                u_star, f, _h = manufactured_solution(job.shape, h=setup.h)
+            entry.load(machine, setup, np.zeros(job.shape), f)
+            watch = entry.watch_pipeline(setup)
 
-    result = machine.run()
+    with obs.span("execute"):
+        result = machine.run()
     metrics = machine.metrics(result)
     record: Dict[str, Any] = {
         "converged": bool(result.converged)
@@ -277,10 +299,11 @@ def _run_single(
         u = machine.get_variable("u").reshape(_field_shape(job))
         record["error_vs_analytic"] = float(np.max(np.abs(u - u_star)))
         if job.keep_fields:
-            if fields_out is not None:
-                fields_out["u"][...] = u
-            else:
-                record["fields"] = {"u": np.array(u, dtype=np.float64)}
+            with obs.span("transport"):
+                if fields_out is not None:
+                    fields_out["u"][...] = u
+                else:
+                    record["fields"] = {"u": np.array(u, dtype=np.float64)}
     return record
 
 
@@ -329,21 +352,24 @@ def _run_multinode(
         job, cache,
         lambda check: _compile_multinode(job, local_shape, check),
     )
-    stencil = MultiNodeStencil(
-        params=job.params(),
-        hypercube_dim=job.hypercube_dim,
-        shape=job.shape,
-        eps=job.eps,
-        precompiled=precompiled,
-        backend=job.backend,
-    )
-    # deterministic non-trivial start: relax the manufactured field to zero
-    if inputs is not None and "u_star" in inputs:
-        u_star = inputs["u_star"]
-    else:
-        u_star, _f, _h = manufactured_solution(job.shape)
-    stencil.scatter("u", u_star)
-    res = stencil.run(max_iterations=job.max_sweeps)
+    with obs.span("bind"):
+        stencil = MultiNodeStencil(
+            params=job.params(),
+            hypercube_dim=job.hypercube_dim,
+            shape=job.shape,
+            eps=job.eps,
+            precompiled=precompiled,
+            backend=job.backend,
+        )
+        # deterministic non-trivial start: relax the manufactured field
+        # to zero
+        if inputs is not None and "u_star" in inputs:
+            u_star = inputs["u_star"]
+        else:
+            u_star, _f, _h = manufactured_solution(job.shape)
+        stencil.scatter("u", u_star)
+    with obs.span("execute"):
+        res = stencil.run(max_iterations=job.max_sweeps)
     record: Dict[str, Any] = {
         "converged": res.converged,
         "sweeps": res.iterations,
@@ -364,11 +390,12 @@ def _run_multinode(
     if checker is not None:
         record["checker"] = checker
     if job.keep_fields:
-        u = stencil.gather("u")
-        if fields_out is not None:
-            fields_out["u"][...] = u
-        else:
-            record["fields"] = {"u": np.array(u, dtype=np.float64)}
+        with obs.span("transport"):
+            u = stencil.gather("u")
+            if fields_out is not None:
+                fields_out["u"][...] = u
+            else:
+                record["fields"] = {"u": np.array(u, dtype=np.float64)}
     return record
 
 
@@ -449,6 +476,9 @@ class BatchRunner:
         #: names of the shm segments used by the most recent run (kept
         #: after cleanup so tests can prove every one was unlinked)
         self.last_shm_segments: List[str] = []
+        #: parent-side telemetry of the most recent run (arena setup and
+        #: field materialization spans; per-job stages live in records)
+        self.last_telemetry: Optional[obs.Telemetry] = None
         #: serial runs share this cache across the whole batch; process
         #: runs (workers > 1, or any timeout, which forces the process
         #: path) rely on per-worker caches plus the shared disk layer.
@@ -461,24 +491,32 @@ class BatchRunner:
         self, jobs: Sequence[SimJob]
     ) -> Tuple[List[Dict[str, Any]], BatchSummary]:
         start = time.perf_counter()
+        batch_tracer = obs.Tracer()
         specs = [job.to_dict() for job in jobs]
         if self.run_checker is not None:
             for spec in specs:
                 spec["run_checker"] = self.run_checker
-        if self.transport == "shm" and self.cache is None:
-            records = self._run_shm(jobs, specs)
-        else:
-            if self.cache is not None:
-                # serial bypass: in-process execution, no transport involved
-                fn = functools.partial(execute_job, cache=self.cache)
+        with obs.use(batch_tracer):
+            if self.transport == "shm" and self.cache is None:
+                records = self._run_shm(jobs, specs)
             else:
-                fn = functools.partial(execute_job, cache_dir=self.cache_dir)
-            pool = WorkerPool(max_workers=self.workers, timeout=self.timeout)
-            outcomes = pool.map(fn, specs)
-            records = [
-                self._record_of(job, outcome)
-                for job, outcome in zip(jobs, outcomes)
-            ]
+                if self.cache is not None:
+                    # serial bypass: in-process execution, no transport
+                    # involved
+                    fn = functools.partial(execute_job, cache=self.cache)
+                else:
+                    fn = functools.partial(
+                        execute_job, cache_dir=self.cache_dir
+                    )
+                pool = WorkerPool(
+                    max_workers=self.workers, timeout=self.timeout
+                )
+                outcomes = pool.map(fn, specs)
+                records = [
+                    self._record_of(job, outcome)
+                    for job, outcome in zip(jobs, outcomes)
+                ]
+        self.last_telemetry = batch_tracer.telemetry()
         self._digest_fields(records)
         if self.store is not None:
             # field arrays stay with the caller; the store gets digests
@@ -519,40 +557,47 @@ class BatchRunner:
         arena = ShmArena()
         records: List[Dict[str, Any]] = []
         try:
-            inputs_by_shape: Dict[Tuple[int, ...], Tuple[Dict, float]] = {}
-            tasks: List[Dict[str, Any]] = []
-            for job, spec in zip(jobs, specs):
-                task: Dict[str, Any] = {"spec": spec}
-                if job.method != "program":
-                    shared = inputs_by_shape.get(job.shape)
-                    if shared is None:
-                        from repro.apps.poisson3d import manufactured_solution
+            with obs.span("arena_setup"):
+                inputs_by_shape: Dict[Tuple[int, ...], Tuple[Dict, float]] \
+                    = {}
+                tasks: List[Dict[str, Any]] = []
+                for job, spec in zip(jobs, specs):
+                    task: Dict[str, Any] = {"spec": spec}
+                    if job.method != "program":
+                        shared = inputs_by_shape.get(job.shape)
+                        if shared is None:
+                            from repro.apps.poisson3d import (
+                                manufactured_solution,
+                            )
 
-                        u_star, f, h = manufactured_solution(job.shape)
-                        shared = (
-                            {"u_star": arena.place(u_star),
-                             "f": arena.place(f)},
-                            h,
-                        )
-                        inputs_by_shape[job.shape] = shared
-                    task["inputs"], task["inputs_h"] = shared
-                if job.keep_fields:
-                    task["fields"] = {"u": arena.allocate(_field_shape(job))}
-                tasks.append(task)
-            self.last_shm_segments = arena.names
+                            u_star, f, h = manufactured_solution(job.shape)
+                            shared = (
+                                {"u_star": arena.place(u_star),
+                                 "f": arena.place(f)},
+                                h,
+                            )
+                            inputs_by_shape[job.shape] = shared
+                        task["inputs"], task["inputs_h"] = shared
+                    if job.keep_fields:
+                        task["fields"] = {
+                            "u": arena.allocate(_field_shape(job))
+                        }
+                    tasks.append(task)
+                self.last_shm_segments = arena.names
             pool = WorkerPool(max_workers=self.workers, timeout=self.timeout)
             outcomes = pool.map(
                 functools.partial(execute_job_shm, cache_dir=self.cache_dir),
                 tasks,
             )
-            for job, task, outcome in zip(jobs, tasks, outcomes):
-                record = self._record_of(job, outcome)
-                if outcome.ok and record.get("ok") and "fields" in task:
-                    record["fields"] = {
-                        name: arena.materialize(ref)
-                        for name, ref in task["fields"].items()
-                    }
-                records.append(record)
+            with obs.span("transport"):
+                for job, task, outcome in zip(jobs, tasks, outcomes):
+                    record = self._record_of(job, outcome)
+                    if outcome.ok and record.get("ok") and "fields" in task:
+                        record["fields"] = {
+                            name: arena.materialize(ref)
+                            for name, ref in task["fields"].items()
+                        }
+                    records.append(record)
         finally:
             arena.destroy()
         return records
@@ -590,8 +635,14 @@ class BatchRunner:
                 "ok": False,
                 "error": f"{outcome.error_type}: {outcome.error}",
             }
-        # wall-clock lives in the summary, not the store: stored records
-        # must be byte-identical across re-runs of the same sweep
+        # every stored record carries the full observability schema, even
+        # ones synthesized for dead workers (zeroed stages, null tier)
+        record.setdefault("timings", dict(obs.ZERO_TIMINGS))
+        record.setdefault("tier", None)
+        # wall-clock: duration_s and timings are volatile (they vary run
+        # to run) — store comparisons go through the canonical projection
+        # (see repro.service.results), not raw bytes
+        record["duration_s"] = round(outcome.duration_s, 6)
         return record
 
 

@@ -27,6 +27,7 @@ from repro.arch.params import NSCParameters
 from repro.arch.router import HyperspaceRouter, Message
 from repro.codegen.generator import MicrocodeGenerator
 from repro.compose.jacobi import build_jacobi_program, grid_shape
+from repro.obs import tracer as obs
 from repro.sim.machine import NSCMachine
 from repro.sim.pipeline_exec import execute_image
 
@@ -298,6 +299,8 @@ class MultiNodeStencil:
 
     def _reference_stepper(self):
         """(load, sweep, finish) callables for the per-node interpreter."""
+        obs.count("tier.reference")
+        obs.annotate("tier", "reference")
         return self._per_issue_stepper("reference")
 
     def _fast_stepper(self):
@@ -308,13 +311,22 @@ class MultiNodeStencil:
         prove fusable — residual-skew ablation builds fuse as of the
         coverage work, so this is now rare) fall back to the *per-issue
         fast* stepper, not the reference interpreter: identical results,
-        per-node fast-path speed."""
+        per-node fast-path speed.  Either way the selected tier (and any
+        decline's reason) lands in the active tracer."""
         from repro.sim.progplan import FusionUnsupported, fused_stepper
 
         try:
-            return fused_stepper(self)
-        except FusionUnsupported:
+            stepper = fused_stepper(self)
+        except FusionUnsupported as exc:
+            obs.count("tier.per_issue")
+            obs.count("fusion.fallback")
+            obs.annotate("tier", "per_issue")
+            obs.annotate("fallback_reason", str(exc))
+            obs.event("fusion_fallback", scope="multinode", reason=str(exc))
             return self._per_issue_stepper("fast")
+        obs.count("tier.fused")
+        obs.annotate("tier", "fused")
+        return stepper
 
     def run(self, max_iterations: int = 1000) -> MultiNodeResult:
         """Iterate to convergence (or the bound); returns aggregate results.

@@ -77,6 +77,7 @@ from repro.diagram.program import (
     Repeat,
     SwapVars,
 )
+from repro.obs import tracer as obs
 from repro.sim.fastpath import (
     PLAN_CACHE,
     _FastPlan,
@@ -1300,6 +1301,7 @@ def compiled_plan(program: MachineProgram, params: Any,
     folding, so the compiled kernels differ).
     """
     key = ("program", program_fingerprint(program), params, keep_outputs)
+    obs.count("plan.hit" if key in PLAN_CACHE else "plan.miss")
 
     def build() -> Any:
         try:
@@ -1712,7 +1714,12 @@ def try_run_fused(
         )
         run = ProgramRun(plan, machine, max_instructions)
         return run.run()
-    except FusionUnsupported:
+    except FusionUnsupported as exc:
+        # tier telemetry: record *why* the compiled engine stood down —
+        # the caller's fallback is otherwise invisible in the records
+        obs.count("fusion.fallback")
+        obs.annotate("fallback_reason", str(exc))
+        obs.event("fusion_fallback", scope="program", reason=str(exc))
         return None
 
 

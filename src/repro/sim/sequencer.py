@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.codegen.generator import MachineProgram
+from repro.obs import tracer as obs
 from repro.diagram.program import (
     CacheSwap,
     ControlOp,
@@ -80,10 +81,8 @@ class Sequencer:
         keep_outputs: bool = False,
         max_instructions: int = 1_000_000,
     ) -> SequencerResult:
-        if (
-            self.fuse
-            and getattr(self.machine, "backend", "reference") == "fast"
-        ):
+        backend = getattr(self.machine, "backend", "reference")
+        if self.fuse and backend == "fast":
             from repro.sim.progplan import try_run_fused
 
             fused = try_run_fused(
@@ -91,8 +90,15 @@ class Sequencer:
                 keep_outputs=keep_outputs,
             )
             if fused is not None:
+                # tier telemetry: the whole-program compiled engine ran
+                # (a declined fusion logs its reason in try_run_fused)
+                obs.count("tier.fused")
+                obs.annotate("tier", "fused")
                 self.machine.interrupts.drain()
                 return fused
+        tier = "per_issue" if backend == "fast" else "reference"
+        obs.count(f"tier.{tier}")
+        obs.annotate("tier", tier)
         result = SequencerResult()
         self._run_block(
             program, program.control, result, keep_outputs, max_instructions

@@ -12,8 +12,11 @@ from repro.service.sweep import SweepSpec
 
 #: record keys that legitimately differ between backend runs ("checker"
 #: depends on compile history, like "cache_hit": a cache hit skips the
-#: compile entirely and reports neither)
-VOLATILE = ("job_id", "label", "backend", "cache_hit", "checker")
+#: compile entirely and reports neither; "timings"/"duration_s" are
+#: wall-clock; "tier" and "fallback_reason" name the execution tier,
+#: which is exactly what a backend selects)
+VOLATILE = ("job_id", "label", "backend", "cache_hit", "checker",
+            "timings", "duration_s", "tier", "fallback_reason")
 
 
 def _comparable(record):

@@ -6,7 +6,7 @@ import json
 from repro.codegen.generator import MicrocodeGenerator
 from repro.service.cache import ProgramCache
 from repro.service.jobs import SimJob
-from repro.service.results import ResultStore
+from repro.service.results import ResultStore, VOLATILE_KEYS
 from repro.service.runner import BatchRunner, execute_job
 from repro.service.sweep import SweepSpec
 
@@ -141,15 +141,31 @@ class TestBatchRunner:
             assert s["sweeps"] == p["sweeps"]
 
     def test_store_is_reproducible(self, tmp_path):
+        # byte-reproducible modulo the volatile keys (wall-clock timings
+        # legitimately differ): the canonical projection must match
+        # line for line, and the digest is that same claim in one hash
         jobs = SweepSpec(grids=(5,), methods=("jacobi", "rb-gs"),
                          repeats=2, **FAST).expand()
         store_a = ResultStore(str(tmp_path / "a.jsonl"))
         store_b = ResultStore(str(tmp_path / "b.jsonl"))
         BatchRunner(workers=1, store=store_a).run(jobs)
         BatchRunner(workers=1, store=store_b).run(jobs)
-        assert (tmp_path / "a.jsonl").read_text() == \
-            (tmp_path / "b.jsonl").read_text()
+        assert store_a.canonical_lines() == store_b.canonical_lines()
+        assert store_a.digest() == store_b.digest()
         assert len(store_a) == 4
+
+    def test_volatile_keys_are_the_only_difference(self, tmp_path):
+        # the volatile-key set is exact: raw lines differ only because
+        # of timings/duration_s, and every stored record carries them
+        job = SimJob(method="jacobi", shape=(5, 5, 5), **FAST)
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        BatchRunner(workers=1, store=store).run([job])
+        BatchRunner(workers=1, store=store).run([job])
+        first, second = store.load()
+        assert first != second  # wall-clock did differ...
+        for key in VOLATILE_KEYS:
+            first.pop(key), second.pop(key)
+        assert first == second  # ...and nothing else did
 
     def test_store_queries(self, tmp_path):
         job = SimJob(method="jacobi", shape=(5, 5, 5), **FAST)

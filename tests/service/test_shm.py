@@ -16,7 +16,7 @@ import pytest
 
 from repro.service import runner as runner_module
 from repro.service.jobs import SimJob
-from repro.service.results import ResultStore
+from repro.service.results import ResultStore, canonical_record
 from repro.service.runner import BatchRunner
 from repro.service.shm import ShmArena, ShmArrayRef, attached
 
@@ -118,7 +118,7 @@ class TestTransportParity:
         for s, p in zip(shm_records, pkl_records):
             fields_s = s.pop("fields")
             fields_p = p.pop("fields")
-            assert s == p
+            assert canonical_record(s) == canonical_record(p)
             assert np.array_equal(fields_s["u"], fields_p["u"])
 
     def test_results_bit_identical_across_transports(self):

@@ -8,6 +8,7 @@ from repro.arch.node import NodeConfig
 from repro.cli import build_parser, main
 from repro.compose.kernels import build_saxpy_program
 from repro.diagram import serialize
+from repro.service.results import canonical_line
 
 
 @pytest.fixture()
@@ -115,7 +116,12 @@ class TestServiceCommands:
         a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
         assert main(argv + ["--results", str(a)]) == 0
         assert main(argv + ["--results", str(b)]) == 0
-        assert a.read_text() == b.read_text()
+
+        def canonical(path):
+            return [canonical_line(json.loads(line))
+                    for line in path.read_text().splitlines()]
+
+        assert canonical(a) == canonical(b)
 
     def test_batch_runs_jobs_file(self, tmp_path, capsys):
         jobs = tmp_path / "jobs.json"
