@@ -40,6 +40,15 @@ class Endpoint:
     device: int
     port: str
 
+    def __hash__(self) -> int:
+        # endpoints key every wiring index the compiler and checker
+        # query; hashing the enum member each time dominated those maps
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.kind, self.device, self.port))
+            self.__dict__["_hash"] = cached
+        return cached
+
     def __lt__(self, other: "Endpoint") -> bool:
         if not isinstance(other, Endpoint):
             return NotImplemented

@@ -34,10 +34,13 @@ the speedup — see ``docs/BACKENDS.md`` for the full matrix).
 ``batch`` and ``sweep`` additionally take ``--workers``, ``--timeout``,
 ``--cache-dir``, ``--results``, ``--transport {pickle,shm}`` (how grids
 move between parent and workers on parallel runs — ``shm`` is the
-zero-copy shared-memory path) and ``--run-checker {auto,always,never}``
+zero-copy shared-memory path), ``--run-checker {auto,always,never}``
 (when the design-rule checker runs at compile time; ``auto`` skips it
-for fingerprint-verified cache-warmed programs).  ``docs/SERVICE.md``
-is the cookbook.
+for fingerprint-verified cache-warmed programs) and ``--batch-fusion
+{off,auto}`` (``auto`` runs fusable same-program jobs as one stacked
+batch-fused slab on serial runs — see ``docs/BACKENDS.md``).  ``sweep``
+also takes ``--seeds`` to add a seeded-initial-guess axis.
+``docs/SERVICE.md`` is the cookbook.
 """
 
 from __future__ import annotations
@@ -249,7 +252,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
     store = ResultStore(args.results) if args.results else None
     runner = BatchRunner(workers=args.workers, timeout=args.timeout,
                          cache_dir=args.cache_dir, store=store,
-                         transport=args.transport)
+                         transport=args.transport,
+                         batch_fusion=args.batch_fusion)
     records, summary = runner.run(jobs)
     _print_batch(records, summary)
     return 0 if summary.failed == 0 else 1
@@ -274,12 +278,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             methods=tuple(_parse_str_list(args.methods)),
             dims=tuple(_parse_int_list(args.dims)),
             subset=subset_axis,
+            seeds=tuple(_parse_int_list(args.seeds)) if args.seeds else (),
             eps=args.eps,
             max_sweeps=args.max_sweeps,
             omega=args.omega,
             repeats=args.repeats,
             backend=args.backend,
             run_checker=args.run_checker,
+            batch_fusion=args.batch_fusion,
         )
     except (JobSpecError, ValueError) as exc:
         print(f"error: bad sweep axes: {exc}", file=sys.stderr)
@@ -289,7 +295,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     store = ResultStore(args.results) if args.results else None
     runner = BatchRunner(workers=args.workers, timeout=args.timeout,
                          cache_dir=args.cache_dir, store=store,
-                         transport=args.transport)
+                         transport=args.transport,
+                         batch_fusion=spec.batch_fusion)
     records, summary = runner.run(jobs)
     _print_batch(records, summary)
     return 0 if summary.failed == 0 else 1
@@ -518,6 +525,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=2,
                    help="run the whole grid this many times (repeats land "
                    "in the program cache)")
+    p.add_argument("--seeds", default=None,
+                   help="comma-separated u0 seeds: adds a seeded "
+                   "initial-guess axis (same program, different "
+                   "convergence trajectories — the slab shape "
+                   "--batch-fusion auto groups)")
     _add_service_options(p)
 
     p = sub.add_parser(
@@ -600,6 +612,12 @@ def _add_service_options(p: argparse.ArgumentParser) -> None:
                    help="when the design-rule checker runs at compile "
                    "time; 'auto' skips it for fingerprint-verified "
                    "cache-warmed programs")
+    p.add_argument("--batch-fusion", choices=("off", "auto"),
+                   default="off", dest="batch_fusion",
+                   help="'auto' stacks fusable same-program jobs into "
+                   "one batch-fused slab per group on serial runs "
+                   "(records gain tier=batch_fused and slab_size); "
+                   "anything unfusable falls back per job")
     _add_backend_option(p)
 
 

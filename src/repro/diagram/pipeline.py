@@ -125,6 +125,14 @@ class PipelineDiagram:
         self.sd_taps: Dict[Tuple[int, int], int] = {}
         self.vector_length: Optional[int] = None
         self.condition: Optional[ConditionSpec] = None
+        # lazily built query indices; _wire_index_len == -1 means stale.
+        # The length guard additionally catches code appending to
+        # `connections` directly instead of going through connect().
+        self._wire_index_len: int = -1
+        self._driver_index: Dict[Endpoint, Endpoint] = {}
+        self._sink_index: Dict[Endpoint, List[Endpoint]] = {}
+        self._fu_als_len: int = -1
+        self._fu_als_index: Dict[int, ALSUse] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -150,6 +158,7 @@ class PipelineDiagram:
             bypassed_slots=tuple(sorted(bypassed_slots)),
         )
         self.als_uses[als_id] = use
+        self._fu_als_len = -1
         return use
 
     def remove_als(self, als_id: int) -> None:
@@ -157,6 +166,8 @@ class PipelineDiagram:
         use = self.als_uses.pop(als_id, None)
         if use is None:
             raise DiagramError(f"ALS {als_id} is not in this diagram")
+        self._fu_als_len = -1
+        self._wire_index_len = -1
         fus = set(range(use.first_fu, use.first_fu + use.kind.n_units))
         for fu in fus:
             self.fu_ops.pop(fu, None)
@@ -185,12 +196,14 @@ class PipelineDiagram:
         if (source, sink) in self.connections:
             raise DiagramError(f"connection {source} -> {sink} already drawn")
         self.connections.append((source, sink))
+        self._wire_index_len = -1
 
     def disconnect(self, source: Endpoint, sink: Endpoint) -> None:
         try:
             self.connections.remove((source, sink))
         except ValueError:
             raise DiagramError(f"no connection {source} -> {sink}") from None
+        self._wire_index_len = -1
 
     def set_input_mod(self, fu: int, port: str, mod: InputMod) -> None:
         self._require_active_fu(fu)
@@ -232,24 +245,45 @@ class PipelineDiagram:
     # queries
     # ------------------------------------------------------------------
     def als_use_of_fu(self, fu: int) -> Optional[ALSUse]:
-        for use in self.als_uses.values():
-            if use.first_fu <= fu < use.first_fu + use.kind.n_units:
-                return use
-        return None
+        if self._fu_als_len != len(self.als_uses):
+            self._fu_als_index = {
+                use.first_fu + slot: use
+                for use in self.als_uses.values()
+                for slot in range(use.kind.n_units)
+            }
+            self._fu_als_len = len(self.als_uses)
+        return self._fu_als_index.get(fu)
 
     def active_fus(self) -> List[int]:
         """Functional units with an operation assigned, ascending."""
         return sorted(self.fu_ops)
 
+    def _wire_index(self) -> None:
+        """(Re)build the sink->driver and source->sinks maps.
+
+        Code generation and the checker query wiring thousands of times
+        per program; a linear scan over the connection list dominated
+        their profiles.  ``driver_of`` keeps its first-drawn-wins
+        semantics via ``setdefault``."""
+        driver: Dict[Endpoint, Endpoint] = {}
+        sinks: Dict[Endpoint, List[Endpoint]] = {}
+        for s, k in self.connections:
+            driver.setdefault(k, s)
+            sinks.setdefault(s, []).append(k)
+        self._driver_index = driver
+        self._sink_index = sinks
+        self._wire_index_len = len(self.connections)
+
     def driver_of(self, sink: Endpoint) -> Optional[Endpoint]:
         """The switch source driving *sink*, if one is drawn."""
-        for s, k in self.connections:
-            if k == sink:
-                return s
-        return None
+        if self._wire_index_len != len(self.connections):
+            self._wire_index()
+        return self._driver_index.get(sink)
 
     def sinks_of(self, source: Endpoint) -> List[Endpoint]:
-        return [k for s, k in self.connections if s == source]
+        if self._wire_index_len != len(self.connections):
+            self._wire_index()
+        return list(self._sink_index.get(source, ()))
 
     def input_source(
         self, fu: int, port: str

@@ -31,6 +31,7 @@ Workflow documentation: ``docs/OBSERVABILITY.md``.
 from __future__ import annotations
 
 import json
+import math
 import statistics
 import time
 from dataclasses import dataclass
@@ -39,6 +40,24 @@ from typing import Any, Dict, List, Optional, Sequence
 
 #: Bench-record metrics the history carries and the detector can watch.
 HISTORY_METRICS = ("speedup", "speedup_vs_unfused")
+
+
+def metric_value(entry: Dict[str, Any], metric: str) -> Optional[float]:
+    """The entry's finite numeric value for *metric*, else ``None``.
+
+    A history file accumulates across bench versions, so individual
+    entries may predate a metric entirely or carry it with a shape a
+    different version wrote (``null``, a nested dict, a non-finite
+    float).  Schema drift is per-entry data, not corruption: such
+    entries are skipped for that metric, never allowed to fail the
+    whole detection pass.
+    """
+    value = entry.get(metric)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    if not math.isfinite(value):
+        return None
+    return float(value)
 
 
 # ----------------------------------------------------------------------
@@ -177,17 +196,22 @@ class RegressionDetector:
             prior = entries[:-1]
             for trigger in self.triggers:
                 metric = trigger.metric
-                if metric not in current:
+                value = metric_value(current, metric)
+                if value is None:
                     continue
                 window = [
-                    float(e[metric]) for e in prior[-trigger.window:]
-                    if metric in e
+                    v
+                    for v in (
+                        metric_value(e, metric)
+                        for e in prior[-trigger.window:]
+                    )
+                    if v is not None
                 ]
                 status: Dict[str, Any] = {
                     "scenario": scenario,
                     "quick": quick,
                     "metric": metric,
-                    "current": float(current[metric]),
+                    "current": value,
                     "window_size": len(window),
                 }
                 if len(window) < trigger.min_samples:
@@ -204,7 +228,7 @@ class RegressionDetector:
                     {
                         "window_median": median,
                         "floor": floor,
-                        "fired": float(current[metric]) < floor,
+                        "fired": value < floor,
                     }
                 )
                 evaluated.append(status)
@@ -214,7 +238,7 @@ class RegressionDetector:
                             **status,
                             "reason": (
                                 f"{scenario}.{metric} "
-                                f"{float(current[metric]):.2f}x fell below "
+                                f"{value:.2f}x fell below "
                                 f"{floor:.2f}x (median {median:.2f}x of "
                                 f"last {len(window)} runs, "
                                 f"drop tolerance {trigger.drop:.0%})"
@@ -262,6 +286,7 @@ def format_alerts(alerts: Dict[str, Any]) -> str:
 
 __all__ = [
     "HISTORY_METRICS",
+    "metric_value",
     "AlertTrigger",
     "DEFAULT_TRIGGERS",
     "RegressionDetector",

@@ -4,7 +4,8 @@ Two sources, two aggregators:
 
 - :func:`aggregate_records` folds a result store's job records (the
   ``--results`` JSONL from ``nsc-vpe batch`` / ``sweep``) into one
-  summary: per-stage time totals and means, the tier distribution,
+  summary: per-stage time totals and means, the tier distribution and
+  batch-fusion slab mix (how many jobs rode slabs, and how wide),
   cache-hit accounting, fallback count, and total measured wall time.
 - :func:`aggregate_history` folds a bench history file (``nsc-vpe bench
   --history``) into one summary per ``(scenario, quick)`` series: run
@@ -19,7 +20,7 @@ from __future__ import annotations
 from statistics import median
 from typing import Any, Dict, List, Sequence
 
-from repro.obs.alerts import HISTORY_METRICS
+from repro.obs.alerts import HISTORY_METRICS, metric_value
 from repro.obs.tracer import STAGES
 
 
@@ -30,6 +31,7 @@ def aggregate_records(
     timings = {stage: 0.0 for stage in STAGES}
     tiers: Dict[str, int] = {}
     cache = {"hits": 0, "misses": 0}
+    slab_sizes: Dict[int, int] = {}
     jobs = ok = fallbacks = 0
     duration_s = 0.0
     for record in records:
@@ -45,7 +47,17 @@ def aggregate_records(
             fallbacks += 1
         if "cache_hit" in record:
             cache["hits" if record["cache_hit"] else "misses"] += 1
+        size = record.get("slab_size")
+        if size:
+            slab_sizes[int(size)] = slab_sizes.get(int(size), 0) + 1
         duration_s += float(record.get("duration_s") or 0.0)
+    slabs = {
+        "jobs": sum(slab_sizes.values()),
+        # each job of slab_size k belonged to a k-wide slab, so k jobs
+        # at size k mean one slab ran
+        "slabs": sum(n // k for k, n in slab_sizes.items()),
+        "sizes": {str(k): n for k, n in sorted(slab_sizes.items())},
+    }
     return {
         "jobs": jobs,
         "ok": ok,
@@ -57,6 +69,7 @@ def aggregate_records(
             for k, v in timings.items()
         },
         "tiers": tiers,
+        "slabs": slabs,
         "fallbacks": fallbacks,
         "cache": cache,
     }
@@ -85,6 +98,18 @@ def format_record_stats(stats: Dict[str, Any]) -> str:
         if stats["fallbacks"]:
             line += f" ({stats['fallbacks']} fused->per-issue fallbacks)"
         lines.append(line)
+    slabs = stats.get("slabs") or {}
+    if slabs.get("jobs"):
+        sizes = ", ".join(
+            f"{n} jobs @ width {k}"
+            for k, n in sorted(
+                slabs["sizes"].items(), key=lambda kv: int(kv[0])
+            )
+        )
+        lines.append(
+            f"  slabs: {slabs['jobs']} batch-fused jobs across "
+            f"{slabs['slabs']} slabs ({sizes})"
+        )
     cache = stats["cache"]
     if cache["hits"] or cache["misses"]:
         lines.append(
@@ -115,8 +140,12 @@ def aggregate_history(
             "metrics": {},
         }
         for metric in HISTORY_METRICS:
+            # metric_value skips entries that predate the metric or carry
+            # a drifted shape (see repro.obs.alerts) instead of raising
             values = [
-                float(e[metric]) for e in items if metric in e
+                v
+                for v in (metric_value(e, metric) for e in items)
+                if v is not None
             ]
             if not values:
                 continue

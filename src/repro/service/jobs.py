@@ -88,6 +88,15 @@ class SimJob:
     :class:`~repro.service.runner.BatchRunner`'s ``transport="shm"`` the
     arrays ride preallocated shared-memory segments instead of being
     pickled back (see :mod:`repro.service.shm`).
+
+    ``u0_seed`` seeds a reproducible random initial guess for builder
+    solvers (``numpy.random.default_rng(u0_seed).random(shape)``) in
+    place of the default all-zeros start.  Single-node builder runs only.
+    It changes the run's trajectory, so it is part of the job identity
+    (:attr:`job_id`), but not of :meth:`program_key`/:meth:`cache_key`,
+    which cover only the compiled microcode — same-program jobs with
+    different seeds share one compile, which is exactly what batch
+    fusion slabs exploit.
     """
 
     method: str = "jacobi"
@@ -102,6 +111,7 @@ class SimJob:
     backend: str = "reference"
     run_checker: str = "auto"
     keep_fields: bool = False
+    u0_seed: Optional[int] = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -123,6 +133,20 @@ class SimJob:
                 "keep_fields requires a builder solver (saved programs "
                 "have no canonical output field)"
             )
+        if self.u0_seed is not None:
+            if self.method == "program":
+                raise JobSpecError(
+                    "u0_seed requires a builder solver (saved programs load "
+                    "their own inputs)"
+                )
+            if self.hypercube_dim > 0:
+                raise JobSpecError(
+                    "u0_seed applies to single-node runs only (the "
+                    "multi-node path starts from the manufactured field)"
+                )
+            if int(self.u0_seed) < 0:
+                raise JobSpecError("u0_seed must be a non-negative integer")
+            object.__setattr__(self, "u0_seed", int(self.u0_seed))
         if self.method == "program" and not self.program_path:
             raise JobSpecError("method 'program' requires program_path")
         if self.method != "program" and self.program_path:
@@ -159,24 +183,41 @@ class SimJob:
     # hashing
     # ------------------------------------------------------------------
     def program_key(self) -> str:
-        """Hash of everything that determines the compiled microcode."""
+        """Hash of everything that determines the compiled microcode.
+
+        Builder-solver keys are pure functions of this frozen spec, so
+        they memoize on the instance (slab grouping and record assembly
+        hash every job several times per batch).  ``method="program"``
+        keys hash the saved file's *current* bytes and are deliberately
+        never cached.
+        """
         if self.method == "program":
             with open(self.program_path, "rb") as fh:  # type: ignore[arg-type]
                 return hashlib.sha256(fh.read()).hexdigest()
-        return _sha256(
-            {
-                "method": self.method,
-                "shape": list(self.shape),
-                "eps": self.eps,
-                "max_sweeps": self.max_sweeps,
-                "omega": self.omega if self.method == "rb-sor" else None,
-                "hypercube_dim": self.hypercube_dim,
-            }
-        )
+        cached = self.__dict__.get("_program_key")
+        if cached is None:
+            cached = _sha256(
+                {
+                    "method": self.method,
+                    "shape": list(self.shape),
+                    "eps": self.eps,
+                    "max_sweeps": self.max_sweeps,
+                    "omega": self.omega if self.method == "rb-sor" else None,
+                    "hypercube_dim": self.hypercube_dim,
+                }
+            )
+            self.__dict__["_program_key"] = cached
+        return cached
 
     def params_key(self) -> str:
-        """Hash of the fully resolved machine parameters."""
-        return _sha256(asdict(self.params()))
+        """Hash of the fully resolved machine parameters (memoized — the
+        resolve-then-``asdict`` walk deep-copies the whole parameter
+        dataclass, which is the hot spot when a batch hashes N jobs)."""
+        cached = self.__dict__.get("_params_key")
+        if cached is None:
+            cached = _sha256(asdict(self.params()))
+            self.__dict__["_params_key"] = cached
+        return cached
 
     def cache_key(self) -> str:
         """(program hash, params hash) — the :class:`ProgramCache` key."""
@@ -194,7 +235,7 @@ class SimJob:
     # (de)serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "method": self.method,
             "shape": list(self.shape),
             "eps": self.eps,
@@ -209,6 +250,11 @@ class SimJob:
             "keep_fields": self.keep_fields,
             "label": self.label,
         }
+        # only present when set, so pre-existing specs (and their job_ids)
+        # hash exactly as they did before the field existed
+        if self.u0_seed is not None:
+            payload["u0_seed"] = self.u0_seed
+        return payload
 
     @classmethod
     def from_dict(cls, spec: Mapping[str, Any]) -> "SimJob":
@@ -241,6 +287,8 @@ class SimJob:
             tag += "-subset"
         if self.backend != "reference":
             tag += f"-{self.backend}"
+        if self.u0_seed is not None:
+            tag += f"-s{self.u0_seed}"
         return tag
 
 

@@ -52,6 +52,11 @@ from repro.service.results import ResultStore
 #: Payload transports for parallel batches (see module docstring).
 TRANSPORTS = ("pickle", "shm")
 
+#: Batch-fusion modes: "off" always runs jobs one at a time; "auto"
+#: groups fusable same-program jobs into slabs on the serial path (see
+#: :mod:`repro.service.slab`) and falls back per job on any decline.
+BATCH_FUSION_MODES = ("off", "auto")
+
 #: Per-process cache used by pool workers (and by serial runs that do not
 #: pass an explicit cache).  Keyed compilation output survives across jobs
 #: within one worker; the disk layer shares it across workers.
@@ -227,6 +232,17 @@ def _obtain_program(
     return value, info.get("checker")
 
 
+def _initial_grid(job: SimJob) -> np.ndarray:
+    """The job's initial guess: zeros, or a seeded reproducible field.
+
+    Shared by the per-job path and the batch-fused slab executor so a
+    seeded job starts from bit-identical values on either tier.
+    """
+    if job.u0_seed is None:
+        return np.zeros(job.shape)
+    return np.random.default_rng(job.u0_seed).random(job.shape)
+
+
 def _compile_single(job: SimJob, node, check: bool) -> Tuple[Any, Any]:
     from repro.codegen.generator import MicrocodeGenerator
     from repro.compose.registry import SOLVERS
@@ -276,7 +292,7 @@ def _run_single(
                 u_star, f = inputs["u_star"], inputs["f"]
             else:
                 u_star, f, _h = manufactured_solution(job.shape, h=setup.h)
-            entry.load(machine, setup, np.zeros(job.shape), f)
+            entry.load(machine, setup, _initial_grid(job), f)
             watch = entry.watch_pipeline(setup)
 
     with obs.span("execute"):
@@ -446,6 +462,14 @@ class BatchRunner:
     run_checker:
         When set (``"auto"``/``"always"``/``"never"``), overrides every
         job's own ``run_checker`` for this batch.
+    batch_fusion:
+        ``"off"`` (default) runs every job individually.  ``"auto"``
+        groups fusable same-program jobs into slabs executed by one
+        batch-fused plan (:mod:`repro.service.slab`); slab records are
+        bit-identical to per-job runs apart from the volatile timing
+        fields and are stamped ``tier="batch_fused"`` + ``slab_size``.
+        Serial path only — a declined slab (and every non-fusable job)
+        runs per job with ``fallback_reason`` recorded.
     """
 
     def __init__(
@@ -456,6 +480,7 @@ class BatchRunner:
         store: Optional[ResultStore] = None,
         transport: str = "pickle",
         run_checker: Optional[str] = None,
+        batch_fusion: str = "off",
     ) -> None:
         if transport not in TRANSPORTS:
             raise ValueError(
@@ -467,12 +492,18 @@ class BatchRunner:
                 f"unknown run_checker {run_checker!r}; expected one of "
                 f"{CHECKER_MODES}"
             )
+        if batch_fusion not in BATCH_FUSION_MODES:
+            raise ValueError(
+                f"unknown batch_fusion {batch_fusion!r}; expected one of "
+                f"{BATCH_FUSION_MODES}"
+            )
         self.workers = workers
         self.timeout = timeout
         self.cache_dir = cache_dir
         self.store = store
         self.transport = transport
         self.run_checker = run_checker
+        self.batch_fusion = batch_fusion
         #: names of the shm segments used by the most recent run (kept
         #: after cleanup so tests can prove every one was unlinked)
         self.last_shm_segments: List[str] = []
@@ -499,6 +530,8 @@ class BatchRunner:
         with obs.use(batch_tracer):
             if self.transport == "shm" and self.cache is None:
                 records = self._run_shm(jobs, specs)
+            elif self.cache is not None and self.batch_fusion == "auto":
+                records = self._run_serial_fused(specs)
             else:
                 if self.cache is not None:
                     # serial bypass: in-process execution, no transport
@@ -537,6 +570,55 @@ class BatchRunner:
             wall_s=time.perf_counter() - start,
         )
         return records, summary
+
+    # ------------------------------------------------------------------
+    # batch-fused serial execution
+    # ------------------------------------------------------------------
+    def _run_serial_fused(
+        self, specs: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Serial execution with slab grouping (``batch_fusion="auto"``).
+
+        Fusable same-program groups run as one slab each; everything
+        else — non-fusable jobs, singleton groups, members of a slab
+        that declined — runs through :func:`execute_job` exactly as the
+        ``"off"`` path would, with the decline reason recorded.  Output
+        order always matches input order.
+        """
+        from repro.service.slab import execute_slab, slab_groups
+
+        assert self.cache is not None
+        # specs carry the batch-level run_checker override; grouping and
+        # slab execution must see the effective jobs, not the originals
+        eff_jobs = [SimJob.from_dict(spec) for spec in specs]
+        records: List[Optional[Dict[str, Any]]] = [None] * len(specs)
+        declined: Dict[int, str] = {}
+        for idxs in slab_groups(eff_jobs):
+            group = [eff_jobs[i] for i in idxs]
+            start = time.perf_counter()
+            slab_records, reason = execute_slab(group, self.cache)
+            if slab_records is None:
+                for i in idxs:
+                    declined[i] = reason or "slab declined"
+                continue
+            duration = round(
+                (time.perf_counter() - start) / len(idxs), 6
+            )
+            for i, record in zip(idxs, slab_records):
+                record["duration_s"] = duration
+                records[i] = record
+        for i, spec in enumerate(specs):
+            if records[i] is not None:
+                continue
+            start = time.perf_counter()
+            record = execute_job(spec, cache=self.cache)
+            record["duration_s"] = round(time.perf_counter() - start, 6)
+            if i in declined:
+                record.setdefault(
+                    "fallback_reason", f"batch_fusion: {declined[i]}"
+                )
+            records[i] = record
+        return records  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # shm transport
@@ -647,6 +729,7 @@ class BatchRunner:
 
 
 __all__ = [
+    "BATCH_FUSION_MODES",
     "BatchRunner",
     "BatchSummary",
     "TRANSPORTS",

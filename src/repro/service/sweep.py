@@ -31,22 +31,35 @@ from repro.service.jobs import (
 class SweepSpec:
     """Axes and shared settings for one sweep.
 
-    ``backend`` and ``run_checker`` are shared settings, not axes: a
-    sweep runs entirely on one execution backend and one checker-gating
-    mode (jobs carry them so the records say which)."""
+    ``backend``, ``run_checker``, and ``batch_fusion`` are shared
+    settings, not axes: a sweep runs entirely on one execution backend,
+    one checker-gating mode, and one fusion policy (jobs carry the first
+    two so the records say which; ``batch_fusion`` is consumed by the
+    :class:`~repro.service.runner.BatchRunner` the sweep is fed to).
+
+    ``seeds`` is the per-job initial-guess axis: each seed adds a
+    ``u0_seed`` variant of every combination (innermost, so same-program
+    jobs sit adjacently).  Seeded jobs share one compiled program but
+    converge in different iteration counts — the sweep shape batch
+    fusion slabs are built for.  Empty (default) keeps the single
+    zero-start job per combination."""
 
     grids: Tuple[int, ...] = (7,)
     methods: Tuple[str, ...] = ("jacobi",)
     dims: Tuple[int, ...] = (0,)
     subset: Tuple[bool, ...] = (False,)
+    seeds: Tuple[int, ...] = ()
     eps: float = 1e-4
     max_sweeps: int = 10_000
     omega: float = 1.5
     repeats: int = 1
     backend: str = "reference"
     run_checker: str = "auto"
+    batch_fusion: str = "off"
 
     def __post_init__(self) -> None:
+        from repro.service.runner import BATCH_FUSION_MODES
+
         if self.repeats < 1:
             raise JobSpecError("repeats must be >= 1")
         if self.backend not in BACKENDS:
@@ -57,6 +70,11 @@ class SweepSpec:
             raise JobSpecError(
                 f"unknown run_checker {self.run_checker!r}; "
                 f"expected one of {CHECKER_MODES}"
+            )
+        if self.batch_fusion not in BATCH_FUSION_MODES:
+            raise JobSpecError(
+                f"unknown batch_fusion {self.batch_fusion!r}; "
+                f"expected one of {BATCH_FUSION_MODES}"
             )
         if not self.grids or not self.methods or not self.dims or not self.subset:
             raise JobSpecError("every sweep axis needs at least one value")
@@ -71,13 +89,16 @@ class SweepSpec:
         for d in self.dims:
             if int(d) < 0:
                 raise JobSpecError(f"hypercube dim {d} must be >= 0")
+        for s in self.seeds:
+            if int(s) < 0:
+                raise JobSpecError(f"seed {s} must be >= 0")
 
     # ------------------------------------------------------------------
     @property
     def axis_product(self) -> int:
         """Size of the raw cross product, before validity filtering."""
         return (len(self.grids) * len(self.methods) * len(self.dims)
-                * len(self.subset) * self.repeats)
+                * len(self.subset) * max(len(self.seeds), 1) * self.repeats)
 
     def expand(self) -> List[SimJob]:
         """The job batch, in deterministic nested-axis order (repeats are
@@ -110,35 +131,43 @@ class SweepSpec:
                             if dim > 0 and n % (1 << dim) != 0:
                                 skip("grid-not-divisible-across-nodes")
                                 continue
-                            label = f"{method}-n{n}-d{dim}"
-                            if sub:
-                                label += "-subset"
-                            if self.backend != "reference":
-                                label += f"-{self.backend}"
-                            if self.repeats > 1:
-                                label += f"#r{rep}"
-                            jobs.append(SimJob(
-                                method=method,
-                                shape=(n, n, n),
-                                eps=self.eps,
-                                max_sweeps=self.max_sweeps,
-                                omega=self.omega,
-                                subset=sub,
-                                hypercube_dim=dim,
-                                backend=self.backend,
-                                run_checker=self.run_checker,
-                                label=label,
-                            ))
+                            for seed in (self.seeds or (None,)):
+                                if seed is not None and dim > 0:
+                                    skip("seeds-apply-to-single-node-only")
+                                    continue
+                                label = f"{method}-n{n}-d{dim}"
+                                if sub:
+                                    label += "-subset"
+                                if self.backend != "reference":
+                                    label += f"-{self.backend}"
+                                if seed is not None:
+                                    label += f"-s{seed}"
+                                if self.repeats > 1:
+                                    label += f"#r{rep}"
+                                jobs.append(SimJob(
+                                    method=method,
+                                    shape=(n, n, n),
+                                    eps=self.eps,
+                                    max_sweeps=self.max_sweeps,
+                                    omega=self.omega,
+                                    subset=sub,
+                                    hypercube_dim=dim,
+                                    backend=self.backend,
+                                    run_checker=self.run_checker,
+                                    u0_seed=seed,
+                                    label=label,
+                                ))
         return jobs, skips
 
     def describe(self) -> str:
         jobs, skips = self._expand_with_skips()
-        parts = [
-            f"{len(jobs)} jobs "
-            f"({len(self.grids)} grids x {len(self.methods)} methods x "
+        axes = (
+            f"{len(self.grids)} grids x {len(self.methods)} methods x "
             f"{len(self.dims)} dims x {len(self.subset)} machines x "
-            f"{self.repeats} repeats)"
-        ]
+        )
+        if self.seeds:
+            axes += f"{len(self.seeds)} seeds x "
+        parts = [f"{len(jobs)} jobs ({axes}{self.repeats} repeats)"]
         for reason, count in sorted(skips.items()):
             parts.append(f"skipped {count}: {reason}")
         return "; ".join(parts)

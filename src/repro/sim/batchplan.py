@@ -1,0 +1,580 @@
+"""Whole-batch fused execution: one compiled plan sweeping N stacked jobs.
+
+The whole-program engine (:mod:`repro.sim.progplan`) collapsed one job's
+control script into a fused schedule; a parameter sweep still pays that
+schedule's Python dispatch once **per job**.  This module is the batching
+step on top: same-program, same-shape jobs stack their operand grids
+along a leading batch axis — exactly the trick the multi-node engine
+already plays with one row per node — and a single
+:class:`~repro.sim.progplan.BoundImage` issue sweeps the entire slab.
+The generated ufunc kernels are shared with the single-job path (the
+runner code objects are cached on the :class:`ImageKernel`); only the
+bound buffers gain the leading ``:`` axis.
+
+Per-job divergence exists in exactly one place: ``LoopUntil`` iteration
+counts.  The condition unit's final stream element is per-row when
+batched, so convergence becomes a boolean mask over the slab.  A job
+whose condition fires *freezes*: its row snapshot (taken by **logical**
+plane/cache role, so later whole-plane reference swaps cannot skew it)
+is restored at loop exit, its counters stop, and the stragglers keep
+iterating.  Everything else — cycle counts, DMA charges, the interrupt
+log — is per-issue-constant and replays analytically per job, so slab
+results are bit-identical to N per-job fused runs.
+
+The commit-point contract from the single-job engine carries over
+verbatim: a batch run mutates only its local stacked storage until the
+caller commits, so *anything* surfacing mid-run — a kernel declining, a
+non-finite value on any row, a reference-visible fault such as budget
+exhaustion — raises :class:`FusionUnsupported` and the caller falls back
+to per-job execution against pristine state, which then reproduces
+faults and exception interrupts exactly where the reference would.
+
+Batch runs decline statically (before touching any state) on:
+
+- ``keep_outputs`` plans — exact-path capture is per-job work;
+- invalid issues, ``Halt`` inside a loop body, nested ``LoopUntil``, or
+  a loop body that never issues its watched condition pipeline — the
+  per-job paths reproduce those faults with correct committed state;
+
+and dynamically on any non-finite value anywhere in the slab (one fused
+screen covers every row, so one job's overflow would be undetectable to
+per-row accounting — the per-job fallback settles flags exactly).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.arch.interrupts import InterruptKind
+from repro.codegen.generator import MachineProgram
+from repro.obs import tracer as obs
+from repro.sim.pipeline_exec import PipelineResult
+from repro.sim.progplan import (
+    FusionUnsupported,
+    ProgramPlan,
+    _S_BAD_ISSUE,
+    _S_CACHESWAP,
+    _S_HALT,
+    _S_ISSUE,
+    _S_LOOP,
+    _S_REPEAT,
+    _S_SWAP,
+    _Storage,
+    compiled_plan,
+    replay_interrupts,
+)
+from repro.sim.sequencer import SequencerError, SequencerResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.machine import NSCMachine
+
+
+# ----------------------------------------------------------------------
+# static batchability
+# ----------------------------------------------------------------------
+def _body_watches(plan: ProgramPlan, ops: Tuple[Tuple, ...], key: int) -> bool:
+    """Does this loop body issue pipeline *key* with a condition unit?"""
+    for op in ops:
+        kind = op[0]
+        if kind == _S_ISSUE:
+            kernel = plan.kernels[op[1]]
+            if kernel.consts.number == key and kernel.condition is not None:
+                return True
+        elif kind == _S_REPEAT:
+            if _body_watches(plan, op[2], key):
+                return True
+    return False
+
+
+def _scan_ops(plan: ProgramPlan, ops: Tuple[Tuple, ...],
+              in_loop: bool) -> Optional[str]:
+    for op in ops:
+        kind = op[0]
+        if kind == _S_BAD_ISSUE:
+            return "invalid pipeline issue in script"
+        if kind == _S_HALT and in_loop:
+            return "Halt inside LoopUntil body"
+        if kind == _S_REPEAT:
+            reason = _scan_ops(plan, op[2], in_loop)
+            if reason:
+                return reason
+        elif kind == _S_LOOP:
+            if in_loop:
+                return "nested LoopUntil"
+            body, key = op[1], op[2]
+            if not _body_watches(plan, body, key):
+                return f"loop watch pipeline {key} raises no condition"
+            reason = _scan_ops(plan, body, True)
+            if reason:
+                return reason
+    return None
+
+
+def check_batchable(plan: ProgramPlan) -> None:
+    """Raise :class:`FusionUnsupported` unless *plan* can run as a slab.
+
+    A per-job run of a declined script either works fine (``keep_outputs``)
+    or faults with machine state committed up to the fault point — which
+    only per-job execution models, so the slab declines it up front.
+    The verdict is memoized on the (cached, shared) plan.
+    """
+    if plan.keep_outputs:
+        raise FusionUnsupported("keep_outputs capture in batch slab")
+    verdict = plan.__dict__.get("_batchable")
+    if verdict is None:
+        verdict = _scan_ops(plan, plan.ops, False) or ""
+        plan.__dict__["_batchable"] = verdict
+    if verdict:
+        raise FusionUnsupported(verdict)
+
+
+def machine_bindings(plan: ProgramPlan,
+                     machine: "NSCMachine") -> Tuple[Dict[str, Any], Any]:
+    """Validate *machine* against *plan*; return (variables, armed set).
+
+    The same preconditions :class:`~repro.sim.progplan.ProgramRun` checks:
+    no interrupt handlers, nothing pending, every managed variable still
+    at its compiled home.
+    """
+    irq_config = machine.interrupts.configuration()
+    if irq_config.handler_kinds:
+        raise FusionUnsupported("interrupt handlers registered")
+    if irq_config.pending:
+        raise FusionUnsupported("interrupts already pending")
+    variables: Dict[str, Any] = {}
+    for name, (plane, offset) in plan.var_homes.items():
+        var = machine.memory.variables.get(name)
+        if var is None or var.plane != plane or var.offset != offset \
+                or var.length != plan.var_lengths[name]:
+            raise FusionUnsupported(f"variable {name!r} relocated")
+        variables[name] = var
+    return variables, irq_config.armed
+
+
+def stacked_template_storage(plan: ProgramPlan, machine: "NSCMachine",
+                             n_jobs: int) -> _Storage:
+    """Stacked storage with every row a copy of *machine*'s pulled state.
+
+    The slab executor loads ONE template machine and broadcasts its
+    planes; per-job operand rows (a seeded ``u0``) are then overwritten
+    in place, so N-1 machine constructions and input loads disappear.
+    """
+    storage = _Storage()
+    for plane, extent in plan.plane_extent.items():
+        row = machine.memory.plane(plane).read(0, extent)
+        arr = np.empty((n_jobs,) + row.shape, dtype=row.dtype)
+        arr[...] = row
+        storage.planes[plane] = arr
+    for cache, extent in plan.cache_extent.items():
+        for role, source in (("cache_front", machine.caches[cache].front),
+                             ("cache_back", machine.caches[cache].back)):
+            row = source[:extent]
+            arr = np.empty((n_jobs,) + row.shape, dtype=row.dtype)
+            arr[...] = row
+            getattr(storage, role)[cache] = arr
+    return storage
+
+
+def delivered_count(
+    irq_log: Sequence[Tuple[int, int, str, Optional[bool], float,
+                            Tuple[str, ...]]],
+    armed: Any,
+) -> int:
+    """Interrupts a drain-terminated run delivers for this issue log.
+
+    Batch slabs decline on any FP exception, so entries carry no
+    exception tags; each issue posts one completion and at most one
+    condition interrupt, and every armed post is delivered by the final
+    controller drain.  Lets the machine-less slab executor report
+    ``interrupts_delivered`` without replaying the heap.
+    """
+    complete_armed = InterruptKind.PIPELINE_COMPLETE in armed
+    true_armed = InterruptKind.CONDITION_TRUE in armed
+    false_armed = InterruptKind.CONDITION_FALSE in armed
+    count = 0
+    for entry in irq_log:
+        cond_result = entry[3]
+        if complete_armed:
+            count += 1
+        if cond_result is not None and (
+            true_armed if cond_result else false_armed
+        ):
+            count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
+# the slab engine
+# ----------------------------------------------------------------------
+class BatchProgramRun:
+    """Executes one :class:`ProgramPlan` over N stacked jobs.
+
+    ``storage`` arrives pre-stacked with a leading ``(n_jobs,)`` axis
+    (see :func:`stacked_template_storage` / :func:`try_run_batch_fused`)
+    and ``storage.variables`` bound; nothing outside it is touched —
+    committing rows back to machines (or synthesizing records without
+    machines) is the caller's job.
+    """
+
+    MAX_TRACE = 100_000  # mirrors Sequencer.MAX_TRACE
+
+    def __init__(self, plan: ProgramPlan, storage: _Storage, n_jobs: int,
+                 max_instructions: int) -> None:
+        check_batchable(plan)
+        self.plan = plan
+        self.storage = storage
+        self.n_jobs = n_jobs
+        self.max_instructions = max_instructions
+        self.bound = {
+            index: kernel.bind(storage, (n_jobs,))
+            for index, kernel in plan.kernels.items()
+        }
+        self.results = [SequencerResult() for _ in range(n_jobs)]
+        self.cycles = [0] * n_jobs
+        self.halted = False
+        # per watched pipeline: (bool mask over jobs, value row)
+        self.last_cond: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self.irq_logs: List[List[Tuple]] = [[] for _ in range(n_jobs)]
+        self.transfers = [0] * n_jobs
+        self.words_read = [0] * n_jobs
+        self.words_written = [0] * n_jobs
+        self.busy_cycles = [0] * n_jobs
+        self.issue_counts: List[Dict[int, int]] = [{} for _ in range(n_jobs)]
+        self.cache_swap_counts: List[Dict[int, int]] = [
+            {} for _ in range(n_jobs)
+        ]
+        self.last_device_busy: List[Optional[Tuple]] = [None] * n_jobs
+        self._swap_cache: Dict[Tuple[str, str], Tuple] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[SequencerResult]:
+        """Execute the slab; finalize per-job statistics.
+
+        Per the commit-point contract, *nothing* outside the local
+        stacked storage mutates, so every failure mode is safe to
+        surface as :class:`FusionUnsupported`: reference-visible faults
+        (budget exhaustion, a bad relocation) are wrapped too, because
+        they commit state per job only on the per-job paths — the
+        fallback then reproduces them exactly.
+        """
+        from repro.sim.machine import MachineError
+
+        try:
+            self._exec_block(self.plan.ops, list(range(self.n_jobs)))
+        except FusionUnsupported:
+            raise
+        except (SequencerError, MachineError) as exc:
+            raise FusionUnsupported(f"batch slab fault: {exc}") from exc
+        self._finalize()
+        return self.results
+
+    # ------------------------------------------------------------------
+    def _exec_block(self, ops: Tuple[Tuple, ...], active: List[int]) -> None:
+        for op in ops:
+            if self.halted:
+                return
+            kind = op[0]
+            if kind == _S_ISSUE:
+                self._issue(op[1], active)
+            elif kind == _S_REPEAT:
+                _k, times, body = op
+                for _ in range(times):
+                    if self.halted:
+                        return
+                    self._exec_block(body, active)
+            elif kind == _S_LOOP:
+                self._loop_until(op, active)
+            elif kind == _S_SWAP:
+                self._swap_vars(op[1], op[2], active)
+            elif kind == _S_CACHESWAP:
+                self.storage.swap_caches(op[1])
+                for j in active:
+                    counts = self.cache_swap_counts[j]
+                    for cache_id in op[1]:
+                        counts[cache_id] = counts.get(cache_id, 0) + 1
+                    self.cycles[j] += 1
+            else:  # _S_HALT (outside loops per check_batchable)
+                self.halted = True
+                for result in self.results:
+                    result.halted = True
+                return
+
+    def _issue(self, index: int, active: List[int]) -> None:
+        for j in active:
+            if self.results[j].instructions_issued >= self.max_instructions:
+                raise SequencerError(
+                    f"instruction budget of {self.max_instructions} "
+                    f"exhausted (runaway loop?)"
+                )
+        bound = self.bound[index]
+        kernel = bound.kernel
+        consts = kernel.consts
+        if not bound.issue_compute():
+            # the finiteness screen is fused over the whole slab; only
+            # per-job execution can attribute flags to the right job
+            raise FusionUnsupported("non-finite values in batch slab")
+        cond_last = bound.condition_last()
+        if cond_last is None:
+            conds = vals = None
+        else:
+            vals = np.asarray(cond_last, dtype=float)
+            if vals.ndim == 0:
+                vals = np.full(self.n_jobs, float(vals))
+            conds = kernel.cond_fn(vals, kernel.cond_threshold)
+            self.last_cond[consts.number] = (conds, vals)
+        template = kernel.result_template
+        issue_cycles = consts.cycles
+        source = consts.source
+        device_busy = consts.device_busy
+        for j in active:
+            start = self.cycles[j]
+            fire = start + issue_cycles
+            self.cycles[j] = fire
+            record = PipelineResult.__new__(PipelineResult)
+            record.__dict__.update(template)
+            if conds is None:
+                cond_result: Optional[bool] = None
+                cond_value: Optional[float] = None
+                payload = 0.0
+            else:
+                cond_result = bool(conds[j])
+                cond_value = payload = float(vals[j])
+            record.condition_result = cond_result
+            record.condition_value = cond_value
+            record.exceptions = []
+            record.fu_outputs = {}
+            result = self.results[j]
+            result.pipeline_results.append(record)
+            result.instructions_issued += 1
+            if len(result.issue_trace) < self.MAX_TRACE:
+                result.issue_trace.append(index)
+            self.irq_logs[j].append(
+                (start, fire, source, cond_result, payload, ())
+            )
+            counts = self.issue_counts[j]
+            counts[index] = counts.get(index, 0) + 1
+            self.last_device_busy[j] = device_busy
+
+    # ------------------------------------------------------------------
+    def _snapshot_row(self, j: int) -> Tuple[Dict, Dict, Dict]:
+        """Job *j*'s state by **logical** plane id / cache role.
+
+        Later whole-plane swaps exchange dict *values* and cache swaps
+        exchange front/back roles for every row at once; restoring by
+        logical key writes the frozen content back into whatever array
+        holds that role at loop exit, so swap parity between freeze and
+        exit cannot skew a frozen job.
+        """
+        storage = self.storage
+        return (
+            {p: arr[j].copy() for p, arr in storage.planes.items()},
+            {c: arr[j].copy() for c, arr in storage.cache_front.items()},
+            {c: arr[j].copy() for c, arr in storage.cache_back.items()},
+        )
+
+    def _restore_row(self, j: int, snap: Tuple[Dict, Dict, Dict]) -> None:
+        storage = self.storage
+        planes, front, back = snap
+        for p, row in planes.items():
+            storage.planes[p][j] = row
+        for c, row in front.items():
+            storage.cache_front[c][j] = row
+        for c, row in back.items():
+            storage.cache_back[c][j] = row
+
+    def _loop_until(self, op: Tuple, active: List[int]) -> None:
+        _k, body, key, max_iterations = op
+        # loops are entered in lockstep (divergence exists only inside a
+        # loop and is healed at its exit), so *active* is the full slab
+        live = list(active)
+        iterations = 0
+        it_counts = {j: 0 for j in active}
+        converged = {j: False for j in active}
+        snapshots: Dict[int, Tuple[Dict, Dict, Dict]] = {}
+        while live and iterations < max_iterations:
+            self._exec_block(body, live)
+            iterations += 1
+            last = self.last_cond.get(key)
+            if last is None:
+                raise SequencerError(
+                    f"LoopUntil watches pipeline {key}, which never "
+                    f"executed in the loop body"
+                )
+            conds = last[0]
+            still: List[int] = []
+            for j in live:
+                it_counts[j] = iterations
+                if conds[j]:
+                    # freeze: the post-swap, post-check state IS this
+                    # job's loop-exit state; park it until the loop ends
+                    converged[j] = True
+                    snapshots[j] = self._snapshot_row(j)
+                else:
+                    still.append(j)
+            live = still
+        for j, snap in snapshots.items():
+            self._restore_row(j, snap)
+        for j in active:
+            result = self.results[j]
+            result.loop_iterations[key] = (
+                result.loop_iterations.get(key, 0) + it_counts[j]
+            )
+            result.converged = converged[j]
+
+    # ------------------------------------------------------------------
+    def _swap_vars(self, a: str, b: str, active: List[int]) -> None:
+        # mirrors ProgramRun._swap_vars; the physical exchange covers
+        # every row (frozen rows are healed by their snapshot restore),
+        # the cycle/DMA charges land only on active jobs
+        entry = self._swap_cache.get((a, b))
+        if entry is None:
+            va = self.storage.variables[a]
+            vb = self.storage.variables[b]
+            if va.length != vb.length:
+                from repro.sim.machine import MachineError
+
+                raise MachineError(
+                    f"cannot swap {a!r} ({va.length} words) with {b!r} "
+                    f"({vb.length} words)"
+                )
+            params = self.plan.params
+            cost = params.dma_startup_cycles + params.memory_latency + va.length
+            if va.plane == vb.plane:
+                cost += va.length
+            extents = self.plan.plane_extent
+            if (
+                va.plane != vb.plane
+                and va.offset == 0 and vb.offset == 0
+                and extents.get(va.plane) == va.length
+                and extents.get(vb.plane) == vb.length
+            ):
+                entry = (va.plane, vb.plane, None, cost, 2 * va.length)
+            else:
+                shape = self.storage.planes[va.plane][
+                    ..., va.offset : va.end
+                ].shape
+                entry = (va, vb, np.empty(shape), cost, 2 * va.length)
+            self._swap_cache[(a, b)] = entry
+        va, vb, scratch, cost, words = entry
+        if scratch is None:
+            self.storage.swap_whole_planes(va, vb)
+        else:
+            self.storage.swap_var_contents(va, vb, scratch)
+        for j in active:
+            self.cycles[j] += cost
+            self.transfers[j] += 2
+            self.words_read[j] += words
+            self.words_written[j] += words
+
+    # ------------------------------------------------------------------
+    def _finalize(self) -> None:
+        """Fold per-issue-constant DMA charges into each job's totals."""
+        kernels = self.plan.kernels
+        for j in range(self.n_jobs):
+            for index, count in self.issue_counts[j].items():
+                consts = kernels[index].consts
+                self.transfers[j] += consts.transfers * count
+                self.words_read[j] += consts.words_read * count
+                self.words_written[j] += consts.words_written * count
+                self.busy_cycles[j] += consts.busy_cycles * count
+            self.results[j].total_cycles = self.cycles[j]
+
+
+# ----------------------------------------------------------------------
+# machine-facing adapter
+# ----------------------------------------------------------------------
+def try_run_batch_fused(
+    machines: Sequence["NSCMachine"],
+    program: MachineProgram,
+    max_instructions: int = 1_000_000,
+) -> Optional[List[SequencerResult]]:
+    """Run *program* over all *machines* as one slab, or return None.
+
+    None means "not batchable here" — the caller should run each machine
+    through the existing tiers instead.  State is committed per machine
+    only after the whole slab succeeds, so a decline (even mid-run)
+    leaves every machine pristine for the fallback.
+    """
+    try:
+        return _run_batch(machines, program, max_instructions)
+    except FusionUnsupported as exc:
+        obs.count("batch_fusion.fallback")
+        obs.annotate("fallback_reason", str(exc))
+        obs.event("batch_fusion_fallback", scope="batch", reason=str(exc))
+        return None
+
+
+def _run_batch(
+    machines: Sequence["NSCMachine"],
+    program: MachineProgram,
+    max_instructions: int,
+) -> List[SequencerResult]:
+    if not machines:
+        raise FusionUnsupported("empty slab")
+    first = machines[0]
+    params = first.node.params
+    for machine in machines:
+        if getattr(machine, "backend", "reference") != "fast":
+            raise FusionUnsupported("slab requires the fast backend")
+        if machine.node.params != params:
+            raise FusionUnsupported("mixed node parameters in slab")
+    plan = compiled_plan(program, params)
+    check_batchable(plan)
+    armed_sets = []
+    variables: Dict[str, Any] = {}
+    for machine in machines:
+        variables, armed = machine_bindings(plan, machine)
+        armed_sets.append(armed)
+
+    storage = _Storage()
+    for plane, extent in plan.plane_extent.items():
+        storage.planes[plane] = np.stack(
+            [m.memory.plane(plane).read(0, extent) for m in machines]
+        )
+    for cache, extent in plan.cache_extent.items():
+        storage.cache_front[cache] = np.stack(
+            [m.caches[cache].front[:extent] for m in machines]
+        )
+        storage.cache_back[cache] = np.stack(
+            [m.caches[cache].back[:extent] for m in machines]
+        )
+    storage.variables = variables
+
+    run = BatchProgramRun(plan, storage, len(machines), max_instructions)
+    results = run.run()
+
+    # commit point: per-machine writeback, replaying exactly what a
+    # per-job fused run's _finish would have done
+    for j, machine in enumerate(machines):
+        for plane, arr in storage.planes.items():
+            machine.memory.plane(plane).write(0, arr[j])
+        for cache_id, swaps in run.cache_swap_counts[j].items():
+            for _ in range(swaps):
+                machine.caches[cache_id].swap()
+        for cache_id, arr in storage.cache_front.items():
+            machine.caches[cache_id].front[: arr.shape[-1]] = arr[j]
+        for cache_id, arr in storage.cache_back.items():
+            machine.caches[cache_id].back[: arr.shape[-1]] = arr[j]
+        stats = machine.dma.stats
+        stats.transfers += run.transfers[j]
+        stats.words_read += run.words_read[j]
+        stats.words_written += run.words_written[j]
+        stats.busy_cycles += run.busy_cycles[j]
+        if run.last_device_busy[j] is not None:
+            machine.dma.device_busy = dict(run.last_device_busy[j])
+        machine.cycle = run.cycles[j]
+        replay_interrupts(machine, run.irq_logs[j], armed_sets[j])
+        machine.interrupts.drain()
+    return results
+
+
+__all__ = [
+    "BatchProgramRun",
+    "check_batchable",
+    "delivered_count",
+    "machine_bindings",
+    "stacked_template_storage",
+    "try_run_batch_fused",
+]

@@ -1629,67 +1629,79 @@ class ProgramRun:
         machine.cycle = self.cycle
         self.result.total_cycles = self.cycle
 
-        irq = machine.interrupts
-        latency = irq.latency_cycles
-        delivered = irq.delivered
-        dropped = irq.dropped
-        armed = self.armed
-        queue = irq._queue
-        heappush = heapq.heappush
-        heappop = heapq.heappop
-        new_interrupt = Interrupt.__new__
-        complete_kind = InterruptKind.PIPELINE_COMPLETE
-        overflow_kind = InterruptKind.FP_OVERFLOW
-        invalid_kind = InterruptKind.FP_INVALID
-        # replay the reference's exact post/deliver sequence through the
-        # same heap: per issue, FP exceptions post at the issue-start
-        # cycle, completion/condition at the fire cycle, delivery drains
-        # everything due.  The armed set routes each post to the queue or
-        # to ``dropped`` exactly as InterruptController.post would, so
-        # arm/disarm variations replay bit-identically.  Equal-cycle
-        # orderings fall out of heapq's mechanics, so only an identical
-        # operation sequence reproduces them (the frozen-dataclass
-        # __init__ is bypassed for speed; the instances are bit-identical)
-        for start, fire, source, cond_result, payload, exceptions in \
-                self.irq_log:
-            for tag in exceptions:
-                fu_source, flag = tag.split(":", 1)
-                kind = overflow_kind if flag == "overflow" else invalid_kind
-                exc = new_interrupt(Interrupt)
-                exc.__dict__.update(
-                    cycle=start + latency, kind=kind, source=fu_source,
-                    payload=0.0,
-                )
-                if kind in armed:
-                    heappush(queue, exc)
-                else:
-                    dropped.append(exc)
-            when = fire + latency
-            complete = new_interrupt(Interrupt)
-            complete.__dict__.update(
-                cycle=when, kind=complete_kind, source=source, payload=0.0
-            )
-            if complete_kind in armed:
-                heappush(queue, complete)
-            else:
-                dropped.append(complete)
-            if cond_result is not None:
-                cond_kind = (
-                    InterruptKind.CONDITION_TRUE
-                    if cond_result
-                    else InterruptKind.CONDITION_FALSE
-                )
-                condition = new_interrupt(Interrupt)
-                condition.__dict__.update(
-                    cycle=when, kind=cond_kind, source=source, payload=payload
-                )
-                if cond_kind in armed:
-                    heappush(queue, condition)
-                else:
-                    dropped.append(condition)
-            while queue and queue[0].cycle <= fire:
-                delivered.append(heappop(queue))
+        replay_interrupts(machine, self.irq_log, self.armed)
         self.irq_log.clear()
+
+
+def replay_interrupts(
+    machine: "NSCMachine",
+    irq_log: Sequence[Tuple[int, int, str, Optional[bool], float, Tuple[str, ...]]],
+    armed: Any,
+) -> None:
+    """Replay a fused run's interrupt log through the machine's controller.
+
+    One entry per issue: ``(start, fire, source, cond_result, payload,
+    exception tags)``.  Shared by the single-machine commit point
+    (:meth:`ProgramRun._finish`) and the batched slab engine
+    (:mod:`repro.sim.batchplan`), which replays one log per job."""
+    irq = machine.interrupts
+    latency = irq.latency_cycles
+    delivered = irq.delivered
+    dropped = irq.dropped
+    queue = irq._queue
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    new_interrupt = Interrupt.__new__
+    complete_kind = InterruptKind.PIPELINE_COMPLETE
+    overflow_kind = InterruptKind.FP_OVERFLOW
+    invalid_kind = InterruptKind.FP_INVALID
+    # replay the reference's exact post/deliver sequence through the
+    # same heap: per issue, FP exceptions post at the issue-start
+    # cycle, completion/condition at the fire cycle, delivery drains
+    # everything due.  The armed set routes each post to the queue or
+    # to ``dropped`` exactly as InterruptController.post would, so
+    # arm/disarm variations replay bit-identically.  Equal-cycle
+    # orderings fall out of heapq's mechanics, so only an identical
+    # operation sequence reproduces them (the frozen-dataclass
+    # __init__ is bypassed for speed; the instances are bit-identical)
+    for start, fire, source, cond_result, payload, exceptions in irq_log:
+        for tag in exceptions:
+            fu_source, flag = tag.split(":", 1)
+            kind = overflow_kind if flag == "overflow" else invalid_kind
+            exc = new_interrupt(Interrupt)
+            exc.__dict__.update(
+                cycle=start + latency, kind=kind, source=fu_source,
+                payload=0.0,
+            )
+            if kind in armed:
+                heappush(queue, exc)
+            else:
+                dropped.append(exc)
+        when = fire + latency
+        complete = new_interrupt(Interrupt)
+        complete.__dict__.update(
+            cycle=when, kind=complete_kind, source=source, payload=0.0
+        )
+        if complete_kind in armed:
+            heappush(queue, complete)
+        else:
+            dropped.append(complete)
+        if cond_result is not None:
+            cond_kind = (
+                InterruptKind.CONDITION_TRUE
+                if cond_result
+                else InterruptKind.CONDITION_FALSE
+            )
+            condition = new_interrupt(Interrupt)
+            condition.__dict__.update(
+                cycle=when, kind=cond_kind, source=source, payload=payload
+            )
+            if cond_kind in armed:
+                heappush(queue, condition)
+            else:
+                dropped.append(condition)
+        while queue and queue[0].cycle <= fire:
+            delivered.append(heappop(queue))
 
 
 def try_run_fused(
@@ -1941,6 +1953,7 @@ __all__ = [
     "ProgramRun",
     "compiled_plan",
     "program_fingerprint",
+    "replay_interrupts",
     "try_run_fused",
     "HaloCommPlan",
     "FastMultiNodeEngine",
