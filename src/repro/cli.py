@@ -40,6 +40,13 @@ for fingerprint-verified cache-warmed programs) and ``--batch-fusion
 {off,auto}`` (``auto`` runs fusable same-program jobs as one stacked
 batch-fused slab on serial runs — see ``docs/BACKENDS.md``).  ``sweep``
 also takes ``--seeds`` to add a seeded-initial-guess axis.
+
+The reliability knobs (``docs/RELIABILITY.md``): ``--max-attempts`` and
+``--backoff-base`` give every job a deterministic retry budget for
+transient failures (timeouts, dead workers, shm attach races), and
+``--resume`` (requires ``--results``) skips jobs the store already
+holds a success record for, so an interrupted sweep picks up where it
+stopped and converges to the uninterrupted store, byte for byte.
 ``docs/SERVICE.md`` is the cookbook.
 """
 
@@ -249,11 +256,16 @@ def cmd_batch(args: argparse.Namespace) -> int:
     except (JobSpecError, TypeError, ValueError) as exc:
         print(f"error: bad job spec: {exc}", file=sys.stderr)
         return 2
+    if args.resume and not args.results:
+        print("error: --resume needs --results (the store to resume "
+              "from)", file=sys.stderr)
+        return 2
     store = ResultStore(args.results) if args.results else None
     runner = BatchRunner(workers=args.workers, timeout=args.timeout,
                          cache_dir=args.cache_dir, store=store,
                          transport=args.transport,
-                         batch_fusion=args.batch_fusion)
+                         batch_fusion=args.batch_fusion,
+                         retry=_retry_policy(args), resume=args.resume)
     records, summary = runner.run(jobs)
     _print_batch(records, summary)
     return 0 if summary.failed == 0 else 1
@@ -286,9 +298,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             backend=args.backend,
             run_checker=args.run_checker,
             batch_fusion=args.batch_fusion,
+            max_attempts=args.max_attempts,
+            backoff_base=args.backoff_base,
         )
     except (JobSpecError, ValueError) as exc:
         print(f"error: bad sweep axes: {exc}", file=sys.stderr)
+        return 2
+    if args.resume and not args.results:
+        print("error: --resume needs --results (the store to resume "
+              "from)", file=sys.stderr)
         return 2
     print(f"sweep: {spec.describe()}")
     jobs = spec.expand()
@@ -296,7 +314,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     runner = BatchRunner(workers=args.workers, timeout=args.timeout,
                          cache_dir=args.cache_dir, store=store,
                          transport=args.transport,
-                         batch_fusion=spec.batch_fusion)
+                         batch_fusion=spec.batch_fusion,
+                         resume=args.resume)
     records, summary = runner.run(jobs)
     _print_batch(records, summary)
     return 0 if summary.failed == 0 else 1
@@ -569,7 +588,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--results", default=None, metavar="JSONL",
                    help="result store written by batch/sweep --results: "
-                   "report per-stage timings, tier mix, cache hits")
+                   "report per-stage timings, tier mix, cache hits, and "
+                   "the reliability picture (retries by reason, "
+                   "resumed-vs-fresh mix, transport fallbacks)")
     p.add_argument("--history", default=None, metavar="JSONL",
                    help="bench history written by bench --history: report "
                    "per-scenario run counts and metric trends")
@@ -586,6 +607,20 @@ def _add_backend_option(p: argparse.ArgumentParser) -> None:
     p.add_argument("--backend", choices=BACKENDS, default="reference",
                    help="execution backend (results are bit-identical; "
                    "'fast' is the vectorized path)")
+
+
+def _retry_policy(args: argparse.Namespace):
+    """A RetryPolicy when the CLI asked for retries, else None.
+
+    None keeps per-job ``max_attempts`` / ``backoff_base`` authoritative
+    (a runner-level policy overrides them for every job in the batch).
+    """
+    if args.max_attempts > 1 or args.backoff_base > 0:
+        from repro.service.retry import RetryPolicy
+
+        return RetryPolicy(max_attempts=args.max_attempts,
+                           backoff_base=args.backoff_base)
+    return None
 
 
 def _add_service_options(p: argparse.ArgumentParser) -> None:
@@ -618,6 +653,21 @@ def _add_service_options(p: argparse.ArgumentParser) -> None:
                    "one batch-fused slab per group on serial runs "
                    "(records gain tier=batch_fused and slab_size); "
                    "anything unfusable falls back per job")
+    p.add_argument("--max-attempts", type=int, default=1,
+                   dest="max_attempts",
+                   help="run each job up to this many times before its "
+                   "failure is final; only transient failures "
+                   "(timeouts, dead workers, shm attach races) are "
+                   "retried — see docs/RELIABILITY.md")
+    p.add_argument("--backoff-base", type=float, default=0.0,
+                   dest="backoff_base",
+                   help="base delay in seconds before retry rounds; "
+                   "attempt k waits base * 2^(k-1) (deterministic, "
+                   "no jitter)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip jobs the --results store already holds a "
+                   "success record for and rerun the rest; the "
+                   "completed store matches an uninterrupted run")
     _add_backend_option(p)
 
 

@@ -6,7 +6,9 @@ Two sources, two aggregators:
   ``--results`` JSONL from ``nsc-vpe batch`` / ``sweep``) into one
   summary: per-stage time totals and means, the tier distribution and
   batch-fusion slab mix (how many jobs rode slabs, and how wide),
-  cache-hit accounting, fallback count, and total measured wall time.
+  cache-hit accounting, fallback count, total measured wall time, and
+  the reliability picture — retries by reason, resumed-vs-fresh record
+  mix, transport fallbacks (see ``docs/RELIABILITY.md``).
 - :func:`aggregate_history` folds a bench history file (``nsc-vpe bench
   --history``) into one summary per ``(scenario, quick)`` series: run
   count, the latest value and rolling median of every guarded metric.
@@ -34,10 +36,22 @@ def aggregate_records(
     slab_sizes: Dict[int, int] = {}
     jobs = ok = fallbacks = 0
     duration_s = 0.0
+    retried_jobs = extra_attempts = resumed = transport_fallbacks = 0
+    retry_reasons: Dict[str, int] = {}
     for record in records:
         jobs += 1
         if record.get("ok"):
             ok += 1
+        attempts = int(record.get("attempts") or 1)
+        if attempts > 1:
+            retried_jobs += 1
+            extra_attempts += attempts - 1
+        for reason in record.get("retry_reasons") or ():
+            retry_reasons[reason] = retry_reasons.get(reason, 0) + 1
+        if record.get("resumed"):
+            resumed += 1
+        if record.get("transport_fallback"):
+            transport_fallbacks += 1
         for stage, seconds in (record.get("timings") or {}).items():
             timings[stage] = timings.get(stage, 0.0) + float(seconds)
         tier = record.get("tier")
@@ -72,6 +86,16 @@ def aggregate_records(
         "slabs": slabs,
         "fallbacks": fallbacks,
         "cache": cache,
+        "reliability": {
+            "retried_jobs": retried_jobs,
+            "extra_attempts": extra_attempts,
+            "retry_reasons": {
+                k: retry_reasons[k] for k in sorted(retry_reasons)
+            },
+            "resumed": resumed,
+            "fresh": jobs - resumed,
+            "transport_fallbacks": transport_fallbacks,
+        },
     }
 
 
@@ -115,6 +139,29 @@ def format_record_stats(stats: Dict[str, Any]) -> str:
         lines.append(
             f"  cache: {cache['hits']} hits, {cache['misses']} misses"
         )
+    rel = stats.get("reliability") or {}
+    if rel.get("retried_jobs") or rel.get("resumed") \
+            or rel.get("transport_fallbacks"):
+        parts = []
+        if rel.get("retried_jobs"):
+            reasons = ", ".join(
+                f"{reason}={n}"
+                for reason, n in sorted(rel["retry_reasons"].items())
+            )
+            parts.append(
+                f"{rel['retried_jobs']} retried jobs "
+                f"({rel['extra_attempts']} extra attempts"
+                + (f"; {reasons}" if reasons else "") + ")"
+            )
+        if rel.get("resumed"):
+            parts.append(
+                f"{rel['resumed']} resumed / {rel['fresh']} fresh records"
+            )
+        if rel.get("transport_fallbacks"):
+            parts.append(
+                f"{rel['transport_fallbacks']} transport fallbacks"
+            )
+        lines.append("  reliability: " + ", ".join(parts))
     return "\n".join(lines)
 
 

@@ -17,6 +17,10 @@ simulated node; this package treats simulations as cacheable, schedulable
 - :mod:`repro.service.sweep`   — declarative parameter sweeps expanding
   into job batches;
 - :mod:`repro.service.results` — a JSONL result store for later comparison;
+- :mod:`repro.service.retry`   — retry policies and transient-vs-permanent
+  failure classification;
+- :mod:`repro.service.faults`  — deterministic fault injection for chaos
+  tests (:class:`FaultPlan`, the ``NSC_VPE_FAULTS`` env hook);
 - :mod:`repro.service.runner`  — the orchestrator wiring it together
   (imported lazily to keep spec-only users light).
 
@@ -27,10 +31,12 @@ the shared-memory transport, and the ``run_checker`` trusted path) and
 """
 
 from repro.service.cache import CacheStats, ProgramCache
+from repro.service.faults import FaultInjected, FaultPlan, FaultRule
 from repro.service.jobs import CHECKER_MODES, JobSpecError, SimJob
 from repro.service.pool import WorkerOutcome, WorkerPool
 from repro.service.results import ResultStore
-from repro.service.shm import ShmArena, ShmArrayRef
+from repro.service.retry import RetryPolicy
+from repro.service.shm import ShmArena, ShmArrayRef, ShmAttachError
 from repro.service.sweep import SweepSpec
 
 __all__ = [
@@ -42,8 +48,13 @@ __all__ = [
     "WorkerOutcome",
     "WorkerPool",
     "ResultStore",
+    "RetryPolicy",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
     "ShmArena",
     "ShmArrayRef",
+    "ShmAttachError",
     "SweepSpec",
     "BatchRunner",
     "BatchSummary",

@@ -97,6 +97,14 @@ class SimJob:
     which cover only the compiled microcode — same-program jobs with
     different seeds share one compile, which is exactly what batch
     fusion slabs exploit.
+
+    ``max_attempts``/``backoff_base`` give the job a per-job
+    :class:`~repro.service.retry.RetryPolicy` (transient failures only;
+    a runner-level policy overrides them).  Retry configuration can
+    never change what a job computes, so — like ``label`` — both are
+    excluded from :attr:`job_id` and from the cache keys, and they enter
+    :meth:`to_dict` only when non-default so pre-existing specs hash
+    exactly as they always did.
     """
 
     method: str = "jacobi"
@@ -112,6 +120,8 @@ class SimJob:
     run_checker: str = "auto"
     keep_fields: bool = False
     u0_seed: Optional[int] = None
+    max_attempts: int = 1
+    backoff_base: float = 0.0
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -147,6 +157,16 @@ class SimJob:
             if int(self.u0_seed) < 0:
                 raise JobSpecError("u0_seed must be a non-negative integer")
             object.__setattr__(self, "u0_seed", int(self.u0_seed))
+        if int(self.max_attempts) < 1:
+            raise JobSpecError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if float(self.backoff_base) < 0:
+            raise JobSpecError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        object.__setattr__(self, "max_attempts", int(self.max_attempts))
+        object.__setattr__(self, "backoff_base", float(self.backoff_base))
         if self.method == "program" and not self.program_path:
             raise JobSpecError("method 'program' requires program_path")
         if self.method != "program" and self.program_path:
@@ -225,10 +245,14 @@ class SimJob:
 
     @property
     def job_id(self) -> str:
-        """Short stable identifier for the complete spec (label excluded,
-        so renaming a job does not change its identity)."""
+        """Short stable identifier for the complete spec.  Excluded:
+        ``label`` (renaming a job does not change its identity) and the
+        retry settings (how often a job may be *attempted* does not
+        change what it computes — resume matching and store digests
+        depend on this)."""
         payload = self.to_dict()
-        payload.pop("label", None)
+        for key in ("label", "max_attempts", "backoff_base"):
+            payload.pop(key, None)
         return _sha256(payload)[:12]
 
     # ------------------------------------------------------------------
@@ -250,10 +274,14 @@ class SimJob:
             "keep_fields": self.keep_fields,
             "label": self.label,
         }
-        # only present when set, so pre-existing specs (and their job_ids)
-        # hash exactly as they did before the field existed
+        # only present when set/non-default, so pre-existing specs (and
+        # their job_ids) hash exactly as they did before the fields existed
         if self.u0_seed is not None:
             payload["u0_seed"] = self.u0_seed
+        if self.max_attempts != 1:
+            payload["max_attempts"] = self.max_attempts
+        if self.backoff_base != 0.0:
+            payload["backoff_base"] = self.backoff_base
         return payload
 
     @classmethod

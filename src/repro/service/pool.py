@@ -25,8 +25,11 @@ from __future__ import annotations
 import concurrent.futures
 import time
 import traceback
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import tracer as obs
 
 
 @dataclass
@@ -95,10 +98,16 @@ class WorkerPool:
     collected in submission order.  A timeout forces per-item futures —
     a chunk-level timeout would charge one slow job to its neighbours.
     Ordinary job exceptions are still captured per item inside the
-    chunk; the one coarsening is a *worker crash* (segfault-level), which
-    loses the crashed chunk's earlier in-flight results and reports that
-    chunk failed — chunks completed by surviving workers keep their
-    results.
+    chunk.
+
+    A *worker crash* (segfault-level — the executor raises
+    ``BrokenProcessPool``) is degraded gracefully: the pool rebuilds the
+    executor **once** per map call and resubmits only the items whose
+    results were genuinely lost, each as its own future, so a repeat
+    crash takes down only the item that caused it.  Chunks completed by
+    surviving workers always keep their results.  Items still failing
+    after the rebuild are reported with ``error_type='BrokenProcessPool'``
+    (classified transient by :mod:`repro.service.retry`).
     """
 
     #: Upper bound on submitted futures per worker in the chunked path:
@@ -117,11 +126,20 @@ class WorkerPool:
         #: futures submitted by the most recent parallel map (tests use
         #: this to assert the chunked path's throughput shape)
         self.last_submitted = 0
+        #: executor rebuilds performed by the most recent map call (at
+        #: most one: a BrokenProcessPool recovery)
+        self.last_rebuilds = 0
+        #: still-pending futures cancelled at the end of the most recent
+        #: timeout-path map (stragglers that would otherwise stall
+        #: executor shutdown)
+        self.last_stragglers = 0
 
     # ------------------------------------------------------------------
     def map(self, fn: Callable[[Any], Any],
             items: Sequence[Any]) -> List[WorkerOutcome]:
         """Apply ``fn`` to every item; outcomes ordered like ``items``."""
+        self.last_rebuilds = 0
+        self.last_stragglers = 0
         if not items:
             return []
         if self.timeout is None and (self.max_workers == 1
@@ -146,49 +164,89 @@ class WorkerPool:
                     duration_s=time.perf_counter() - start))
         return outcomes
 
+    @staticmethod
+    def _lost_to_break(future: "concurrent.futures.Future") -> bool:
+        """Did this future lose its result to the pool break?  Futures
+        that completed (value or an ordinary job exception) before the
+        crash keep what they have and are not resubmitted."""
+        if not future.done() or future.cancelled():
+            return True
+        return isinstance(future.exception(), BrokenProcessPool)
+
     def _map_parallel(self, fn: Callable[[Any], Any],
                       items: Sequence[Any]) -> List[WorkerOutcome]:
         if self.timeout is None:
             return self._map_chunked(fn, items)
         workers = min(self.max_workers, len(items))
-        outcomes: List[WorkerOutcome] = []
+        outcomes: Dict[int, WorkerOutcome] = {}
         executor = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
         timed_out = False
+        futures: Dict[int, "concurrent.futures.Future"] = {}
         try:
             start = time.perf_counter()
-            futures = [executor.submit(fn, item) for item in items]
+            futures = {
+                index: executor.submit(fn, item)
+                for index, item in enumerate(items)
+            }
             self.last_submitted = len(futures)
-            for index, future in enumerate(futures):
+            pending = list(range(len(items)))
+            while pending:
+                index = pending.pop(0)
+                future = futures[index]
                 try:
                     value = future.result(timeout=self.timeout)
                 except concurrent.futures.TimeoutError:
                     timed_out = True
                     future.cancel()
-                    outcomes.append(WorkerOutcome(
+                    outcomes[index] = WorkerOutcome(
                         index=index, ok=False,
                         error=f"job exceeded {self.timeout:g}s",
                         error_type="TimeoutError",
-                        duration_s=time.perf_counter() - start))
-                except concurrent.futures.process.BrokenProcessPool as exc:
-                    # the pool is gone; report this and all remaining jobs
-                    for rest in range(index, len(futures)):
-                        outcomes.append(WorkerOutcome.failure(rest, exc))
-                    break
+                        duration_s=time.perf_counter() - start)
+                except BrokenProcessPool as exc:
+                    if self.last_rebuilds:
+                        # already rebuilt once: report this item and let
+                        # the loop drain the rest (their futures fail
+                        # instantly on the same broken pool)
+                        outcomes[index] = WorkerOutcome.failure(index, exc)
+                        continue
+                    # rebuild the executor once and resubmit only the
+                    # items whose results the crash actually lost
+                    self.last_rebuilds += 1
+                    obs.count("pool.rebuild")
+                    lost = [
+                        j for j in [index] + pending
+                        if self._lost_to_break(futures[j])
+                    ]
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = concurrent.futures.ProcessPoolExecutor(
+                        max_workers=min(workers, len(lost)))
+                    for j in lost:
+                        futures[j] = executor.submit(fn, items[j])
+                    pending.insert(0, index)
                 except Exception as exc:
-                    outcomes.append(WorkerOutcome.failure(
-                        index, exc, time.perf_counter() - start))
+                    outcomes[index] = WorkerOutcome.failure(
+                        index, exc, time.perf_counter() - start)
                 else:
-                    outcomes.append(WorkerOutcome(
+                    outcomes[index] = WorkerOutcome(
                         index=index, ok=True, value=value,
-                        duration_s=time.perf_counter() - start))
+                        duration_s=time.perf_counter() - start)
         finally:
+            # cancel stragglers (futures still pending after their batch
+            # already failed) so shutdown cannot block on them
+            stragglers = [
+                future for future in futures.values() if not future.done()
+            ]
+            self.last_stragglers = len(stragglers)
+            for future in stragglers:
+                future.cancel()
             if timed_out:
                 # a graceful shutdown would join the hung workers; kill
                 # them so one stuck job cannot stall the whole batch
                 for proc in list(getattr(executor, "_processes", {}).values()):
                     proc.terminate()
             executor.shutdown(wait=not timed_out, cancel_futures=True)
-        return outcomes
+        return [outcomes[index] for index in range(len(items))]
 
     def _map_chunked(self, fn: Callable[[Any], Any],
                      items: Sequence[Any]) -> List[WorkerOutcome]:
@@ -201,6 +259,7 @@ class WorkerPool:
             for i in range(0, len(indexed), chunk_size)
         ]
         outcomes: List[WorkerOutcome] = []
+        lost: List[Tuple[int, Any]] = []
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=workers
         ) as executor:
@@ -210,13 +269,33 @@ class WorkerPool:
             self.last_submitted = len(futures)
             # collect every future even after a pool break: chunks that
             # finished before a worker died still hold their results, so
-            # only genuinely lost chunks report the failure
+            # only genuinely lost chunks queue for the rebuild
             for position, future in enumerate(futures):
                 try:
                     outcomes.extend(future.result())
+                except BrokenProcessPool:
+                    lost.extend(chunks[position])
                 except Exception as exc:
                     for index, _item in chunks[position]:
                         outcomes.append(WorkerOutcome.failure(index, exc))
+        if lost:
+            # rebuild the executor once and resubmit the lost items,
+            # each as its own chunk: a repeat crash then takes down only
+            # the item that caused it, not its neighbours
+            self.last_rebuilds += 1
+            obs.count("pool.rebuild")
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(workers, len(lost))
+            ) as executor:
+                retries = [
+                    executor.submit(_run_chunk, fn, [pair]) for pair in lost
+                ]
+                for pair, future in zip(lost, retries):
+                    try:
+                        outcomes.extend(future.result())
+                    except Exception as exc:
+                        outcomes.append(WorkerOutcome.failure(pair[0], exc))
+        outcomes.sort(key=lambda outcome: outcome.index)
         return outcomes
 
 

@@ -16,14 +16,29 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import warnings
 from pathlib import Path
-from typing import Any, Dict, List, Mapping
+from typing import Any, Dict, List, Mapping, Optional
 
-#: Record keys that hold wall-clock measurements: identical reruns differ
-#: here and nowhere else, so the reproducibility compare drops them.
+#: Record keys that legitimately vary between runs of the same sweep, so
+#: the reproducibility compare drops them.  ``duration_s``/``timings``
+#: are wall-clock measurements; the reliability stamps record *how* a
+#: record got here, not *what* the job computed: ``attempts`` and
+#: ``retry_reasons`` depend on which faults a run met, ``resumed`` on
+#: whether ``--resume`` filled the record in, and ``transport_fallback``
+#: on whether shm had to demote to pickling — none of which may change
+#: the simulation's output (the chaos suite asserts exactly that).
 #: (``tier`` is *not* volatile — which tier runs is deterministic for a
 #: given job and backend.)
-VOLATILE_KEYS = ("duration_s", "timings")
+VOLATILE_KEYS = (
+    "duration_s",
+    "timings",
+    "attempts",
+    "retry_reasons",
+    "resumed",
+    "transport_fallback",
+)
 
 
 def canonical_record(record: Mapping[str, Any]) -> Dict[str, Any]:
@@ -38,34 +53,96 @@ def canonical_line(record: Mapping[str, Any]) -> str:
 
 
 class ResultStore:
-    """Append-only JSONL file of job records."""
+    """Append-only JSONL file of job records.
+
+    Appends are *newline-atomic*: each :meth:`extend` call is a single
+    ``write`` of complete ``line\\n`` units followed by a flush, so a
+    process killed mid-append can leave at most one partial trailing
+    line — never an interleaved or headless one.  :meth:`load` tolerates
+    that partial tail (and any undecodable line) by skipping it with a
+    warning, remembering the most recent partial tail in
+    :attr:`truncated_tail`, and the next append starts on a fresh line
+    even after a torn tail.  This is what makes the store a safe
+    checkpoint target for ``BatchRunner(resume=True)``.
+    """
 
     def __init__(self, path: str) -> None:
         self.path = Path(path)
+        #: the partial trailing line the most recent :meth:`load` skipped
+        #: (evidence of a crash mid-append), or None when the file was
+        #: clean
+        self.truncated_tail: Optional[str] = None
 
     def append(self, record: Mapping[str, Any]) -> None:
         self.extend([record])
 
     def extend(self, records: List[Mapping[str, Any]]) -> None:
-        """Append a batch in one write, so its records land contiguously."""
+        """Append a batch in one write, so its records land contiguously
+        and a kill between calls can never tear an individual line."""
         if not records:
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = "".join(
+            json.dumps(dict(record), sort_keys=True) + "\n"
+            for record in records
+        )
+        if self._tail_is_torn():
+            # a previous writer died mid-line: terminate its partial
+            # tail so our records start on a line of their own
+            payload = "\n" + payload
         with open(self.path, "a", encoding="utf-8") as fh:
-            for record in records:
-                fh.write(json.dumps(dict(record), sort_keys=True) + "\n")
+            fh.write(payload)
+            fh.flush()
+
+    def _tail_is_torn(self) -> bool:
+        """Does the file end mid-line (last byte not a newline)?"""
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                return fh.read(1) != b"\n"
+        except (FileNotFoundError, OSError):
+            return False  # missing or empty file: nothing torn
 
     # ------------------------------------------------------------------
     def load(self) -> List[Dict[str, Any]]:
-        """All records in append order; missing file reads as empty."""
+        """All records in append order; missing file reads as empty.
+
+        Undecodable lines are skipped with a warning rather than sinking
+        the load — a partial trailing line is the signature of a writer
+        killed mid-append and is additionally remembered in
+        :attr:`truncated_tail` so resume logic can report it.
+        """
+        self.truncated_tail = None
         if not self.path.exists():
             return []
-        records: List[Dict[str, Any]] = []
         with open(self.path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if line:
-                    records.append(json.loads(line))
+            raw = fh.read()
+        lines = raw.split("\n")
+        records: List[Dict[str, Any]] = []
+        for position, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if position == len(lines) - 1:
+                    # no trailing newline: a write died mid-record
+                    self.truncated_tail = line
+                    warnings.warn(
+                        f"{self.path}: skipping truncated trailing "
+                        f"record ({len(line)} bytes) — a writer was "
+                        f"killed mid-append",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                else:
+                    warnings.warn(
+                        f"{self.path}: skipping undecodable line "
+                        f"{position + 1}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
         return records
 
     def records_for(self, job_id: str) -> List[Dict[str, Any]]:

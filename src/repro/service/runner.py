@@ -29,6 +29,18 @@ Cleanup is deterministic: the shm arena backing a batch is destroyed in a
 ``finally`` block, so worker crashes, timeouts, and mid-batch exceptions
 never leak a segment.
 
+On top sits the reliability layer (``docs/RELIABILITY.md``): jobs run in
+*attempt rounds* — transient failures (timeouts, broken pools, shm
+attach errors, injected faults; see :mod:`repro.service.retry`) are
+retried up to their :class:`~repro.service.retry.RetryPolicy` with
+deterministic no-jitter backoff, finalized records checkpoint to the
+store in job order as they complete (so a killed run leaves a clean
+prefix), ``resume=True`` redeems prior successes from the store instead
+of rerunning them, and shm transport trouble demotes the rest of the
+batch to pickling with ``transport_fallback`` recorded.  A
+:class:`~repro.service.faults.FaultPlan` exercises all of it against the
+real pool and transports.
+
 Usage recipes live in ``docs/SERVICE.md``.
 """
 
@@ -44,10 +56,13 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.obs import tracer as obs
+from repro.service import faults
 from repro.service.cache import ProgramCache
+from repro.service.faults import FaultInjected, FaultPlan
 from repro.service.jobs import CHECKER_MODES, SimJob
 from repro.service.pool import WorkerOutcome, WorkerPool
 from repro.service.results import ResultStore
+from repro.service.retry import RetryPolicy, classify_record
 
 #: Payload transports for parallel batches (see module docstring).
 TRANSPORTS = ("pickle", "shm")
@@ -89,6 +104,7 @@ def execute_job(
     inputs: Optional[Mapping[str, Any]] = None,
     fields_out: Optional[Mapping[str, np.ndarray]] = None,
     tracer: Optional[obs.Tracer] = None,
+    attempt: int = 1,
 ) -> Dict[str, Any]:
     """Run one job to completion; never raises for job-level failures.
 
@@ -111,6 +127,12 @@ def execute_job(
     is stamped with ``timings`` (the fixed per-stage dict, volatile
     across runs) and ``tier`` (which execution tier actually ran —
     deterministic for a given job + backend).
+
+    ``attempt`` is the 1-based retry attempt this execution represents;
+    it keys the ``worker.exec`` fault site (:mod:`repro.service.faults`)
+    and changes nothing else — a retried job is the same pure function
+    of its spec.  Failure records carry ``error_type`` (the exception
+    class name) so the retry layer can classify them.
     """
     job = SimJob.from_dict(spec)
     if cache is None:
@@ -132,6 +154,10 @@ def execute_job(
     lookups_before = cache.stats.lookups
     try:
         with obs.use(tracer):
+            # fault site sits before compilation so a faulted attempt
+            # leaves no cache footprint: the retry then hits/misses the
+            # cache exactly like a fault-free run would
+            faults.check("worker.exec", job.job_id, attempt)
             if job.hypercube_dim > 0:
                 record.update(_run_multinode(job, cache, inputs, fields_out))
             else:
@@ -140,6 +166,7 @@ def execute_job(
     except Exception as exc:  # failure capture: one bad job != a dead batch
         record["ok"] = False
         record["error"] = f"{type(exc).__name__}: {exc}"
+        record["error_type"] = type(exc).__name__
     if cache.stats.lookups > lookups_before:  # job reached compilation
         record["cache_hit"] = cache.stats.hits > hits_before
     telemetry = tracer.telemetry()
@@ -151,7 +178,8 @@ def execute_job(
 
 
 def execute_job_shm(
-    task: Mapping[str, Any], cache_dir: Optional[str] = None
+    task: Mapping[str, Any], cache_dir: Optional[str] = None,
+    attempt: int = 1,
 ) -> Dict[str, Any]:
     """Worker-side shm transport: attach, run, write fields in place.
 
@@ -160,12 +188,20 @@ def execute_job_shm(
     writable, and every attachment is released before returning (or on
     any failure).  The returned record contains no arrays; the parent
     reads kept fields straight out of the segments it owns.
+
+    Attach failures — real :class:`~repro.service.shm.ShmAttachError`\\ s
+    or the injected ``shm.attach`` fault site — propagate out to the
+    pool's failure capture; the runner classifies them transient and
+    demotes the batch to the pickle transport for the retry.
     """
     from repro.service.shm import attached
 
     tracer = obs.Tracer()
     with contextlib.ExitStack() as stack, obs.use(tracer):
         with obs.span("transport"):
+            faults.check(
+                "shm.attach", SimJob.from_dict(task["spec"]).job_id, attempt
+            )
             inputs: Optional[Dict[str, Any]] = None
             if task.get("inputs"):
                 inputs = {
@@ -182,6 +218,7 @@ def execute_job_shm(
         return execute_job(
             task["spec"], cache_dir=cache_dir,
             inputs=inputs, fields_out=fields_out, tracer=tracer,
+            attempt=attempt,
         )
 
 
@@ -429,13 +466,22 @@ class BatchSummary:
     cache_misses: int
     total_cycles: int
     wall_s: float
+    #: jobs that needed more than one attempt (transient-failure retries)
+    retried: int = 0
+    #: jobs redeemed from the store by ``resume=True`` instead of rerun
+    resumed: int = 0
 
     def format(self) -> str:
-        return (
+        text = (
             f"{self.succeeded}/{self.total} jobs ok ({self.failed} failed); "
             f"cache: {self.cache_hits} hits, {self.cache_misses} misses; "
             f"{self.total_cycles} simulated cycles in {self.wall_s:.2f}s wall"
         )
+        if self.retried:
+            text += f"; {self.retried} retried"
+        if self.resumed:
+            text += f"; {self.resumed} resumed"
+        return text
 
 
 class BatchRunner:
@@ -470,6 +516,22 @@ class BatchRunner:
         fields and are stamped ``tier="batch_fused"`` + ``slab_size``.
         Serial path only — a declined slab (and every non-fusable job)
         runs per job with ``fallback_reason`` recorded.
+    retry:
+        Batch-level :class:`~repro.service.retry.RetryPolicy`; when set
+        it overrides every job's own ``max_attempts``/``backoff_base``.
+        Only *transient* failures are retried (see
+        :mod:`repro.service.retry`).
+    resume:
+        Redeem jobs whose ``job_id`` already has a success record in the
+        store (each prior success redeems one job instance, so repeated
+        jobs resume correctly) and rerun only the rest, appending only
+        the missing records — an interrupted sweep resumed this way
+        converges to the uninterrupted run's canonical digest.  Requires
+        ``store``.
+    fault_plan:
+        A :class:`~repro.service.faults.FaultPlan` to inject during this
+        run; exported through ``NSC_VPE_FAULTS`` so pool workers inherit
+        it.  Chaos testing only — never set in production.
     """
 
     def __init__(
@@ -481,6 +543,9 @@ class BatchRunner:
         transport: str = "pickle",
         run_checker: Optional[str] = None,
         batch_fusion: str = "off",
+        retry: Optional[RetryPolicy] = None,
+        resume: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if transport not in TRANSPORTS:
             raise ValueError(
@@ -497,6 +562,10 @@ class BatchRunner:
                 f"unknown batch_fusion {batch_fusion!r}; expected one of "
                 f"{BATCH_FUSION_MODES}"
             )
+        if resume and store is None:
+            raise ValueError(
+                "resume=True requires a result store to resume from"
+            )
         self.workers = workers
         self.timeout = timeout
         self.cache_dir = cache_dir
@@ -504,6 +573,9 @@ class BatchRunner:
         self.transport = transport
         self.run_checker = run_checker
         self.batch_fusion = batch_fusion
+        self.retry = retry
+        self.resume = resume
+        self.fault_plan = fault_plan
         #: names of the shm segments used by the most recent run (kept
         #: after cleanup so tests can prove every one was unlinked)
         self.last_shm_segments: List[str] = []
@@ -517,6 +589,10 @@ class BatchRunner:
             ProgramCache(cache_dir)
             if workers == 1 and timeout is None else None
         )
+        #: why the most recent run demoted shm to pickling, or None
+        self._transport_degraded: Optional[str] = None
+        #: checkpoint frontier: records append in strict job-index order
+        self._frontier = 0
 
     def run(
         self, jobs: Sequence[SimJob]
@@ -527,36 +603,82 @@ class BatchRunner:
         if self.run_checker is not None:
             for spec in specs:
                 spec["run_checker"] = self.run_checker
-        with obs.use(batch_tracer):
-            if self.transport == "shm" and self.cache is None:
-                records = self._run_shm(jobs, specs)
-            elif self.cache is not None and self.batch_fusion == "auto":
-                records = self._run_serial_fused(specs)
-            else:
-                if self.cache is not None:
-                    # serial bypass: in-process execution, no transport
-                    # involved
-                    fn = functools.partial(execute_job, cache=self.cache)
-                else:
-                    fn = functools.partial(
-                        execute_job, cache_dir=self.cache_dir
-                    )
-                pool = WorkerPool(
-                    max_workers=self.workers, timeout=self.timeout
+        # the effective jobs (batch-level run_checker applied) are what
+        # workers rebuild from the specs — resume matching, fault keys,
+        # and synthesized records must all use *their* job_ids
+        eff_jobs = [SimJob.from_dict(spec) for spec in specs]
+        self._transport_degraded = None
+        self._frontier = 0
+        final: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
+        preloaded = [False] * len(jobs)
+        with contextlib.ExitStack() as stack:
+            stack.enter_context(obs.use(batch_tracer))
+            if self.fault_plan is not None:
+                # exported through the environment, so pool workers
+                # (which inherit it) fault exactly like the parent
+                stack.enter_context(faults.exported(self.fault_plan))
+            resuming = self.resume and self._preload_resumed(
+                eff_jobs, final, preloaded
+            )
+            self._checkpoint(final, preloaded)
+            pending = [i for i in range(len(jobs)) if final[i] is None]
+            reasons: Dict[int, List[str]] = {}
+            attempt = 1
+            while pending:
+                round_records = self._run_round(
+                    eff_jobs, specs, pending, attempt
                 )
-                outcomes = pool.map(fn, specs)
-                records = [
-                    self._record_of(job, outcome)
-                    for job, outcome in zip(jobs, outcomes)
-                ]
+                still: List[int] = []
+                delay = 0.0
+                for i, record in zip(pending, round_records):
+                    record["attempts"] = attempt
+                    if reasons.get(i):
+                        record["retry_reasons"] = list(reasons[i])
+                    if resuming:
+                        record["resumed"] = True
+                    classification = classify_record(record)
+                    if classification is None:  # success: finalize
+                        self._digest_fields([record])
+                        final[i] = record
+                        continue
+                    reason = record.get("error_type") or "unknown"
+                    if self.transport == "shm" and (
+                        reason == "ShmAttachError"
+                        or (reason == "FaultInjected"
+                            and "shm.attach" in str(record.get("error")))
+                    ):
+                        # a worker lost its segments: the retry (and the
+                        # rest of the batch) rides the pickle transport
+                        self._degrade_transport(str(record.get("error")))
+                    policy = self._policy_for(eff_jobs[i])
+                    if policy.should_retry(attempt, classification):
+                        reasons.setdefault(i, []).append(reason)
+                        delay = max(delay, policy.delay(attempt))
+                        obs.count("retry.scheduled")
+                        obs.event(
+                            "retry", job_id=record.get("job_id"),
+                            attempt=attempt, reason=reason,
+                            delay_s=policy.delay(attempt),
+                        )
+                        still.append(i)
+                        continue
+                    if classification == "transient" \
+                            and policy.max_attempts > 1:
+                        obs.count("retry.exhausted")
+                        obs.event(
+                            "retry_exhausted",
+                            job_id=record.get("job_id"),
+                            attempts=attempt, reason=reason,
+                        )
+                    self._digest_fields([record])
+                    final[i] = record
+                self._checkpoint(final, preloaded)
+                if still and delay > 0:
+                    time.sleep(delay)  # deterministic no-jitter backoff
+                pending = still
+                attempt += 1
+        records = [record for record in final if record is not None]
         self.last_telemetry = batch_tracer.telemetry()
-        self._digest_fields(records)
-        if self.store is not None:
-            # field arrays stay with the caller; the store gets digests
-            self.store.extend([
-                {k: v for k, v in record.items() if k != "fields"}
-                for record in records
-            ])
         summary = BatchSummary(
             total=len(records),
             succeeded=sum(1 for r in records if r.get("ok")),
@@ -568,14 +690,196 @@ class BatchRunner:
             ),
             total_cycles=sum(r.get("cycles", 0) or 0 for r in records),
             wall_s=time.perf_counter() - start,
+            retried=sum(
+                1 for r in records if (r.get("attempts") or 1) > 1
+            ),
+            resumed=sum(preloaded),
         )
         return records, summary
+
+    # ------------------------------------------------------------------
+    # reliability layer: rounds, checkpointing, resume, degradation
+    # ------------------------------------------------------------------
+    def _policy_for(self, job: SimJob) -> RetryPolicy:
+        """The batch-level policy if set, else the job's own."""
+        if self.retry is not None:
+            return self.retry
+        return RetryPolicy(job.max_attempts, job.backoff_base)
+
+    def _preload_resumed(
+        self,
+        eff_jobs: Sequence[SimJob],
+        final: List[Optional[Dict[str, Any]]],
+        preloaded: List[bool],
+    ) -> bool:
+        """Redeem prior successes from the store into ``final``.
+
+        Matching is a multiset refinement of latest-by-job: each prior
+        success record redeems exactly one job instance (in store order),
+        so a sweep with ``repeats`` resumes without double-counting.
+        Prior *failures* redeem nothing — those jobs rerun.  Returns
+        whether the store held any prior records (a resume over an empty
+        store is just a fresh run).
+        """
+        assert self.store is not None
+        prior = self.store.load()
+        if not prior:
+            return False
+        ok_by_id: Dict[str, List[Dict[str, Any]]] = {}
+        for record in prior:
+            if record.get("ok") and record.get("job_id"):
+                ok_by_id.setdefault(record["job_id"], []).append(record)
+        for i, job in enumerate(eff_jobs):
+            queue = ok_by_id.get(job.job_id)
+            if queue:
+                final[i] = dict(queue.pop(0))
+                preloaded[i] = True
+                obs.count("resume.skipped")
+        if self.store.truncated_tail is not None:
+            obs.event(
+                "resume_truncated_tail",
+                bytes=len(self.store.truncated_tail),
+            )
+        return True
+
+    def _checkpoint(
+        self,
+        final: List[Optional[Dict[str, Any]]],
+        preloaded: List[bool],
+    ) -> None:
+        """Persist newly finalized records, in strict job-index order.
+
+        Later jobs that finalize early wait for the frontier to reach
+        them, so a run killed at any moment leaves the store a clean
+        *prefix* of the fault-free store — which is exactly what lets
+        ``resume`` converge to the uninterrupted digest.  Preloaded
+        (resumed) records are already in the store and are skipped.
+        """
+        while self._frontier < len(final) \
+                and final[self._frontier] is not None:
+            record = final[self._frontier]
+            if self.store is not None and not preloaded[self._frontier]:
+                faults.check(
+                    "store.append",
+                    str(record.get("job_id") or ""),
+                    int(record.get("attempts") or 1),
+                )
+                # field arrays stay with the caller; the store gets the
+                # digests stamped at finalization
+                self.store.append(
+                    {k: v for k, v in record.items() if k != "fields"}
+                )
+            self._frontier += 1
+
+    def _run_round(
+        self,
+        eff_jobs: Sequence[SimJob],
+        specs: List[Dict[str, Any]],
+        indices: Sequence[int],
+        attempt: int,
+    ) -> List[Dict[str, Any]]:
+        """Execute attempt *attempt* for every job index in *indices*.
+
+        The parent-side ``pool.submit`` fault site fires here: an item
+        it claims never reaches the pool and reports a synthesized
+        transient failure instead (the retry layer handles the rest).
+        """
+        by_index: Dict[int, Dict[str, Any]] = {}
+        dispatch: List[int] = []
+        for i in indices:
+            try:
+                faults.check("pool.submit", eff_jobs[i].job_id, attempt)
+            except FaultInjected as exc:
+                by_index[i] = self._submit_failure(eff_jobs[i], exc)
+            else:
+                dispatch.append(i)
+        if dispatch:
+            round_records = self._dispatch(
+                [eff_jobs[i] for i in dispatch],
+                [specs[i] for i in dispatch],
+                attempt,
+            )
+            for i, record in zip(dispatch, round_records):
+                by_index[i] = record
+        return [by_index[i] for i in indices]
+
+    def _dispatch(
+        self,
+        round_jobs: Sequence[SimJob],
+        round_specs: List[Dict[str, Any]],
+        attempt: int,
+    ) -> List[Dict[str, Any]]:
+        """Run one round's jobs over the (possibly degraded) transport."""
+        if self.transport == "shm" and self.cache is None \
+                and self._transport_degraded is None:
+            try:
+                return self._run_shm(round_jobs, round_specs, attempt)
+            except FaultInjected:
+                raise  # store.append faults must escape, not demote
+            except OSError as exc:
+                # arena setup failed (no /dev/shm space, limits): the
+                # batch still completes — over pickling
+                self._degrade_transport(f"{type(exc).__name__}: {exc}")
+        if self.cache is not None and self.batch_fusion == "auto":
+            records = self._run_serial_fused(round_specs, attempt)
+        else:
+            if self.cache is not None:
+                # serial bypass: in-process execution, no transport
+                # involved
+                fn = functools.partial(
+                    execute_job, cache=self.cache, attempt=attempt
+                )
+            else:
+                fn = functools.partial(
+                    execute_job, cache_dir=self.cache_dir, attempt=attempt
+                )
+            pool = WorkerPool(
+                max_workers=self.workers, timeout=self.timeout
+            )
+            outcomes = pool.map(fn, round_specs)
+            records = [
+                self._record_of(job, outcome)
+                for job, outcome in zip(round_jobs, outcomes)
+            ]
+        if self.transport == "shm" and self._transport_degraded:
+            for record in records:
+                record.setdefault(
+                    "transport_fallback", self._transport_degraded
+                )
+        return records
+
+    def _degrade_transport(self, reason: str) -> None:
+        """Demote the rest of this run from shm to pickling (once)."""
+        if self._transport_degraded:
+            return
+        self._transport_degraded = reason
+        obs.count("transport.fallback")
+        obs.annotate("transport_fallback", reason)
+        obs.event("transport_fallback", reason=reason)
+
+    @staticmethod
+    def _submit_failure(
+        job: SimJob, exc: FaultInjected
+    ) -> Dict[str, Any]:
+        """Synthesized record for an item that never reached the pool."""
+        return {
+            "job_id": job.job_id,
+            "label": job.describe(),
+            "method": job.method,
+            "shape": list(job.shape),
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "error_type": type(exc).__name__,
+            "timings": dict(obs.ZERO_TIMINGS),
+            "tier": None,
+            "duration_s": 0.0,
+        }
 
     # ------------------------------------------------------------------
     # batch-fused serial execution
     # ------------------------------------------------------------------
     def _run_serial_fused(
-        self, specs: List[Dict[str, Any]]
+        self, specs: List[Dict[str, Any]], attempt: int = 1
     ) -> List[Dict[str, Any]]:
         """Serial execution with slab grouping (``batch_fusion="auto"``).
 
@@ -583,7 +887,9 @@ class BatchRunner:
         else — non-fusable jobs, singleton groups, members of a slab
         that declined — runs through :func:`execute_job` exactly as the
         ``"off"`` path would, with the decline reason recorded.  Output
-        order always matches input order.
+        order always matches input order.  The ``worker.exec`` fault
+        site applies to per-job execution only — a slab runs its whole
+        group as one plan, so it is not an injection point.
         """
         from repro.service.slab import execute_slab, slab_groups
 
@@ -611,7 +917,7 @@ class BatchRunner:
             if records[i] is not None:
                 continue
             start = time.perf_counter()
-            record = execute_job(spec, cache=self.cache)
+            record = execute_job(spec, cache=self.cache, attempt=attempt)
             record["duration_s"] = round(time.perf_counter() - start, 6)
             if i in declined:
                 record.setdefault(
@@ -624,7 +930,8 @@ class BatchRunner:
     # shm transport
     # ------------------------------------------------------------------
     def _run_shm(
-        self, jobs: Sequence[SimJob], specs: List[Dict[str, Any]]
+        self, jobs: Sequence[SimJob], specs: List[Dict[str, Any]],
+        attempt: int = 1,
     ) -> List[Dict[str, Any]]:
         """Parallel execution over shared-memory segments.
 
@@ -668,7 +975,10 @@ class BatchRunner:
                 self.last_shm_segments = arena.names
             pool = WorkerPool(max_workers=self.workers, timeout=self.timeout)
             outcomes = pool.map(
-                functools.partial(execute_job_shm, cache_dir=self.cache_dir),
+                functools.partial(
+                    execute_job_shm, cache_dir=self.cache_dir,
+                    attempt=attempt,
+                ),
                 tasks,
             )
             with obs.span("transport"):
@@ -716,6 +1026,7 @@ class BatchRunner:
                 "shape": list(job.shape),
                 "ok": False,
                 "error": f"{outcome.error_type}: {outcome.error}",
+                "error_type": outcome.error_type,
             }
         # every stored record carries the full observability schema, even
         # ones synthesized for dead workers (zeroed stages, null tier)

@@ -43,6 +43,17 @@ from typing import Dict, Iterator, List, Tuple
 import numpy as np
 
 
+class ShmAttachError(FileNotFoundError):
+    """A worker could not attach a named segment (gone, or injected).
+
+    Subclasses :class:`FileNotFoundError` because a vanished name *is*
+    a missing file to the caller; the distinct type lets the retry
+    layer classify attach failures as transient
+    (:data:`repro.service.retry.TRANSIENT_ERROR_TYPES`) and lets the
+    runner demote the batch to the pickle transport.
+    """
+
+
 @dataclass(frozen=True)
 class ShmArrayRef:
     """Picklable handle to one array living in a named shared segment."""
@@ -88,16 +99,23 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
     """
     global _TRACKER_INHERITED
     try:
-        return shared_memory.SharedMemory(name=name, track=False)
-    except TypeError:
-        pass
-    from multiprocessing import resource_tracker
+        try:
+            return shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:
+            pass
+        from multiprocessing import resource_tracker
 
-    if _TRACKER_INHERITED is None:
-        _TRACKER_INHERITED = getattr(
-            resource_tracker._resource_tracker, "_fd", None
-        ) is not None
-    seg = shared_memory.SharedMemory(name=name)
+        if _TRACKER_INHERITED is None:
+            _TRACKER_INHERITED = getattr(
+                resource_tracker._resource_tracker, "_fd", None
+            ) is not None
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError as exc:
+        # the name is gone (arena destroyed, or never reached this
+        # host) — surface the transient-classifiable attach error
+        raise ShmAttachError(
+            f"cannot attach shm segment {name!r}: {exc}"
+        ) from exc
     if not _TRACKER_INHERITED:
         try:
             resource_tracker.unregister(seg._name, "shared_memory")
@@ -209,4 +227,4 @@ class ShmArena:
         self.destroy()
 
 
-__all__ = ["ShmArena", "ShmArrayRef", "attached"]
+__all__ = ["ShmArena", "ShmArrayRef", "ShmAttachError", "attached"]

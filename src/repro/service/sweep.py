@@ -42,7 +42,13 @@ class SweepSpec:
     jobs sit adjacently).  Seeded jobs share one compiled program but
     converge in different iteration counts — the sweep shape batch
     fusion slabs are built for.  Empty (default) keeps the single
-    zero-start job per combination."""
+    zero-start job per combination.
+
+    ``max_attempts``/``backoff_base`` are shared retry settings stamped
+    onto every job (see :class:`~repro.service.retry.RetryPolicy`);
+    like ``label``, they are excluded from job identity, so a retrying
+    sweep and a no-retry sweep produce the same ``job_id``\\ s — and,
+    absent permanent failures, the same store digest."""
 
     grids: Tuple[int, ...] = (7,)
     methods: Tuple[str, ...] = ("jacobi",)
@@ -56,6 +62,8 @@ class SweepSpec:
     backend: str = "reference"
     run_checker: str = "auto"
     batch_fusion: str = "off"
+    max_attempts: int = 1
+    backoff_base: float = 0.0
 
     def __post_init__(self) -> None:
         from repro.service.runner import BATCH_FUSION_MODES
@@ -92,6 +100,14 @@ class SweepSpec:
         for s in self.seeds:
             if int(s) < 0:
                 raise JobSpecError(f"seed {s} must be >= 0")
+        if int(self.max_attempts) < 1:
+            raise JobSpecError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if float(self.backoff_base) < 0:
+            raise JobSpecError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -155,6 +171,8 @@ class SweepSpec:
                                     backend=self.backend,
                                     run_checker=self.run_checker,
                                     u0_seed=seed,
+                                    max_attempts=self.max_attempts,
+                                    backoff_base=self.backoff_base,
                                     label=label,
                                 ))
         return jobs, skips

@@ -1,5 +1,7 @@
-"""WorkerPool: deterministic ordering, failure isolation, timeouts."""
+"""WorkerPool: deterministic ordering, failure isolation, timeouts,
+and graceful recovery from hard-killed workers."""
 
+import os
 import time
 
 import pytest
@@ -27,6 +29,33 @@ def _sleep_inverse(x):
 def _hang(x):
     time.sleep(20)
     return x
+
+
+def _kill_worker_always(arg):
+    """Hard-kill the worker on the victim value, every single time."""
+    _latch, x = arg
+    if x == 2:
+        os._exit(9)
+    return x * x
+
+
+def _kill_worker_once(arg):
+    """Hard-kill the worker the first time the victim value runs.
+
+    ``arg`` is ``(latch_path, x)``: the exclusive-create latch makes the
+    kill a one-shot across the rebuilt executor's fresh workers, so the
+    resubmitted item completes.  ``os._exit`` skips all cleanup — the
+    executor sees a vanished process, i.e. ``BrokenProcessPool``.
+    """
+    latch, x = arg
+    if x == 2:
+        try:
+            with open(latch, "x"):
+                pass
+            os._exit(9)
+        except FileExistsError:
+            pass
+    return x * x
 
 
 class TestSerial:
@@ -107,6 +136,51 @@ class TestChunkedSubmission:
         outcomes = pool.map(_square, [1, 2, 3, 4])
         assert [o.value for o in outcomes] == [1, 4, 9, 16]
         assert pool.last_submitted == 4
+
+
+class TestBrokenPoolRecovery:
+    """A hard-killed worker costs a rebuild, never a result."""
+
+    def test_chunked_path_rebuilds_once_and_loses_nothing(self, tmp_path):
+        pool = WorkerPool(max_workers=2)
+        items = [(str(tmp_path / "latch"), x) for x in range(6)]
+        outcomes = pool.map(_kill_worker_once, items)
+        assert all(o.ok for o in outcomes)
+        assert [o.value for o in outcomes] == [x * x for x in range(6)]
+        assert pool.last_rebuilds == 1
+
+    def test_timeout_path_rebuilds_once_and_loses_nothing(self, tmp_path):
+        # a timeout forces per-item futures; the rebuild must resubmit
+        # exactly the items whose results the crash took down
+        pool = WorkerPool(max_workers=2, timeout=30.0)
+        items = [(str(tmp_path / "latch"), x) for x in range(4)]
+        outcomes = pool.map(_kill_worker_once, items)
+        assert all(o.ok for o in outcomes)
+        assert [o.value for o in outcomes] == [0, 1, 4, 9]
+        assert pool.last_rebuilds == 1
+
+    def test_repeat_crashes_degrade_to_failures(self, tmp_path):
+        # the victim kills its worker on every execution: the rebuild
+        # happens once, the repeat crash is *captured* as a
+        # BrokenProcessPool failure — never raised, and never an
+        # endless rebuild loop
+        pool = WorkerPool(max_workers=2, timeout=30.0)
+        items = [(None, x) for x in range(4)]
+        outcomes = pool.map(_kill_worker_always, items)
+        assert pool.last_rebuilds == 1
+        by_value = {x: o for (_l, x), o in zip(items, outcomes)}
+        assert not by_value[2].ok
+        assert by_value[2].error_type == "BrokenProcessPool"
+        assert all(by_value[x].ok for x in (0, 1, 3))
+
+    def test_timeout_cancels_stragglers(self):
+        # both jobs hang: their futures are still running when the map
+        # gives up, and the pool must count (and cancel) every one so
+        # executor shutdown cannot block on them
+        pool = WorkerPool(max_workers=2, timeout=0.5)
+        outcomes = pool.map(_hang, [1, 2])
+        assert all(o.error_type == "TimeoutError" for o in outcomes)
+        assert pool.last_stragglers == 2
 
 
 class TestOutcome:

@@ -157,6 +157,8 @@ class TestBatchRunner:
     def test_volatile_keys_are_the_only_difference(self, tmp_path):
         # the volatile-key set is exact: raw lines differ only because
         # of timings/duration_s, and every stored record carries them
+        # (the reliability keys are conditional — absent on a clean
+        # fault-free run — hence pop with a default)
         job = SimJob(method="jacobi", shape=(5, 5, 5), **FAST)
         store = ResultStore(str(tmp_path / "r.jsonl"))
         BatchRunner(workers=1, store=store).run([job])
@@ -164,7 +166,7 @@ class TestBatchRunner:
         first, second = store.load()
         assert first != second  # wall-clock did differ...
         for key in VOLATILE_KEYS:
-            first.pop(key), second.pop(key)
+            first.pop(key, None), second.pop(key, None)
         assert first == second  # ...and nothing else did
 
     def test_store_queries(self, tmp_path):

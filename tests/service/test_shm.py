@@ -46,12 +46,13 @@ def _assert_all_unlinked(names):
             shared_memory.SharedMemory(name=name)
 
 
-# top-level so the pool can pickle them into (forked) workers
-def _crash_worker(task, cache_dir=None):
+# top-level so the pool can pickle them into (forked) workers; they
+# stand in for execute_job_shm, so they accept its full signature
+def _crash_worker(task, cache_dir=None, attempt=1):
     os._exit(13)
 
 
-def _sleep_worker(task, cache_dir=None):
+def _sleep_worker(task, cache_dir=None, attempt=1):
     time.sleep(30)
 
 

@@ -153,6 +153,58 @@ class TestServiceCommands:
         assert main(["sweep", "--methods", "frobnicate"]) == 2
         assert "bad sweep axes" in capsys.readouterr().err
 
+    def test_resume_requires_results(self, capsys):
+        assert main(["sweep", "--grids", "5", "--methods", "jacobi",
+                     "--resume"]) == 2
+        assert "--resume needs --results" in capsys.readouterr().err
+
+    def test_sweep_resume_skips_completed_jobs(self, tmp_path, capsys):
+        results = tmp_path / "results.jsonl"
+        argv = ["sweep", "--grids", "5,6", "--methods", "jacobi",
+                "--eps", "1e-3", "--max-sweeps", "500", "--repeats", "1",
+                "--results", str(results)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "2 resumed" in out
+        # resumed jobs are redeemed, not re-appended
+        assert len(results.read_text().splitlines()) == 2
+
+    def test_batch_retries_transient_faults(self, tmp_path, capsys,
+                                            monkeypatch):
+        from repro.service.faults import ENV_VAR
+
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps([
+            {"method": "jacobi", "n": 5, "eps": 1e-3, "max_sweeps": 500},
+        ]))
+        monkeypatch.setenv(ENV_VAR, json.dumps({
+            "seed": 1,
+            "rules": [{"site": "worker.exec", "attempts": [1]}],
+        }))
+        assert main(["batch", str(jobs), "--max-attempts", "3"]) == 0
+        assert "1 retried" in capsys.readouterr().out
+
+    def test_stats_reports_reliability(self, tmp_path, capsys,
+                                       monkeypatch):
+        from repro.service.faults import ENV_VAR
+
+        results = tmp_path / "results.jsonl"
+        monkeypatch.setenv(ENV_VAR, json.dumps({
+            "seed": 1,
+            "rules": [{"site": "worker.exec", "attempts": [1]}],
+        }))
+        assert main(["sweep", "--grids", "5", "--methods", "jacobi",
+                     "--eps", "1e-3", "--max-sweeps", "500",
+                     "--repeats", "1", "--max-attempts", "3",
+                     "--results", str(results)]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--results", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "reliability:" in out
+        assert "retried jobs" in out
+
     def test_batch_failure_sets_exit_code(self, tmp_path, capsys):
         jobs = tmp_path / "jobs.json"
         jobs.write_text(json.dumps({"jobs": [
