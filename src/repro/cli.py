@@ -13,6 +13,7 @@ Subcommands mirror the toolchain:
 - ``sweep``      — expand a parameter sweep into a job batch and run it
 - ``bench``      — compare the reference and fast execution backends
 - ``stats``      — aggregate telemetry from a result store or history
+- ``serve``      — host the service as a resident HTTP daemon
 
 Programs are the JSON files written by
 :func:`repro.diagram.serialize.save` or :meth:`EditorSession.save`.
@@ -48,6 +49,13 @@ transient failures (timeouts, dead workers, shm attach races), and
 holds a success record for, so an interrupted sweep picks up where it
 stopped and converges to the uninterrupted store, byte for byte.
 ``docs/SERVICE.md`` is the cookbook.
+
+``serve`` keeps all of the above resident: one daemon process holds the
+warm program/plan caches (and, for ``--transport shm``, a persistent
+arena) across requests, so repeat batches skip recompilation entirely.
+``batch`` and ``sweep`` gain ``--server URL`` to submit to a daemon
+instead of executing locally — same records, same summary line, and
+(when the daemon runs with ``--results``) a digest-compatible store.
 """
 
 from __future__ import annotations
@@ -256,6 +264,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
     except (JobSpecError, TypeError, ValueError) as exc:
         print(f"error: bad job spec: {exc}", file=sys.stderr)
         return 2
+    if args.server:
+        return _run_via_server(args, [job.to_dict() for job in jobs])
     if args.resume and not args.results:
         print("error: --resume needs --results (the store to resume "
               "from)", file=sys.stderr)
@@ -304,12 +314,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     except (JobSpecError, ValueError) as exc:
         print(f"error: bad sweep axes: {exc}", file=sys.stderr)
         return 2
-    if args.resume and not args.results:
+    if args.resume and not args.results and not args.server:
         print("error: --resume needs --results (the store to resume "
               "from)", file=sys.stderr)
         return 2
     print(f"sweep: {spec.describe()}")
     jobs = spec.expand()
+    if args.server:
+        return _run_via_server(args, [job.to_dict() for job in jobs])
     store = ResultStore(args.results) if args.results else None
     runner = BatchRunner(workers=args.workers, timeout=args.timeout,
                          cache_dir=args.cache_dir, store=store,
@@ -441,6 +453,65 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(json.dumps(summaries, indent=2, sort_keys=True))
     else:
         print(format_history_stats(summaries))
+    return 0
+
+
+def _run_via_server(args: argparse.Namespace, specs: List[dict]) -> int:
+    """Thin-client mode shared by ``batch``/``sweep --server URL``:
+    submit the (already normalized) specs to a resident daemon, wait,
+    and print the same per-record lines and summary an offline run
+    would."""
+    from repro.server.client import ServerError, ServiceClient
+    from repro.service.runner import BatchSummary
+
+    client = ServiceClient(args.server)
+    try:
+        result = client.run(jobs=specs, tag=getattr(args, "tag", "") or "",
+                            resume=args.resume)
+    except ServerError as exc:
+        print(f"error: server refused the batch: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:  # URLError, ConnectionError: no daemon there
+        print(f"error: cannot reach server {args.server}: {exc}",
+              file=sys.stderr)
+        return 2
+    summary = BatchSummary(**result["summary"])
+    _print_batch(result["records"], summary)
+    return 0 if summary.failed == 0 else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.tracer import JsonlSink
+    from repro.server.app import serve_forever
+    from repro.server.events import EventBuffer
+    from repro.server.rate_limiter import RateLimiter
+    from repro.server.service import SimService
+
+    downstream = JsonlSink(args.events_log) if args.events_log else None
+    events = EventBuffer(maxlen=args.events_buffer, downstream=downstream)
+    service = SimService(
+        store_path=args.results,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        timeout=args.timeout,
+        transport=args.transport,
+        batch_fusion=args.batch_fusion,
+        run_checker=args.run_checker,
+        retry=_retry_policy(args),
+        events=events,
+        max_queued=args.max_queued,
+    )
+    limiter = RateLimiter(capacity=args.rate_capacity,
+                          refill_rate=args.rate_refill)
+    service.start()
+    try:
+        serve_forever(service, host=args.host, port=args.port,
+                      limiter=limiter)
+    finally:
+        service.stop()
+        if downstream is not None:
+            downstream.close()
+    print("serve: stopped")
     return 0
 
 
@@ -598,6 +669,70 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rolling window for history medians (default 5)")
     p.add_argument("--json", action="store_true",
                    help="emit the aggregate as JSON instead of text")
+
+    p = sub.add_parser(
+        "serve",
+        help="host the simulation service as a resident HTTP daemon",
+        parents=[common],
+    )
+    from repro.service.jobs import CHECKER_MODES as _CHECKER_MODES
+
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8787,
+                   help="bind port; 0 picks an ephemeral port and prints "
+                   "it in the startup banner")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes per batch (1 = in-process "
+                   "serial, which shares the daemon's warm cache)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-job timeout in seconds (forces the process "
+                   "pool)")
+    p.add_argument("--results", default=None, metavar="JSONL",
+                   help="append every record to this store; enables "
+                   "GET /runs and resume=true submissions")
+    p.add_argument("--cache-dir", default=None,
+                   help="disk layer under the daemon's warm program cache")
+    p.add_argument("--transport", choices=("pickle", "shm"),
+                   default="pickle",
+                   help="payload transport for parallel batches; 'shm' "
+                   "keeps one persistent arena for the daemon's "
+                   "lifetime")
+    p.add_argument("--run-checker", choices=_CHECKER_MODES, default=None,
+                   dest="run_checker",
+                   help="override every submitted job's checker mode "
+                   "(default: honor each job's own setting)")
+    p.add_argument("--batch-fusion", choices=("off", "auto"),
+                   default="off", dest="batch_fusion",
+                   help="slab-fuse fusable same-program jobs on serial "
+                   "batches")
+    p.add_argument("--max-attempts", type=int, default=1,
+                   dest="max_attempts",
+                   help="daemon-wide retry budget for transient job "
+                   "failures (overrides per-job budgets when > 1)")
+    p.add_argument("--backoff-base", type=float, default=0.0,
+                   dest="backoff_base",
+                   help="base delay for retry backoff (deterministic, "
+                   "no jitter)")
+    p.add_argument("--events-log", default=None, metavar="JSONL",
+                   dest="events_log",
+                   help="also append every event on the live stream to "
+                   "this JSONL file (the durable telemetry artifact)")
+    p.add_argument("--events-buffer", type=int, default=4096,
+                   dest="events_buffer",
+                   help="size of the in-memory event ring GET /events "
+                   "serves; older events are dropped (and counted)")
+    p.add_argument("--rate-capacity", type=float, default=60,
+                   dest="rate_capacity",
+                   help="token-bucket burst size per client")
+    p.add_argument("--rate-refill", type=float, default=10.0,
+                   dest="rate_refill",
+                   help="token-bucket refill rate per client "
+                   "(requests/second)")
+    p.add_argument("--max-queued", type=int, default=256,
+                   dest="max_queued",
+                   help="refuse new submissions beyond this many "
+                   "queued+running")
     return parser
 
 
@@ -667,7 +802,18 @@ def _add_service_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--resume", action="store_true",
                    help="skip jobs the --results store already holds a "
                    "success record for and rerun the rest; the "
-                   "completed store matches an uninterrupted run")
+                   "completed store matches an uninterrupted run "
+                   "(with --server, resumes from the daemon's store)")
+    p.add_argument("--server", default=None, metavar="URL",
+                   help="submit to a resident 'nsc-vpe serve' daemon at "
+                   "URL instead of executing locally; local execution "
+                   "flags (--workers, --cache-dir, ...) are ignored — "
+                   "the daemon's configuration governs")
+    p.add_argument("--tag", default="",
+                   help="submission tag for --server mode: identical "
+                   "payloads with the same tag coalesce onto one "
+                   "execution; send a fresh tag to run the same jobs "
+                   "again (warm caches make the rerun cheap)")
     _add_backend_option(p)
 
 
@@ -683,6 +829,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "bench": cmd_bench,
     "stats": cmd_stats,
+    "serve": cmd_serve,
 }
 
 

@@ -42,7 +42,9 @@ from repro.obs.tracer import (
     annotate,
     count,
     current,
+    default_sink,
     event,
+    set_default_sink,
     span,
     use,
 )
@@ -60,6 +62,8 @@ __all__ = [
     "count",
     "annotate",
     "event",
+    "set_default_sink",
+    "default_sink",
     # alerts
     "HISTORY_METRICS",
     "AlertTrigger",

@@ -160,13 +160,20 @@ class Tracer:
     (:func:`time.perf_counter`); event timestamps are offsets from the
     tracer's creation, so event files diff cleanly run to run apart from
     the durations themselves.
+
+    A tracer constructed without an explicit sink inherits the process
+    *default sink* (:func:`set_default_sink`) — how a long-lived host
+    (the ``nsc-vpe serve`` daemon) wires every tracer the stack creates,
+    batch-level and per-job alike, into one live event stream without a
+    single call site changing.  With no default set (the normal CLI and
+    test case) nothing changes: the sink stays None.
     """
 
     MAX_EVENTS = 10_000
 
     def __init__(self, sink: Optional[JsonlSink] = None,
                  keep_events: bool = False) -> None:
-        self.sink = sink
+        self.sink = sink if sink is not None else _DEFAULT_SINK
         self.keep_events = keep_events
         self.events: List[Dict[str, Any]] = []
         self.timings: Dict[str, float] = {}
@@ -230,6 +237,33 @@ class Tracer:
             counters=dict(self.counters),
             annotations=dict(self.annotations),
         )
+
+
+# ----------------------------------------------------------------------
+# the process default sink (long-lived hosts' live event stream)
+# ----------------------------------------------------------------------
+#: Sink inherited by every Tracer constructed without one.  Anything
+#: with an ``emit(dict)`` method qualifies (a :class:`JsonlSink`, the
+#: server's bounded event buffer, a test double).
+_DEFAULT_SINK: Optional[Any] = None
+
+
+def set_default_sink(sink: Optional[Any]) -> Optional[Any]:
+    """Install *sink* as the process default (None uninstalls).
+
+    Returns the previous default so callers can restore it.  Only
+    tracers constructed *after* this call inherit the sink; existing
+    tracers keep whatever they were built with.
+    """
+    global _DEFAULT_SINK
+    previous = _DEFAULT_SINK
+    _DEFAULT_SINK = sink
+    return previous
+
+
+def default_sink() -> Optional[Any]:
+    """The currently installed process default sink, or None."""
+    return _DEFAULT_SINK
 
 
 # ----------------------------------------------------------------------
@@ -301,4 +335,6 @@ __all__ = [
     "count",
     "annotate",
     "event",
+    "set_default_sink",
+    "default_sink",
 ]

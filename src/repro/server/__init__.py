@@ -1,0 +1,50 @@
+"""The resident simulation service (``nsc-vpe serve``).
+
+Everything ``repro.service`` can do — batches, sweeps, caching, retry,
+resume, shm transport — hosted behind a long-lived stdlib-asyncio HTTP
+daemon so the expensive warm state (compiled-program cache, plan cache,
+shm arena) survives across requests instead of dying with each CLI
+invocation.  The layering, bottom up:
+
+- :mod:`repro.server.rate_limiter` — per-client token buckets;
+- :mod:`repro.server.correlation` — request ids threaded through events;
+- :mod:`repro.server.events` — the bounded live event ring
+  (``GET /events``), installed as the process default tracer sink;
+- :mod:`repro.server.history` — queryable views over the result store
+  (``GET /runs``);
+- :mod:`repro.server.service` — :class:`SimService`: submissions,
+  content-hash dedup, the single worker thread, the persistent caches;
+- :mod:`repro.server.routers` / :mod:`repro.server.app` — the HTTP
+  surface and its middleware;
+- :mod:`repro.server.client` — the thin client the CLI's ``--server``
+  mode rides on.
+
+``docs/SERVICE.md`` (Resident service section) has the cookbook;
+``docs/OBSERVABILITY.md`` covers correlation ids and the event stream.
+"""
+
+from repro.server.app import ServerHandle, ServiceApp, serve_forever, start_in_thread
+from repro.server.client import ServerError, ServiceClient
+from repro.server.correlation import HEADER as CORRELATION_HEADER
+from repro.server.events import EventBuffer
+from repro.server.history import HistoryQueryError, RunHistory
+from repro.server.rate_limiter import RateLimiter, TokenBucket
+from repro.server.service import SimService, Submission, SubmissionError
+
+__all__ = [
+    "CORRELATION_HEADER",
+    "EventBuffer",
+    "HistoryQueryError",
+    "RateLimiter",
+    "RunHistory",
+    "ServerError",
+    "ServerHandle",
+    "ServiceApp",
+    "ServiceClient",
+    "SimService",
+    "Submission",
+    "SubmissionError",
+    "TokenBucket",
+    "serve_forever",
+    "start_in_thread",
+]

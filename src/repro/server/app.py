@@ -1,0 +1,367 @@
+"""The daemon's HTTP plumbing: stdlib asyncio, zero heavy dependencies.
+
+The service speaks plain HTTP/1.1 with JSON bodies over
+:func:`asyncio.start_server` — no web framework, because the repro
+toolchain must not grow one: the whole server is a request parser, a
+response writer, and two pieces of middleware wrapped around
+:func:`repro.server.routers.dispatch`:
+
+- **correlation** — every request runs under a bound correlation id
+  (client-supplied ``X-Correlation-Id`` or freshly minted), echoed on
+  the response and stamped onto every telemetry event emitted while the
+  request is in flight (:mod:`repro.server.correlation`);
+- **rate limiting** — a per-client token bucket
+  (:mod:`repro.server.rate_limiter`) keyed on ``X-Client-Id`` (falling
+  back to the peer address) answers 429 with a ``Retry-After`` hint;
+  ``/healthz`` is exempt so liveness probes never get throttled.
+
+Handlers run via :func:`asyncio.to_thread`, so long-polls (``?wait=``)
+and lock waits in the service core block a pool thread, never the event
+loop — the daemon stays responsive while a client camps on
+``GET /jobs/{id}?wait=30``.  Context variables propagate into the
+thread, which is exactly how the correlation binding survives the hop.
+
+Two hosting modes share the same :class:`ServiceApp`:
+
+- :func:`serve_forever` — the blocking CLI entry point
+  (``nsc-vpe serve``): installs SIGINT/SIGTERM handlers for a graceful
+  stop and prints the ``serving on http://HOST:PORT`` banner the smoke
+  driver and the chaos tests parse to discover an ephemeral port;
+- :func:`start_in_thread` — in-process hosting for tests: the event
+  loop runs on a daemon thread and the returned :class:`ServerHandle`
+  exposes the bound address and a thread-safe ``stop()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import math
+import signal
+import threading
+from dataclasses import dataclass, field
+from http import HTTPStatus
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.server import correlation
+from repro.server.rate_limiter import RateLimiter
+from repro.server.routers import dispatch
+from repro.server.service import SimService
+
+#: Request bodies beyond this are refused with 413 — a submission is a
+#: list of job specs, not a payload channel.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _BadRequest(Exception):
+    """Malformed wire data; carries the status to answer with."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request, as the handlers see it."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+    client: str
+    correlation_id: str
+    path_parts: Tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.path_parts = tuple(
+            unquote(part) for part in self.path.strip("/").split("/") if part
+        )
+
+    def json(self) -> Any:
+        """The body decoded as JSON (400 via ValueError when it isn't)."""
+        if not self.body:
+            raise ValueError("request body is empty; expected JSON")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}")
+
+
+class ServiceApp:
+    """HTTP front end over one :class:`SimService`."""
+
+    def __init__(
+        self,
+        service: SimService,
+        limiter: Optional[RateLimiter] = None,
+    ) -> None:
+        self.service = service
+        self.limiter = limiter if limiter is not None else RateLimiter()
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        #: requests currently being answered; shutdown drains these (but
+        #: not idle keep-alive connections, which are simply dropped)
+        self._inflight = 0
+        self._idle: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def request_shutdown(self) -> None:
+        """Ask the server to stop (thread-safe; POST /shutdown and
+        signal handlers both land here)."""
+        if self._loop is not None and self._stop is not None:
+            # the loop may already be gone (POST /shutdown raced a
+            # handle.stop()); a second ask is then simply satisfied
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._stop.set)
+
+    async def run_async(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ready: Optional[threading.Event] = None,
+        banner: bool = False,
+        install_signals: bool = False,
+    ) -> None:
+        """Serve until :meth:`request_shutdown`; binds (and with
+        ``port=0`` discovers) the address before signalling *ready*."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        if install_signals:
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                with contextlib.suppress(NotImplementedError, ValueError):
+                    self._loop.add_signal_handler(sig, self._stop.set)
+        server = await asyncio.start_server(self._handle, host, port)
+        bound = server.sockets[0].getsockname()
+        self.host, self.port = bound[0], bound[1]
+        if banner:
+            # the line the smoke driver and chaos tests parse
+            print(f"serving on http://{self.host}:{self.port}", flush=True)
+        if ready is not None:
+            ready.set()
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            # a POST /shutdown must still get its answer: drain requests
+            # that are mid-response before the loop is torn down
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self._idle.wait(), timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        peer_host = str(peer[0]) if peer else "unknown"
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader, peer_host)
+                except _BadRequest as exc:
+                    await self._write(
+                        writer, None, exc.status, {"error": str(exc)}, keep=False
+                    )
+                    break
+                if request is None:
+                    break
+                keep = request.headers.get("connection", "").lower() != "close"
+                self._inflight += 1
+                if self._idle is not None:
+                    self._idle.clear()
+                try:
+                    status, payload = await self._respond(request)
+                    await self._write(writer, request, status, payload, keep)
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0 and self._idle is not None:
+                        self._idle.set()
+                if not keep:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server shutting down while this connection idled
+        finally:
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader, peer_host: str
+    ) -> Optional[Request]:
+        line = await reader.readline()
+        if not line or not line.strip():
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _BadRequest(400, f"malformed request line: {line!r}")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) > 100:
+                raise _BadRequest(431, "too many request headers")
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if not sep:
+                raise _BadRequest(400, f"malformed header line: {raw!r}")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or 0)
+        except ValueError:
+            raise _BadRequest(400, "content-length is not an integer")
+        if length < 0:
+            raise _BadRequest(400, "content-length is negative")
+        if length > MAX_BODY_BYTES:
+            raise _BadRequest(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        split = urlsplit(target)
+        query = dict(parse_qsl(split.query, keep_blank_values=True))
+        return Request(
+            method=method,
+            path=split.path,
+            query=query,
+            headers=headers,
+            body=body,
+            client=headers.get("x-client-id", peer_host),
+            correlation_id=headers.get(correlation.HEADER.lower())
+            or correlation.new_id(),
+        )
+
+    async def _respond(self, request: Request) -> Tuple[int, Dict[str, Any]]:
+        if request.path_parts != ("healthz",):
+            granted, retry_after = self.limiter.check(request.client)
+            if not granted:
+                return 429, {
+                    "error": "rate limited; retry later",
+                    "retry_after": round(retry_after, 4),
+                }
+
+        def run() -> Tuple[int, Dict[str, Any]]:
+            with correlation.bind(request.correlation_id):
+                return dispatch(self, request)
+
+        try:
+            # handlers may block (long-polls, worker locks); a pool
+            # thread eats that, the event loop never does
+            return await asyncio.to_thread(run)
+        except Exception as exc:  # a handler bug must not kill the daemon
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        request: Optional[Request],
+        status: int,
+        payload: Dict[str, Any],
+        keep: bool,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        try:
+            phrase = HTTPStatus(status).phrase
+        except ValueError:
+            phrase = "Unknown"
+        lines = [
+            f"HTTP/1.1 {status} {phrase}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep else 'close'}",
+        ]
+        if request is not None:
+            lines.append(f"{correlation.HEADER}: {request.correlation_id}")
+        if status == 429 and "retry_after" in payload:
+            lines.append(f"Retry-After: {max(1, math.ceil(payload['retry_after']))}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+
+class ServerHandle:
+    """A server hosted on a background thread (test fixture shape)."""
+
+    def __init__(self, app: ServiceApp, thread: threading.Thread) -> None:
+        self.app = app
+        self.thread = thread
+
+    @property
+    def host(self) -> str:
+        assert self.app.host is not None
+        return self.app.host
+
+    @property
+    def port(self) -> int:
+        assert self.app.port is not None
+        return self.app.port
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self.app.request_shutdown()
+        self.thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+def start_in_thread(
+    service: SimService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    limiter: Optional[RateLimiter] = None,
+) -> ServerHandle:
+    """Host *service* over HTTP on a daemon thread; returns once bound."""
+    app = ServiceApp(service, limiter)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=lambda: asyncio.run(app.run_async(host, port, ready=ready)),
+        name="nsc-vpe-serve-http",
+        daemon=True,
+    )
+    thread.start()
+    if not ready.wait(15.0):
+        raise RuntimeError("HTTP server failed to come up within 15s")
+    return ServerHandle(app, thread)
+
+
+def serve_forever(
+    service: SimService,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    limiter: Optional[RateLimiter] = None,
+) -> None:
+    """Blocking CLI entry point: serve until SIGINT/SIGTERM (or
+    ``POST /shutdown``), announcing the bound address on stdout."""
+    app = ServiceApp(service, limiter)
+    asyncio.run(
+        app.run_async(host, port, banner=True, install_signals=True)
+    )
+
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "Request",
+    "ServiceApp",
+    "ServerHandle",
+    "start_in_thread",
+    "serve_forever",
+]

@@ -1,0 +1,193 @@
+"""Thin stdlib client for the service daemon.
+
+:class:`ServiceClient` is the programmatic face of ``nsc-vpe batch
+--server URL``: pure :mod:`urllib.request`, JSON in and out, no
+dependencies beyond what the daemon itself uses.  It adds exactly three
+behaviors over raw HTTP:
+
+- **identity** — every request carries the client's ``X-Client-Id`` (the
+  rate-limiter key) and an ``X-Correlation-Id``, so daemon-side events
+  are attributable to this caller;
+- **polite retry** — a 429 answer is retried after the server's
+  ``Retry-After`` hint, up to a bounded number of rounds, because the
+  token bucket *guarantees* the retried request succeeds if the client
+  actually waits (the no-starvation property);
+- **completion polling** — :meth:`run` submits and long-polls
+  ``GET /jobs/{id}?wait=`` until the submission finishes, returning the
+  full result payload — the offline ``BatchRunner.run`` shape, one
+  network hop away.
+
+Errors the server reports deliberately (4xx/5xx JSON bodies) raise
+:class:`ServerError` carrying the decoded payload; transport-level
+failures raise their usual :mod:`urllib.error` exceptions so callers can
+tell "the daemon said no" from "there is no daemon".
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.server import correlation
+
+
+class ServerError(RuntimeError):
+    """The daemon answered with an error status."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """JSON client for one daemon base URL (e.g. ``http://127.0.0.1:8787``)."""
+
+    def __init__(
+        self,
+        base_url: str,
+        client_id: str = "nsc-vpe-cli",
+        timeout: float = 120.0,
+        max_rate_limit_retries: int = 8,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.client_id = client_id
+        self.timeout = timeout
+        self.max_rate_limit_retries = max_rate_limit_retries
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """One JSON round trip, transparently retrying 429s."""
+        body = None
+        headers = {
+            "X-Client-Id": self.client_id,
+            correlation.HEADER: correlation.current() or correlation.new_id(),
+            "Accept": "application/json",
+        }
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        url = self.base_url + path
+        for attempt in range(self.max_rate_limit_retries + 1):
+            req = urllib.request.Request(url, data=body, headers=headers, method=method)
+            try:
+                with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                    return json.loads(resp.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                answer = self._decode(exc)
+                if exc.code == 429 and attempt < self.max_rate_limit_retries:
+                    # waiting out retry_after guarantees the retry is
+                    # granted (no-starvation), so this loop terminates
+                    time.sleep(
+                        max(0.05, float(answer.get("retry_after", 0.2)))
+                    )
+                    continue
+                raise ServerError(exc.code, answer)
+        raise ServerError(429, {"error": "rate limited beyond retry budget"})
+
+    @staticmethod
+    def _decode(exc: urllib.error.HTTPError) -> Dict[str, Any]:
+        try:
+            return json.loads(exc.read().decode("utf-8"))
+        except Exception:
+            return {"error": f"HTTP {exc.code}"}
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("GET", "/stats")
+
+    def submit(
+        self,
+        jobs: Optional[List[Dict[str, Any]]] = None,
+        sweep: Optional[Dict[str, Any]] = None,
+        tag: str = "",
+        resume: bool = False,
+    ) -> Dict[str, Any]:
+        """``POST /jobs``; returns the submission status payload (its
+        ``"id"`` is the handle everything else takes)."""
+        payload: Dict[str, Any] = {}
+        if jobs is not None:
+            payload["jobs"] = jobs
+        if sweep is not None:
+            payload["sweep"] = sweep
+        if tag:
+            payload["tag"] = tag
+        if resume:
+            payload["resume"] = True
+        return self.request("POST", "/jobs", payload)
+
+    def status(self, sub_id: str, wait: float = 0.0) -> Dict[str, Any]:
+        path = f"/jobs/{sub_id}"
+        if wait > 0:
+            path += f"?wait={wait:g}"
+        return self.request("GET", path)
+
+    def result(self, sub_id: str, wait: float = 0.0) -> Dict[str, Any]:
+        path = f"/jobs/{sub_id}/result"
+        if wait > 0:
+            path += f"?wait={wait:g}"
+        return self.request("GET", path)
+
+    def wait(self, sub_id: str, timeout: float = 600.0) -> Dict[str, Any]:
+        """Long-poll until the submission leaves queued/running (or
+        *timeout* elapses); returns the final status payload."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return self.status(sub_id)
+            status = self.status(sub_id, wait=min(30.0, remaining))
+            if status.get("state") in ("done", "failed"):
+                return status
+
+    def run(
+        self,
+        jobs: Optional[List[Dict[str, Any]]] = None,
+        sweep: Optional[Dict[str, Any]] = None,
+        tag: str = "",
+        resume: bool = False,
+        timeout: float = 600.0,
+    ) -> Dict[str, Any]:
+        """Submit, wait, fetch: the one-call offline-equivalent path."""
+        sub = self.submit(jobs=jobs, sweep=sweep, tag=tag, resume=resume)
+        status = self.wait(sub["id"], timeout=timeout)
+        if status.get("state") == "failed":
+            raise ServerError(500, {"error": status.get("error", "run failed")})
+        if status.get("state") != "done":
+            raise ServerError(
+                504, {"error": f"submission {sub['id']} still {status.get('state')} "
+                               f"after {timeout}s"}
+            )
+        return self.result(sub["id"])
+
+    def runs(self, **params: Any) -> Dict[str, Any]:
+        query = "&".join(f"{k}={v}" for k, v in params.items() if v is not None)
+        return self.request("GET", "/runs" + (f"?{query}" if query else ""))
+
+    def events(self, after: int = 0, limit: int = 1000, wait: float = 0.0
+               ) -> Dict[str, Any]:
+        path = f"/events?after={after}&limit={limit}"
+        if wait > 0:
+            path += f"&wait={wait:g}"
+        return self.request("GET", path)
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("POST", "/shutdown")
+
+
+__all__ = ["ServiceClient", "ServerError"]

@@ -1,0 +1,73 @@
+"""Request correlation for the service daemon.
+
+Every request the daemon handles gets a **correlation id**: either the
+one the client sent in the ``X-Correlation-Id`` header (so a caller can
+stitch its own logs to the daemon's) or a freshly generated token.  The
+id travels three ways:
+
+- it is echoed back on the response (same header), so the client always
+  learns which id its request ran under;
+- it is bound to a :mod:`contextvars` context variable for the dynamic
+  extent of the request — and, because the daemon executes submissions
+  on a worker thread that re-binds the submission's id, for the extent
+  of the *run* too;
+- the daemon's event sink stamps the bound id onto every telemetry
+  event it forwards (:func:`stamp`), so the live ``GET /events`` stream
+  and the on-disk event log attribute every span and counter event to
+  the request that caused it.  The obs layer itself stays ignorant of
+  correlation — the stamp happens at the sink boundary.
+
+Stored *result records* deliberately do not carry correlation ids: they
+are identity-relevant to nothing the job computed, and keeping them out
+is what lets a daemon-written store stay digest-identical to an offline
+``nsc-vpe batch`` run (the acceptance contract).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import uuid
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+#: Header used in both directions.
+HEADER = "X-Correlation-Id"
+
+_CURRENT: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "nsc_vpe_correlation_id", default=None
+)
+
+
+def new_id() -> str:
+    """A fresh 12-hex-digit correlation token."""
+    return uuid.uuid4().hex[:12]
+
+
+def current() -> Optional[str]:
+    """The correlation id bound to this context, or None."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def bind(correlation_id: Optional[str]) -> Iterator[Optional[str]]:
+    """Bind *correlation_id* (or a fresh one when None) for the extent
+    of the ``with`` body, restoring the previous binding after."""
+    value = correlation_id or new_id()
+    token = _CURRENT.set(value)
+    try:
+        yield value
+    finally:
+        _CURRENT.reset(token)
+
+
+def stamp(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Return *payload* with the bound correlation id added (when one is
+    bound and the payload does not already carry one)."""
+    cid = _CURRENT.get()
+    if cid is not None and "correlation_id" not in payload:
+        payload = dict(payload)
+        payload["correlation_id"] = cid
+    return payload
+
+
+__all__ = ["HEADER", "new_id", "current", "bind", "stamp"]

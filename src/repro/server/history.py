@@ -1,0 +1,113 @@
+"""Queryable run history over the JSONL :class:`ResultStore`.
+
+The store is the daemon's durable layer — every finished job appends one
+record (the same schema ``nsc-vpe batch`` writes offline, which is what
+makes daemon and offline stores digest-comparable).  ``GET /runs``
+serves filtered views of it: by method, outcome, tier, job id, or label
+substring, newest first, paginated.  Filtering happens on a fresh
+:meth:`ResultStore.load` each query, so the endpoint always reflects
+what is actually on disk — including records appended by *other*
+writers sharing the store (the file lock in
+:mod:`repro.service.results` makes that sharing safe).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.service.results import ResultStore
+
+
+class HistoryQueryError(ValueError):
+    """A /runs query parameter is malformed."""
+
+
+def _parse_bool(name: str, raw: str) -> bool:
+    lowered = raw.strip().lower()
+    if lowered in ("1", "true", "yes"):
+        return True
+    if lowered in ("0", "false", "no"):
+        return False
+    raise HistoryQueryError(f"{name} must be a boolean, got {raw!r}")
+
+
+class RunHistory:
+    """Filtered, paginated views over one result store."""
+
+    def __init__(self, store: ResultStore) -> None:
+        self.store = store
+
+    def query(
+        self,
+        method: Optional[str] = None,
+        ok: Optional[bool] = None,
+        tier: Optional[str] = None,
+        job_id: Optional[str] = None,
+        label: Optional[str] = None,
+        limit: int = 50,
+        offset: int = 0,
+    ) -> Dict[str, Any]:
+        """Matching records, newest first.
+
+        Returns ``{"total": N, "returned": n, "records": [...]}`` where
+        ``total`` counts every match and ``records`` is the
+        ``offset``/``limit`` page of them.
+        """
+        if limit < 0:
+            raise HistoryQueryError(f"limit must be >= 0, got {limit}")
+        if offset < 0:
+            raise HistoryQueryError(f"offset must be >= 0, got {offset}")
+        records = self.store.load()
+        records.reverse()  # newest first: later appends shadow earlier
+        matches: List[Dict[str, Any]] = []
+        for record in records:
+            if method is not None and record.get("method") != method:
+                continue
+            if ok is not None and bool(record.get("ok")) != ok:
+                continue
+            if tier is not None and record.get("tier") != tier:
+                continue
+            if job_id is not None and record.get("job_id") != job_id:
+                continue
+            if label is not None and label not in str(record.get("label", "")):
+                continue
+            matches.append(record)
+        page = matches[offset : offset + limit]
+        return {
+            "total": len(matches),
+            "returned": len(page),
+            "offset": offset,
+            "records": page,
+        }
+
+    def query_params(self, params: Dict[str, str]) -> Dict[str, Any]:
+        """:meth:`query` driven by raw string query parameters (the HTTP
+        layer's entry point); unknown parameters are rejected so typos
+        fail loudly instead of silently returning everything."""
+        known = {"method", "ok", "tier", "job_id", "label", "limit", "offset"}
+        unknown = set(params) - known
+        if unknown:
+            raise HistoryQueryError(
+                f"unknown query parameters: {sorted(unknown)}; "
+                f"expected from {sorted(known)}"
+            )
+        try:
+            limit = int(params.get("limit", "50"))
+            offset = int(params.get("offset", "0"))
+        except ValueError as exc:
+            raise HistoryQueryError(f"limit/offset must be integers: {exc}")
+        ok: Optional[bool] = None
+        if "ok" in params:
+            ok = _parse_bool("ok", params["ok"])
+        return self.query(
+            method=params.get("method"),
+            ok=ok,
+            tier=params.get("tier"),
+            job_id=params.get("job_id"),
+            label=params.get("label"),
+            limit=limit,
+            offset=offset,
+        )
+
+
+__all__ = ["RunHistory", "HistoryQueryError"]

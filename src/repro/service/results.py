@@ -21,6 +21,11 @@ import warnings
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional
 
+try:  # POSIX advisory locking; absent on some platforms (see extend)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
 #: Record keys that legitimately vary between runs of the same sweep, so
 #: the reproducibility compare drops them.  ``duration_s``/``timings``
 #: are wall-clock measurements; the reliability stamps record *how* a
@@ -78,7 +83,20 @@ class ResultStore:
 
     def extend(self, records: List[Mapping[str, Any]]) -> None:
         """Append a batch in one write, so its records land contiguously
-        and a kill between calls can never tear an individual line."""
+        and a kill between calls can never tear an individual line.
+
+        Appends take an exclusive advisory lock (``flock``) on the store
+        file for the duration of the write: a payload larger than the io
+        buffer flushes as several ``write(2)`` calls, which two
+        concurrent unlocked appenders could interleave into a torn line.
+        The lock serializes whole appends instead, so independent
+        writers — two sweeps sharing a store, the serve daemon next to
+        an offline batch — can never corrupt each other's records.  On
+        platforms without ``fcntl`` the store falls back to the old
+        single-write behavior (same-process writers remain safe; the
+        serve daemon additionally serializes all appends through its
+        single runner thread).
+        """
         if not records:
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -86,13 +104,23 @@ class ResultStore:
             json.dumps(dict(record), sort_keys=True) + "\n"
             for record in records
         )
-        if self._tail_is_torn():
-            # a previous writer died mid-line: terminate its partial
-            # tail so our records start on a line of their own
-            payload = "\n" + payload
         with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(payload)
-            fh.flush()
+            if fcntl is not None:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                # the torn-tail probe must run under the lock: another
+                # writer may have healed (or torn) the tail since this
+                # process last looked
+                if self._tail_is_torn():
+                    # a previous writer died mid-line: terminate its
+                    # partial tail so our records start on a line of
+                    # their own
+                    payload = "\n" + payload
+                fh.write(payload)
+                fh.flush()
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
 
     def _tail_is_torn(self) -> bool:
         """Does the file end mid-line (last byte not a newline)?"""

@@ -51,7 +51,9 @@ import functools
 import hashlib
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple,
+)
 
 import numpy as np
 
@@ -532,6 +534,23 @@ class BatchRunner:
         A :class:`~repro.service.faults.FaultPlan` to inject during this
         run; exported through ``NSC_VPE_FAULTS`` so pool workers inherit
         it.  Chaos testing only — never set in production.
+    cache:
+        An explicit in-process :class:`ProgramCache` for the serial
+        path, overriding the runner-owned one.  A long-lived host (the
+        ``nsc-vpe serve`` daemon) passes the same cache to every runner
+        it builds, so compiled programs — and through ``warm_plan`` the
+        shared :data:`~repro.sim.fastpath.PLAN_CACHE` — stay warm across
+        requests instead of across one batch.  Ignored on the process
+        path (workers > 1 or a timeout), which uses per-worker caches
+        plus the disk layer, exactly as before.
+    arena:
+        A caller-owned persistent :class:`~repro.service.shm.ShmArena`
+        for the shm transport.  When given, each batch allocates its
+        segments from this arena and *releases* them when it finishes
+        (:meth:`ShmArena.release`) instead of creating and destroying a
+        whole arena per run — the daemon's amortization of arena setup.
+        Ownership stays with the caller: the runner never destroys a
+        provided arena.
     """
 
     def __init__(
@@ -546,6 +565,8 @@ class BatchRunner:
         retry: Optional[RetryPolicy] = None,
         resume: bool = False,
         fault_plan: Optional[FaultPlan] = None,
+        cache: Optional[ProgramCache] = None,
+        arena: Optional["ShmArena"] = None,  # noqa: F821
     ) -> None:
         if transport not in TRANSPORTS:
             raise ValueError(
@@ -585,10 +606,15 @@ class BatchRunner:
         #: serial runs share this cache across the whole batch; process
         #: runs (workers > 1, or any timeout, which forces the process
         #: path) rely on per-worker caches plus the shared disk layer.
-        self.cache = (
-            ProgramCache(cache_dir)
-            if workers == 1 and timeout is None else None
-        )
+        #: A caller-provided cache (the serve daemon's) survives across
+        #: runner instances — warm across *requests*, not just jobs.
+        if workers == 1 and timeout is None:
+            self.cache = cache if cache is not None else ProgramCache(cache_dir)
+        else:
+            self.cache = None
+        #: caller-owned persistent arena for the shm transport (or None:
+        #: each shm batch creates and destroys its own)
+        self.arena = arena
         #: why the most recent run demoted shm to pickling, or None
         self._transport_degraded: Optional[str] = None
         #: checkpoint frontier: records append in strict job-index order
@@ -625,12 +651,17 @@ class BatchRunner:
             reasons: Dict[int, List[str]] = {}
             attempt = 1
             while pending:
-                round_records = self._run_round(
-                    eff_jobs, specs, pending, attempt
-                )
                 still: List[int] = []
                 delay = 0.0
-                for i, record in zip(pending, round_records):
+
+                def absorb(i: int, record: Dict[str, Any]) -> None:
+                    """Finalize one record (or schedule its retry) as it
+                    lands.  Serial execution streams records through
+                    here one job at a time, so the checkpoint frontier
+                    advances — and the store grows — *during* a round,
+                    not just at its end: a ``kill -9`` mid-batch leaves
+                    every already-finished job persisted."""
+                    nonlocal delay
                     record["attempts"] = attempt
                     if reasons.get(i):
                         record["retry_reasons"] = list(reasons[i])
@@ -640,7 +671,8 @@ class BatchRunner:
                     if classification is None:  # success: finalize
                         self._digest_fields([record])
                         final[i] = record
-                        continue
+                        self._checkpoint(final, preloaded)
+                        return
                     reason = record.get("error_type") or "unknown"
                     if self.transport == "shm" and (
                         reason == "ShmAttachError"
@@ -661,7 +693,7 @@ class BatchRunner:
                             delay_s=policy.delay(attempt),
                         )
                         still.append(i)
-                        continue
+                        return
                     if classification == "transient" \
                             and policy.max_attempts > 1:
                         obs.count("retry.exhausted")
@@ -672,9 +704,12 @@ class BatchRunner:
                         )
                     self._digest_fields([record])
                     final[i] = record
-                self._checkpoint(final, preloaded)
+                    self._checkpoint(final, preloaded)
+
+                self._run_round(eff_jobs, specs, pending, attempt, absorb)
                 if still and delay > 0:
                     time.sleep(delay)  # deterministic no-jitter backoff
+                still.sort()  # retries keep running in job-index order
                 pending = still
                 attempt += 1
         records = [record for record in final if record is not None]
@@ -777,62 +812,80 @@ class BatchRunner:
         specs: List[Dict[str, Any]],
         indices: Sequence[int],
         attempt: int,
-    ) -> List[Dict[str, Any]]:
-        """Execute attempt *attempt* for every job index in *indices*.
+        on_record: Callable[[int, Dict[str, Any]], None],
+    ) -> None:
+        """Execute attempt *attempt* for every job index in *indices*,
+        reporting each record to ``on_record(job_index, record)``.
 
         The parent-side ``pool.submit`` fault site fires here: an item
         it claims never reaches the pool and reports a synthesized
         transient failure instead (the retry layer handles the rest).
         """
-        by_index: Dict[int, Dict[str, Any]] = {}
         dispatch: List[int] = []
         for i in indices:
             try:
                 faults.check("pool.submit", eff_jobs[i].job_id, attempt)
             except FaultInjected as exc:
-                by_index[i] = self._submit_failure(eff_jobs[i], exc)
+                on_record(i, self._submit_failure(eff_jobs[i], exc))
             else:
                 dispatch.append(i)
         if dispatch:
-            round_records = self._dispatch(
+            self._dispatch(
                 [eff_jobs[i] for i in dispatch],
                 [specs[i] for i in dispatch],
                 attempt,
+                lambda j, record: on_record(dispatch[j], record),
             )
-            for i, record in zip(dispatch, round_records):
-                by_index[i] = record
-        return [by_index[i] for i in indices]
 
     def _dispatch(
         self,
         round_jobs: Sequence[SimJob],
         round_specs: List[Dict[str, Any]],
         attempt: int,
-    ) -> List[Dict[str, Any]]:
-        """Run one round's jobs over the (possibly degraded) transport."""
+        on_record: Callable[[int, Dict[str, Any]], None],
+    ) -> None:
+        """Run one round's jobs over the (possibly degraded) transport,
+        reporting each record to ``on_record(round_index, record)``.
+
+        The in-process serial bypass streams: every record is reported
+        the moment its job finishes, while the pool/shm transports (whose
+        results only exist once the round's map returns) report the
+        whole round at the end."""
         if self.transport == "shm" and self.cache is None \
                 and self._transport_degraded is None:
             try:
-                return self._run_shm(round_jobs, round_specs, attempt)
+                records = self._run_shm(round_jobs, round_specs, attempt)
             except FaultInjected:
                 raise  # store.append faults must escape, not demote
             except OSError as exc:
                 # arena setup failed (no /dev/shm space, limits): the
                 # batch still completes — over pickling
                 self._degrade_transport(f"{type(exc).__name__}: {exc}")
+            else:
+                self._report(records, on_record)
+                return
         if self.cache is not None and self.batch_fusion == "auto":
             records = self._run_serial_fused(round_specs, attempt)
+        elif self.cache is not None:
+            # serial bypass: in-process execution, no transport involved
+            # — stream record-by-record so checkpoints land per job
+            fn = functools.partial(
+                execute_job, cache=self.cache, attempt=attempt
+            )
+            pool = WorkerPool(max_workers=1, timeout=self.timeout)
+            for j, (job, spec) in enumerate(zip(round_jobs, round_specs)):
+                outcome = pool.map(fn, [spec])[0]
+                record = self._record_of(job, outcome)
+                if self.transport == "shm" and self._transport_degraded:
+                    record.setdefault(
+                        "transport_fallback", self._transport_degraded
+                    )
+                on_record(j, record)
+            return
         else:
-            if self.cache is not None:
-                # serial bypass: in-process execution, no transport
-                # involved
-                fn = functools.partial(
-                    execute_job, cache=self.cache, attempt=attempt
-                )
-            else:
-                fn = functools.partial(
-                    execute_job, cache_dir=self.cache_dir, attempt=attempt
-                )
+            fn = functools.partial(
+                execute_job, cache_dir=self.cache_dir, attempt=attempt
+            )
             pool = WorkerPool(
                 max_workers=self.workers, timeout=self.timeout
             )
@@ -841,12 +894,22 @@ class BatchRunner:
                 self._record_of(job, outcome)
                 for job, outcome in zip(round_jobs, outcomes)
             ]
+        self._report(records, on_record)
+
+    def _report(
+        self,
+        records: List[Dict[str, Any]],
+        on_record: Callable[[int, Dict[str, Any]], None],
+    ) -> None:
+        """Report a completed round's records, stamping any transport
+        degradation first."""
         if self.transport == "shm" and self._transport_degraded:
             for record in records:
                 record.setdefault(
                     "transport_fallback", self._transport_degraded
                 )
-        return records
+        for j, record in enumerate(records):
+            on_record(j, record)
 
     def _degrade_transport(self, reason: str) -> None:
         """Demote the rest of this run from shm to pickling (once)."""
@@ -936,14 +999,19 @@ class BatchRunner:
         """Parallel execution over shared-memory segments.
 
         The arena (and therefore every segment) is owned by this process
-        and destroyed in ``finally`` — worker crashes, timeouts, and
-        mid-batch exceptions cannot leak shared memory.  Kept fields are
-        materialized out of the segments (one local memcpy each) before
-        cleanup, so returned records own ordinary arrays.
+        and cleaned up in ``finally`` — worker crashes, timeouts, and
+        mid-batch exceptions cannot leak shared memory.  A runner-owned
+        arena is destroyed outright; a caller-provided persistent arena
+        (``self.arena``, the serve daemon's) instead *releases* exactly
+        the segments this batch allocated, leaving the arena alive for
+        the next request.  Kept fields are materialized out of the
+        segments (one local memcpy each) before cleanup, so returned
+        records own ordinary arrays.
         """
         from repro.service.shm import ShmArena
 
-        arena = ShmArena()
+        arena = self.arena if self.arena is not None else ShmArena()
+        preexisting = set(arena.names)
         records: List[Dict[str, Any]] = []
         try:
             with obs.span("arena_setup"):
@@ -972,7 +1040,10 @@ class BatchRunner:
                             "u": arena.allocate(_field_shape(job))
                         }
                     tasks.append(task)
-                self.last_shm_segments = arena.names
+                self.last_shm_segments = [
+                    name for name in arena.names
+                    if name not in preexisting
+                ]
             pool = WorkerPool(max_workers=self.workers, timeout=self.timeout)
             outcomes = pool.map(
                 functools.partial(
@@ -991,7 +1062,12 @@ class BatchRunner:
                         }
                     records.append(record)
         finally:
-            arena.destroy()
+            if self.arena is not None:
+                arena.release(
+                    [n for n in arena.names if n not in preexisting]
+                )
+            else:
+                arena.destroy()
         return records
 
     @staticmethod

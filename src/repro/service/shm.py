@@ -205,12 +205,18 @@ class ShmArena:
         return sum(seg.size for seg in self._segments.values())
 
     # ------------------------------------------------------------------
-    def destroy(self) -> None:
-        """Close and unlink every segment.  Idempotent; missing segments
-        (already gone however improbably) are ignored — after this call
-        no name created by the arena exists on the system."""
-        segments, self._segments = self._segments, {}
-        for seg in segments.values():
+    def release(self, names: List[str]) -> None:
+        """Close and unlink just the named segments, keeping the arena
+        alive.  This is the long-lived host's cleanup: the ``nsc-vpe
+        serve`` daemon holds one persistent arena across batches and
+        releases each batch's segments when it finishes, so the arena
+        object (and the process's resource-tracker setup) is paid for
+        once, not per request.  Unknown names are ignored — releasing is
+        idempotent like :meth:`destroy`."""
+        for name in names:
+            seg = self._segments.pop(name, None)
+            if seg is None:
+                continue
             try:
                 seg.close()
             except Exception:
@@ -219,6 +225,12 @@ class ShmArena:
                 seg.unlink()
             except FileNotFoundError:
                 pass
+
+    def destroy(self) -> None:
+        """Close and unlink every segment.  Idempotent; missing segments
+        (already gone however improbably) are ignored — after this call
+        no name created by the arena exists on the system."""
+        self.release(list(self._segments))
 
     def __enter__(self) -> "ShmArena":
         return self

@@ -1,0 +1,140 @@
+"""Hypothesis properties for the daemon's token-bucket rate limiter.
+
+Two laws, checked under arbitrary interleavings of requests and clock
+advances (the clock is injected, so hypothesis drives time itself):
+
+- **bounded grant** — however requests arrive, the number granted can
+  never exceed ``capacity + refill_rate * elapsed``: the bucket can only
+  hand out its initial burst plus what refilled;
+- **no starvation** — a rejected client that waits out the returned
+  ``retry_after`` is guaranteed its next request, since per-client
+  buckets mean nobody else can drain it in between.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.server.rate_limiter import RateLimiter, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+#: one step of an interleaving: either time passes, or a request arrives
+STEPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("advance"),
+                  st.floats(0.0, 5.0, allow_nan=False)),
+        st.tuples(st.just("acquire"), st.integers(1, 3)),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+CONFIGS = st.tuples(
+    st.integers(1, 20),                      # capacity
+    st.floats(0.01, 50.0, allow_nan=False),  # refill_rate
+)
+
+
+class TestBoundedGrant:
+    @given(config=CONFIGS, steps=STEPS)
+    def test_granted_never_exceeds_capacity_plus_refill(self, config, steps):
+        capacity, rate = config
+        clock = FakeClock()
+        bucket = TokenBucket(capacity, rate, clock=clock)
+        granted_tokens = 0
+        for kind, value in steps:
+            if kind == "advance":
+                clock.advance(value)
+            else:
+                ok, retry_after = bucket.try_acquire(value)
+                if ok:
+                    granted_tokens += value
+                    assert retry_after == 0.0
+                else:
+                    assert retry_after > 0.0
+            # the invariant holds at every step, not just at the end
+            ceiling = capacity + rate * clock.now
+            assert granted_tokens <= ceiling + 1e-6, (
+                f"granted {granted_tokens} tokens but only "
+                f"{ceiling} could ever have existed")
+
+    @given(config=CONFIGS, steps=STEPS)
+    def test_balance_stays_within_bounds(self, config, steps):
+        capacity, rate = config
+        clock = FakeClock()
+        bucket = TokenBucket(capacity, rate, clock=clock)
+        for kind, value in steps:
+            if kind == "advance":
+                clock.advance(value)
+            else:
+                bucket.try_acquire(value)
+            assert -1e-9 <= bucket.tokens <= capacity + 1e-9
+
+
+class TestNoStarvation:
+    @given(config=CONFIGS, steps=STEPS, n=st.integers(1, 3))
+    def test_waiting_out_retry_after_always_wins(self, config, steps, n):
+        """From *any* reachable bucket state, a rejected request that
+        waits the advertised retry_after is granted on retry."""
+        capacity, rate = config
+        clock = FakeClock()
+        bucket = TokenBucket(capacity, rate, clock=clock)
+        for kind, value in steps:
+            if kind == "advance":
+                clock.advance(value)
+            else:
+                bucket.try_acquire(value)
+        n = min(n, int(capacity))  # an n > capacity request can never win
+        if n < 1:
+            return
+        ok, retry_after = bucket.try_acquire(n)
+        if ok:
+            return  # nothing to starve
+        # wait exactly what the bucket advertised (plus float dust)
+        clock.advance(retry_after + 1e-9)
+        granted, _ = bucket.try_acquire(n)
+        assert granted, (
+            f"client waited the advertised {retry_after}s and was "
+            f"still refused {n} token(s)")
+
+    @given(steps=STEPS)
+    def test_one_client_cannot_starve_another(self, steps):
+        """Per-client buckets: whatever one client does, a fresh client's
+        first request is always granted."""
+        clock = FakeClock()
+        limiter = RateLimiter(capacity=2, refill_rate=1.0, clock=clock)
+        for kind, value in steps:
+            if kind == "advance":
+                clock.advance(value)
+            else:
+                limiter.check("greedy", min(value, 2))
+        assert limiter.check("newcomer")[0]
+
+    @given(config=CONFIGS)
+    def test_retry_after_is_finite_and_consistent(self, config):
+        capacity, rate = config
+        clock = FakeClock()
+        bucket = TokenBucket(capacity, rate, clock=clock)
+        bucket.try_acquire(capacity)  # drain the burst
+        ok, retry_after = bucket.try_acquire(1)
+        if ok:  # capacity tokens drained but integer floor left >= 1
+            return
+        assert math.isfinite(retry_after)
+        # the hint is exact: waiting any less than it must still refuse
+        clock.advance(retry_after * 0.5)
+        assert not bucket.try_acquire(1)[0]
+        clock.advance(retry_after * 0.5 + 1e-9)
+        assert bucket.try_acquire(1)[0]

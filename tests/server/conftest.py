@@ -1,0 +1,41 @@
+"""Fixtures for the service-daemon tier: a real HTTP server per test.
+
+The daemon is hosted in-process (:func:`start_in_thread`) over real
+sockets on an ephemeral port — the tests exercise the genuine wire path
+(request parsing, middleware, thread handoff) without subprocess
+overhead.  Chaos tests that need a killable daemon spawn their own
+subprocess instead (see ``test_lifecycle.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.app import ServerHandle, start_in_thread
+from repro.server.client import ServiceClient
+from repro.server.rate_limiter import RateLimiter
+from repro.server.service import SimService
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = SimService(store_path=str(tmp_path / "results.jsonl"))
+    svc.start()
+    yield svc
+    svc.stop()
+
+
+@pytest.fixture()
+def server(service) -> ServerHandle:
+    # a test makes many quick requests from one client id; the default
+    # production bucket would throttle the suite itself
+    handle = start_in_thread(
+        service, limiter=RateLimiter(capacity=10_000, refill_rate=1_000.0)
+    )
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture()
+def client(server) -> ServiceClient:
+    return ServiceClient(server.base_url, client_id="pytest")

@@ -1,0 +1,26 @@
+"""Shared helpers for the server test tier (imported by basename —
+the test dirs are not packages, and ``helpers_server`` is unique
+repo-wide so the flat import is unambiguous)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: Solver settings that converge in milliseconds on tiny grids.
+FAST = {"eps": 1e-3, "max_sweeps": 500}
+
+
+def fast_specs(count: int = 2) -> List[Dict[str, Any]]:
+    """*count* mutually distinct cheap job specs (distinctness matters:
+    every job compiles its own program, so cache-hit patterns are
+    deterministic whatever prefix of the batch already ran)."""
+    specs = []
+    for i in range(count):
+        specs.append(
+            {
+                "method": ("jacobi", "rb-gs")[i % 2],
+                "n": 5 + i // 2,
+                **FAST,
+            }
+        )
+    return specs

@@ -1,0 +1,166 @@
+"""The live event stream: ordering, bounded buffering, attribution.
+
+Unit tests pin the :class:`EventBuffer` contract (sequence numbers,
+drop accounting, downstream tee); the API tests then prove the daemon
+honors it end to end — in-order span/counter events for an in-flight
+batch, and a slow consumer that never costs execution anything beyond
+counted drops.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server import correlation
+from repro.server.app import start_in_thread
+from repro.server.client import ServiceClient
+from repro.server.events import EventBuffer
+from repro.server.service import SimService
+
+from helpers_server import fast_specs
+
+
+class _Collector:
+    def __init__(self, fail: bool = False) -> None:
+        self.seen = []
+        self.fail = fail
+
+    def emit(self, payload):
+        if self.fail:
+            raise RuntimeError("downstream on fire")
+        self.seen.append(payload)
+
+
+class TestEventBuffer:
+    def test_sequence_numbers_are_dense_and_ordered(self):
+        buf = EventBuffer(maxlen=10)
+        for i in range(5):
+            buf.emit({"type": "t", "i": i})
+        events, dropped = buf.since(after=0)
+        assert dropped == 0
+        assert [e["seq"] for e in events] == [1, 2, 3, 4, 5]
+        assert [e["i"] for e in events] == [0, 1, 2, 3, 4]
+        assert buf.last_seq == 5
+
+    def test_since_resumes_exactly(self):
+        buf = EventBuffer(maxlen=10)
+        for i in range(6):
+            buf.emit({"type": "t", "i": i})
+        events, _ = buf.since(after=4)
+        assert [e["seq"] for e in events] == [5, 6]
+        events, _ = buf.since(after=6)
+        assert events == []
+
+    def test_limit_caps_a_page(self):
+        buf = EventBuffer(maxlen=100)
+        for i in range(20):
+            buf.emit({"type": "t"})
+        events, _ = buf.since(after=0, limit=7)
+        assert [e["seq"] for e in events] == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_overflow_drops_oldest_and_counts(self):
+        buf = EventBuffer(maxlen=4)
+        for i in range(10):
+            buf.emit({"type": "t", "i": i})
+        assert buf.dropped == 6
+        events, dropped = buf.since(after=0)
+        assert dropped == 6  # seqs 1..6 aged out of the requested range
+        assert [e["seq"] for e in events] == [7, 8, 9, 10]
+        # a reader already past the eviction horizon misses nothing
+        events, dropped = buf.since(after=7)
+        assert dropped == 0
+        assert [e["seq"] for e in events] == [8, 9, 10]
+        assert buf.stats() == {"emitted": 10, "buffered": 4,
+                               "dropped": 6, "maxlen": 4}
+
+    def test_downstream_sees_every_event_with_seq(self):
+        sink = _Collector()
+        buf = EventBuffer(maxlen=2, downstream=sink)
+        for i in range(5):
+            buf.emit({"type": "t", "i": i})
+        # the tee is not bounded by the ring: the durable log gets all
+        assert [e["seq"] for e in sink.seen] == [1, 2, 3, 4, 5]
+
+    def test_downstream_failure_never_propagates(self):
+        buf = EventBuffer(maxlen=4, downstream=_Collector(fail=True))
+        buf.emit({"type": "t"})  # must not raise
+        assert buf.last_seq == 1
+
+    def test_correlation_id_stamped_when_bound(self):
+        buf = EventBuffer()
+        with correlation.bind("abc123"):
+            buf.emit({"type": "inside"})
+        buf.emit({"type": "outside"})
+        events, _ = buf.since()
+        assert events[0]["correlation_id"] == "abc123"
+        assert "correlation_id" not in events[1]
+
+
+class TestEventsEndpoint:
+    def test_in_order_lifecycle_and_span_events(self, client):
+        sub = client.submit(jobs=fast_specs(2))
+        client.wait(sub["id"], timeout=60)
+        answer = client.events(limit=10_000)
+        events = answer["events"]
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs)
+        mine = [e for e in events if e.get("submission") == sub["id"]]
+        order = [e["type"] for e in mine]
+        assert order.index("submission_queued") < order.index(
+            "submission_started") < order.index("submission_finished")
+        kinds = {e["type"] for e in events}
+        assert "span" in kinds  # per-stage execution telemetry flowed in
+        finished = [e for e in mine if e["type"] == "submission_finished"]
+        assert finished[0]["counters"]["cache.miss"] >= 2
+
+    def test_tail_since_last_seq_sees_only_new_events(self, client):
+        first = client.submit(jobs=fast_specs(1), tag="one")
+        client.wait(first["id"], timeout=60)
+        cursor = client.events()["last_seq"]
+        second = client.submit(jobs=fast_specs(1), tag="two")
+        client.wait(second["id"], timeout=60)
+        fresh = client.events(after=cursor)
+        assert fresh["dropped"] == 0
+        assert all(e["seq"] > cursor for e in fresh["events"])
+        subs = {e.get("submission") for e in fresh["events"]}
+        assert second["id"] in subs and first["id"] not in subs
+
+    def test_bad_query_params_are_400(self, client):
+        from repro.server.client import ServerError
+
+        with pytest.raises(ServerError) as excinfo:
+            client.request("GET", "/events?after=soon")
+        assert excinfo.value.status == 400
+        with pytest.raises(ServerError) as excinfo:
+            client.request("GET", "/events?bogus=1")
+        assert excinfo.value.status == 400
+
+    def test_slow_consumer_is_bounded_not_blocking(self, tmp_path):
+        """A tiny ring fills and evicts; execution is unaffected and the
+        losses are counted, both in the response and in /stats."""
+        svc = SimService(events=EventBuffer(maxlen=8))
+        svc.start()
+        handle = start_in_thread(svc)
+        try:
+            c = ServiceClient(handle.base_url)
+            result = c.run(jobs=fast_specs(3))  # emits far more than 8
+            assert result["summary"]["succeeded"] == 3  # never blocked
+            answer = c.events(after=0)
+            assert answer["dropped"] > 0
+            assert len(answer["events"]) <= 8
+            stats = c.stats()
+            assert stats["events"]["dropped"] == answer["dropped"]
+            assert stats["events"]["buffered"] <= 8
+        finally:
+            handle.stop()
+            svc.stop()
+
+    def test_default_sink_restored_after_stop(self):
+        from repro.obs import tracer as obs
+
+        before = obs.default_sink()
+        svc = SimService()
+        svc.start()
+        assert obs.default_sink() is svc.events
+        svc.stop()
+        assert obs.default_sink() is before

@@ -1,0 +1,163 @@
+"""Daemon lifecycle and chaos: kill -9 mid-sweep, duplicate storms.
+
+The headline test boots a real ``nsc-vpe serve`` subprocess, SIGKILLs
+it while a sweep is mid-flight, restarts it on the same store, and
+resubmits with ``resume=true`` — the completed store must be
+digest-identical to an uninterrupted offline run of the same jobs.
+That is the whole reliability story in one scenario: checkpointed
+prefixes, advisory-locked appends, resume redemption, and the daemon
+adding nothing volatile to the record schema.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.server.app import start_in_thread
+from repro.server.client import ServiceClient
+from repro.server.service import SimService
+from repro.service.jobs import SimJob
+from repro.service.results import ResultStore
+from repro.service.runner import BatchRunner
+
+from helpers_server import fast_specs
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Distinct jobs sized so an 8-job batch runs long enough (roughly a
+#: second) to SIGKILL mid-flight, but converges fast when sized down.
+CHAOS_SPECS = [
+    {"method": "jacobi", "n": n, "eps": 1e-6, "max_sweeps": 20_000}
+    for n in range(12, 20)
+]
+
+
+def _spawn_daemon(tmp_path, store_name="store.jsonl", extra=()):
+    """Start a real serve subprocess on an ephemeral port; returns
+    (process, client, log_path)."""
+    log_path = tmp_path / "serve.log"
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    log = open(log_path, "w")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--results", str(tmp_path / store_name), *extra],
+        stdout=log, stderr=subprocess.STDOUT, env=env, cwd=str(tmp_path),
+    )
+    deadline = time.monotonic() + 30
+    url = None
+    while time.monotonic() < deadline:
+        text = log_path.read_text() if log_path.exists() else ""
+        match = re.search(r"serving on (http://[0-9.:]+)", text)
+        if match:
+            url = match.group(1)
+            break
+        if proc.poll() is not None:
+            raise AssertionError(f"daemon died during startup:\n{text}")
+        time.sleep(0.02)
+    assert url, "daemon never printed its banner"
+    return proc, ServiceClient(url, client_id="chaos"), log_path
+
+
+class TestKillAndResume:
+    def test_sigkill_mid_sweep_then_resume_matches_uninterrupted(
+            self, tmp_path):
+        jobs = [SimJob.from_dict(s) for s in CHAOS_SPECS]
+        reference_store = ResultStore(str(tmp_path / "reference.jsonl"))
+        _, summary = BatchRunner(workers=1, store=reference_store).run(jobs)
+        assert summary.failed == 0
+        reference = reference_store.digest()
+
+        store_path = tmp_path / "store.jsonl"
+        proc, client, _ = _spawn_daemon(tmp_path)
+        try:
+            client.submit(jobs=CHAOS_SPECS, tag="chaos")
+            # wait for the first checkpointed record, then kill -9 while
+            # the rest of the batch is still executing
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if store_path.exists() and store_path.stat().st_size > 0:
+                    break
+                time.sleep(0.002)
+            else:
+                raise AssertionError("no record ever checkpointed")
+        finally:
+            proc.kill()
+            proc.wait(10)
+
+        survivors = ResultStore(str(store_path)).load()
+        assert 0 < len(survivors) < len(jobs), (
+            "kill landed outside the batch window; nothing to resume")
+        for record in survivors:  # the prefix is clean, never torn
+            assert record["ok"]
+
+        proc, client, _ = _spawn_daemon(tmp_path)
+        try:
+            result = client.run(jobs=CHAOS_SPECS, tag="chaos",
+                                resume=True, timeout=120)
+            assert result["summary"]["failed"] == 0
+            assert result["summary"]["resumed"] == len(survivors)
+        finally:
+            proc.terminate()
+            proc.wait(10)
+
+        completed = ResultStore(str(store_path))
+        assert len(completed) == len(jobs)
+        assert completed.digest() == reference
+
+    def test_sigterm_is_a_graceful_stop(self, tmp_path):
+        proc, client, log_path = _spawn_daemon(tmp_path)
+        assert client.healthz()["ok"]
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(15) == 0
+        assert "serve: stopped" in log_path.read_text()
+
+
+class TestDuplicateStorm:
+    def test_concurrent_identical_posts_coalesce_to_one_execution(
+            self, client, service):
+        payload = {"jobs": fast_specs(2), "tag": "storm"}
+        answers = []
+        barrier = threading.Barrier(6)
+
+        def post():
+            barrier.wait()
+            answers.append(client.request("POST", "/jobs", payload))
+
+        threads = [threading.Thread(target=post) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        ids = {a["id"] for a in answers}
+        assert len(ids) == 1
+        assert sum(a["created"] for a in answers) == 1
+        sub_id = ids.pop()
+        final = client.wait(sub_id, timeout=60)
+        assert final["state"] == "done"
+        assert final["dedup_hits"] == 5
+        stats = client.stats()
+        assert stats["submissions"]["total"] == 1
+        assert stats["jobs"]["executed"] == 2  # ran once, not six times
+        # the store holds exactly one execution's records too
+        assert len(service.store) == 2
+
+    def test_shutdown_endpoint_stops_the_server(self, tmp_path):
+        svc = SimService()
+        svc.start()
+        handle = start_in_thread(svc)
+        try:
+            c = ServiceClient(handle.base_url)
+            assert c.shutdown()["stopping"] is True
+            handle.thread.join(10)
+            assert not handle.thread.is_alive()
+        finally:
+            handle.stop()
+            svc.stop()

@@ -1,0 +1,98 @@
+"""Token-bucket unit tests (deterministic clock).
+
+The randomized interleavings live in
+``tests/property/test_rate_limiter_property.py``; these pin the exact
+arithmetic: burst size, refill, retry_after, per-client isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.rate_limiter import RateLimiter, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_burst_up_to_capacity_then_rejects(self):
+        clock = FakeClock()
+        bucket = TokenBucket(capacity=3, refill_rate=1.0, clock=clock)
+        assert [bucket.try_acquire()[0] for _ in range(3)] == [True] * 3
+        granted, retry_after = bucket.try_acquire()
+        assert not granted
+        assert retry_after == pytest.approx(1.0)
+
+    def test_refill_is_continuous_and_capped(self):
+        clock = FakeClock()
+        bucket = TokenBucket(capacity=2, refill_rate=2.0, clock=clock)
+        bucket.try_acquire(2)
+        clock.advance(0.25)  # half a token back
+        assert not bucket.try_acquire()[0]
+        clock.advance(0.25)  # a whole token now
+        assert bucket.try_acquire()[0]
+        clock.advance(1_000)  # refill saturates at capacity, not beyond
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_waiting_out_retry_after_guarantees_the_grant(self):
+        clock = FakeClock()
+        bucket = TokenBucket(capacity=1, refill_rate=0.1, clock=clock)
+        assert bucket.try_acquire()[0]
+        granted, retry_after = bucket.try_acquire()
+        assert not granted
+        clock.advance(retry_after)
+        assert bucket.try_acquire()[0]
+
+    def test_backwards_clock_never_mints_tokens(self):
+        clock = FakeClock()
+        bucket = TokenBucket(capacity=1, refill_rate=1.0, clock=clock)
+        bucket.try_acquire()
+        clock.now = -100.0
+        assert bucket.tokens == pytest.approx(0.0)
+
+    def test_multi_token_acquire(self):
+        clock = FakeClock()
+        bucket = TokenBucket(capacity=5, refill_rate=1.0, clock=clock)
+        assert bucket.try_acquire(5)[0]
+        granted, retry_after = bucket.try_acquire(3)
+        assert not granted and retry_after == pytest.approx(3.0)
+
+    @pytest.mark.parametrize("capacity,rate", [(0, 1.0), (1, 0.0), (1, -1)])
+    def test_bad_configuration_rejected(self, capacity, rate):
+        with pytest.raises(ValueError):
+            TokenBucket(capacity=capacity, refill_rate=rate)
+
+    def test_zero_token_acquire_rejected(self):
+        bucket = TokenBucket(capacity=1, refill_rate=1.0, clock=FakeClock())
+        with pytest.raises(ValueError):
+            bucket.try_acquire(0)
+
+
+class TestRateLimiter:
+    def test_clients_have_independent_buckets(self):
+        clock = FakeClock()
+        limiter = RateLimiter(capacity=1, refill_rate=1.0, clock=clock)
+        assert limiter.check("alice")[0]
+        assert not limiter.check("alice")[0]
+        assert limiter.check("bob")[0]  # alice's storm never starves bob
+
+    def test_stats_count_grants_and_rejections(self):
+        clock = FakeClock()
+        limiter = RateLimiter(capacity=2, refill_rate=1.0, clock=clock)
+        for _ in range(4):
+            limiter.check("alice")
+        limiter.check("bob")
+        stats = limiter.stats()
+        assert stats["clients"] == 2
+        assert stats["granted"] == 3
+        assert stats["rejected"] == 2
+        assert stats["rejected_by_client"] == {"alice": 2}

@@ -1,0 +1,70 @@
+"""``nsc-vpe batch/sweep --server URL``: the CLI as a daemon client.
+
+The CLI main() runs in-process against an in-thread daemon, so these
+tests assert on the exact lines a user sees — including the
+``[cache hit]`` markers that prove the second batch rode the daemon's
+warm cache.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+from helpers_server import fast_specs
+
+
+def _jobs_file(tmp_path, specs):
+    path = tmp_path / "jobs.json"
+    path.write_text(json.dumps(specs))
+    return str(path)
+
+
+class TestBatchViaServer:
+    def test_batch_roundtrip_and_warm_rerun(self, server, tmp_path, capsys):
+        jobs = _jobs_file(tmp_path, fast_specs(2))
+        assert main(["batch", jobs, "--server", server.base_url,
+                     "--tag", "cold"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok   ") == 2
+        assert "[compiled]" in out and "[cache hit]" not in out
+
+        assert main(["batch", jobs, "--server", server.base_url,
+                     "--tag", "warm"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[cache hit]") == 2
+        assert "2/2 jobs ok" in out
+
+    def test_sweep_via_server(self, server, capsys):
+        assert main(["sweep", "--grids", "5", "--methods", "jacobi",
+                     "--repeats", "2", "--eps", "1e-3",
+                     "--server", server.base_url, "--tag", "sw"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 2 jobs" in out
+        assert "2/2 jobs ok" in out
+
+    def test_unreachable_server_is_a_clean_error(self, tmp_path, capsys):
+        jobs = _jobs_file(tmp_path, fast_specs(1))
+        # a port from the ephemeral range with (almost surely) nothing on
+        # it; connection refused must not traceback
+        assert main(["batch", jobs, "--server",
+                     "http://127.0.0.1:9"]) == 2
+        assert "cannot reach server" in capsys.readouterr().err
+
+    def test_server_refusal_is_surfaced(self, server, tmp_path, capsys):
+        # the fixture daemon has a store, so provoke a 400 differently:
+        # a spec the daemon rejects at validation time
+        jobs = _jobs_file(tmp_path, [{"method": "warp-drive", "n": 5}])
+        assert main(["batch", jobs, "--server", server.base_url]) == 2
+        err = capsys.readouterr().err
+        assert "bad job spec" in err  # rejected before any network hop
+
+    def test_local_flags_still_validate_before_submitting(
+            self, server, tmp_path, capsys):
+        jobs = _jobs_file(tmp_path, fast_specs(1))
+        # --resume without --results is fine with --server: the daemon's
+        # store is the resume source
+        assert main(["batch", jobs, "--server", server.base_url,
+                     "--resume", "--tag", "r1"]) == 0
+        assert "1/1 jobs ok" in capsys.readouterr().out

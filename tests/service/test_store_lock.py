@@ -1,0 +1,106 @@
+"""Concurrent-writer safety for the JSONL result store.
+
+The store's appends take an exclusive ``flock`` for the duration of the
+write.  The regression here is real: a record payload larger than the
+stdio buffer flushes as several ``write(2)`` calls, and two unlocked
+appenders running in separate *processes* can interleave those calls
+into a torn line mid-file — corruption ``load()``'s torn-*tail*
+tolerance cannot forgive.  These tests hammer one store from multiple
+processes and require every line to come back intact.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import sys
+
+import pytest
+
+from repro.service.results import ResultStore
+
+#: big enough that one record overflows the io buffer into multiple
+#: write(2) calls — the interleaving window the lock must close
+BLOB_BYTES = 256 * 1024
+
+
+def _append_records(path: str, writer: int, count: int) -> None:
+    store = ResultStore(path)
+    for i in range(count):
+        store.append({
+            "job_id": f"w{writer}-r{i}",
+            "ok": True,
+            "writer": writer,
+            "blob": "x" * BLOB_BYTES,
+        })
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="flock is POSIX-only")
+class TestConcurrentAppenders:
+    def test_interleaved_processes_never_tear_a_line(self, tmp_path):
+        path = str(tmp_path / "shared.jsonl")
+        writers, per_writer = 4, 12
+        procs = [
+            mp.Process(target=_append_records, args=(path, w, per_writer))
+            for w in range(writers)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(120)
+            assert p.exitcode == 0
+
+        # every raw line must be complete, parseable JSON — no torn
+        # lines, no interleaved fragments, nothing silently skipped
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        assert len(lines) == writers * per_writer
+        seen = set()
+        for line in lines:
+            record = json.loads(line)  # raises on any torn line
+            assert len(record["blob"]) == BLOB_BYTES
+            seen.add(record["job_id"])
+        assert seen == {f"w{w}-r{i}"
+                        for w in range(writers) for i in range(per_writer)}
+
+        # and the store-level view agrees, with no truncated tail
+        store = ResultStore(path)
+        assert len(store.load()) == writers * per_writer
+        assert store.truncated_tail is None
+
+    def test_concurrent_extend_batches_stay_contiguous(self, tmp_path):
+        """extend() is one locked write: a batch's records may never be
+        split by another writer's records."""
+        path = str(tmp_path / "batched.jsonl")
+        writers, batches, batch_size = 3, 6, 4
+        procs = [mp.Process(target=_extend_batches,
+                            args=(path, w, batches, batch_size))
+                 for w in range(writers)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(120)
+            assert p.exitcode == 0
+
+        records = ResultStore(path).load()
+        assert len(records) == writers * batches * batch_size
+        # batches are contiguous runs: scanning linearly, a (writer,
+        # batch) group's records always appear back to back
+        position = 0
+        while position < len(records):
+            head = records[position]
+            group = records[position:position + batch_size]
+            assert [(r["writer"], r["batch"]) for r in group] == (
+                [(head["writer"], head["batch"])] * batch_size)
+            position += batch_size
+
+
+def _extend_batches(path: str, writer: int, batches: int,
+                    batch_size: int) -> None:
+    store = ResultStore(path)
+    for b in range(batches):
+        store.extend([
+            {"job_id": f"w{writer}-b{b}-{i}", "writer": writer,
+             "batch": b, "blob": "y" * BLOB_BYTES}
+            for i in range(batch_size)
+        ])

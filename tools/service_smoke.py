@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the ``nsc-vpe serve`` daemon.
+
+Boots a real ``serve`` subprocess on an ephemeral port, then drives the
+whole resident-service story through :class:`repro.server.client.
+ServiceClient` — the same client the ``--server`` CLI mode uses:
+
+1. ``GET /healthz`` answers;
+2. a cold batch submits, executes, and reports every job ok;
+3. a **second identical batch** (new tag) rides the warm cache —
+   ``GET /stats`` must show ``cache.hit > 0`` and the batch summary
+   zero misses: the daemon's reason to exist;
+4. ``GET /runs`` returns every stored record;
+5. ``GET /events`` carries the submissions' lifecycle events, and the
+   daemon's ``--events-log`` JSONL lands on disk as an artifact;
+6. SIGTERM stops the daemon gracefully (exit code 0).
+
+Exit status 0 when every step holds; 1 with a one-line reason
+otherwise.  Artifacts (daemon log, events JSONL, result store) are
+written under ``--out`` for CI upload.
+
+Usage::
+
+    python tools/service_smoke.py --out smoke-out
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.server.client import ServiceClient  # noqa: E402
+
+BANNER = re.compile(r"serving on (http://[0-9.:]+)")
+
+#: Two distinct-but-small jobs: enough to prove compile-vs-hit, fast
+#: enough for a smoke job.
+JOBS = [
+    {"method": "jacobi", "n": 6, "eps": 1e-3, "max_sweeps": 500},
+    {"method": "rb-gs", "n": 6, "eps": 1e-3, "max_sweeps": 500},
+]
+
+
+def fail(reason: str) -> int:
+    print(f"service-smoke: FAIL: {reason}", file=sys.stderr)
+    return 1
+
+
+def wait_for_banner(proc: subprocess.Popen, log_path: Path,
+                    timeout: float = 60.0) -> str:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        text = log_path.read_text() if log_path.exists() else ""
+        match = BANNER.search(text)
+        if match:
+            return match.group(1)
+        if proc.poll() is not None:
+            raise RuntimeError(f"daemon died during startup:\n{text}")
+        time.sleep(0.05)
+    raise RuntimeError("daemon never printed its banner")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="smoke-out",
+                        help="artifact directory (default: smoke-out)")
+    args = parser.parse_args(argv)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    log_path = out / "serve.log"
+    events_path = out / "events.jsonl"
+    store_path = out / "store.jsonl"
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    log = open(log_path, "w")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--results", str(store_path), "--events-log", str(events_path)],
+        stdout=log, stderr=subprocess.STDOUT, cwd=str(REPO_ROOT), env=env,
+    )
+    try:
+        url = wait_for_banner(proc, log_path)
+        print(f"service-smoke: daemon up at {url}")
+        client = ServiceClient(url, client_id="service-smoke")
+
+        if not client.healthz().get("ok"):
+            return fail("healthz did not answer ok")
+
+        cold = client.run(jobs=JOBS, tag="cold", timeout=120)
+        summary = cold["summary"]
+        if summary["succeeded"] != len(JOBS) or summary["failed"]:
+            return fail(f"cold batch did not fully succeed: {summary}")
+        print(f"service-smoke: cold batch ok "
+              f"({summary['cache_misses']} compiles)")
+
+        warm = client.run(jobs=JOBS, tag="warm", timeout=120)
+        summary = warm["summary"]
+        if summary["cache_hits"] != len(JOBS) or summary["cache_misses"]:
+            return fail(f"warm batch recompiled: {summary}")
+        stats = client.stats()
+        if stats["counters"].get("cache.hit", 0) <= 0:
+            return fail(f"/stats shows no cache hits: {stats['counters']}")
+        print(f"service-smoke: warm batch rode the cache "
+              f"(cache.hit={stats['counters']['cache.hit']})")
+
+        runs = client.runs()
+        if runs["total"] != 2 * len(JOBS):
+            return fail(f"/runs returned {runs['total']} records, "
+                        f"expected {2 * len(JOBS)}")
+
+        events = client.events(limit=10_000)["events"]
+        kinds = {e["type"] for e in events}
+        needed = {"submission_queued", "submission_started",
+                  "submission_finished"}
+        if not needed <= kinds:
+            return fail(f"event stream is missing {needed - kinds}")
+        print(f"service-smoke: {len(events)} events buffered, "
+              f"kinds={sorted(kinds)}")
+    except Exception as exc:
+        proc.kill()
+        proc.wait(10)
+        return fail(f"{type(exc).__name__}: {exc}")
+    finally:
+        log.close()
+
+    proc.send_signal(signal.SIGTERM)
+    code = proc.wait(30)
+    if code != 0:
+        return fail(f"daemon exited {code} on SIGTERM")
+    if not events_path.exists() or not events_path.stat().st_size:
+        return fail("events log artifact is empty")
+    n_lines = sum(1 for _ in events_path.open())
+    for line in events_path.open():
+        json.loads(line)  # every artifact line must be valid JSON
+    print(f"service-smoke: PASS (events log: {n_lines} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
