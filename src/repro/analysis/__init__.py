@@ -1,0 +1,61 @@
+"""``repro.analysis`` — static dataflow and hazard analysis for microcode.
+
+The machine is statically scheduled: every stream a program will ever
+move is spelled out in its microwords, DMA programs, and control script,
+so correctness properties are decidable *before* execution.  This
+package proves them:
+
+- :mod:`repro.analysis.sites` — exact arithmetic-progression span math
+  over storage sites (memory planes, cache buffers, shift/delay taps,
+  FU rows);
+- :mod:`repro.analysis.dataflow` — the whole-program def-use walk:
+  per-issue reads/writes resolved against an abstract machine state,
+  driving uninitialized-read, same-issue race, write-after-write, and
+  dead-write detection;
+- :mod:`repro.analysis.hazards` — per-issue structural checks: operand
+  wiring, shift/delay configuration, switch port conflicts and fan-out;
+- :mod:`repro.analysis.plansafety` — the shared non-finite-propagation
+  sets the fused engine's exception screen derives from, plus the
+  control-script fusion-eligibility mirror of ``check_batchable``;
+- :mod:`repro.analysis.engine` — :func:`analyze_program`, the entry
+  point producing an :class:`AnalysisVerdict`.
+
+``docs/ANALYSIS.md`` is the catalogue; ``nsc-vpe analyze`` is the CLI.
+"""
+
+from repro.analysis.engine import analyze_program
+from repro.analysis.plansafety import (
+    PROP_A,
+    PROP_BOTH,
+    PROP_FEEDBACK,
+    REDUCIBLE_OPS,
+    ScreenReport,
+    fusion_eligibility,
+    screen_coverage,
+)
+from repro.analysis.sites import SiteKey, Span
+from repro.analysis.verdict import (
+    SEVERITIES,
+    AnalysisVerdict,
+    Finding,
+    FindingCollector,
+    severity_rank,
+)
+
+__all__ = [
+    "analyze_program",
+    "AnalysisVerdict",
+    "Finding",
+    "FindingCollector",
+    "SEVERITIES",
+    "severity_rank",
+    "Span",
+    "SiteKey",
+    "PROP_BOTH",
+    "PROP_A",
+    "PROP_FEEDBACK",
+    "REDUCIBLE_OPS",
+    "ScreenReport",
+    "screen_coverage",
+    "fusion_eligibility",
+]

@@ -1,0 +1,314 @@
+"""Whole-program def-use walk over an abstract machine state.
+
+The walker interprets the control script *symbolically*: every DMA
+transfer becomes an exact :class:`~repro.analysis.sites.Span` applied to
+a per-site definition list, so cross-issue properties fall out of plain
+set arithmetic — reads of never-written words (uninitialized data),
+same-issue plane read/write overlap (a §3 contention race the reference
+interpreter happens to serialize), writes overwritten before any read
+(WAW), and writes still unobserved at halt (dead stores).
+
+Abstraction choices, all biased against false positives:
+
+- host-loaded variables (every declaration) seed exempt, pre-observed
+  definitions — a read of declared memory is never "uninitialized";
+- ``SwapVars`` is sequencer-level data movement: it observes both
+  regions and leaves exempt definitions, so double-buffer rotation
+  never reads as a hazard;
+- memory writes that land inside a declared variable are
+  host-observable results, exempt from dead-write at halt;
+- loop bodies walk a bounded number of iterations (enough to expose
+  loop-carried effects); the :class:`FindingCollector` dedupes repeats
+  on the static location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.arch.switch import DeviceKind, Endpoint
+from repro.codegen.generator import MachineProgram
+from repro.diagram.program import (
+    CacheSwap,
+    ExecPipeline,
+    Halt,
+    LoopUntil,
+    Repeat,
+    SwapVars,
+)
+from repro.analysis.plansafety import _body_watches
+from repro.analysis.sites import SiteKey, Span, covered_by_union
+from repro.analysis.verdict import FindingCollector
+
+#: Loop bodies walk this many symbolic iterations: the first exposes
+#: first-iteration reads, the second loop-carried definitions.
+LOOP_UNROLL = 2
+
+
+@dataclass
+class _Def:
+    """One live definition of a span of words at a storage site."""
+
+    span: Span
+    label: str
+    observed: bool = False
+    exempt: bool = False
+
+
+@dataclass
+class _CacheState:
+    """A double-buffered cache: two definition lists and a front pointer."""
+
+    buffers: Tuple[List[_Def], List[_Def]] = field(
+        default_factory=lambda: ([], [])
+    )
+    front: int = 0
+
+    @property
+    def front_defs(self) -> List[_Def]:
+        return self.buffers[self.front]
+
+    @property
+    def back_defs(self) -> List[_Def]:
+        return self.buffers[1 - self.front]
+
+    def swap(self) -> None:
+        self.front = 1 - self.front
+
+
+class ProgramWalker:
+    """Walks one program's control script, reporting dataflow findings."""
+
+    def __init__(
+        self, program: MachineProgram, collector: FindingCollector
+    ) -> None:
+        self.program = program
+        self.collector = collector
+        self.issues_walked = 0
+        self.planes: Dict[int, List[_Def]] = {}
+        self.caches: Dict[int, _CacheState] = {}
+        # declared regions per plane: host-visible memory
+        self.declared: Dict[int, List[Span]] = {}
+        for name, decl in program.declarations.items():
+            home = program.variable_layout.get(name)
+            if home is None:
+                continue
+            plane, offset = home
+            span = Span.make(offset, 1, decl.length)
+            self.declared.setdefault(plane, []).append(span)
+            self.planes.setdefault(plane, []).append(
+                _Def(span, f"host load of {name!r}", observed=True,
+                     exempt=True)
+            )
+
+    # ------------------------------------------------------------------
+    def walk(self) -> None:
+        self._walk_ops(tuple(self.program.control), in_loop=False)
+        self._report_dead_writes()
+
+    # ------------------------------------------------------------------
+    def _cache(self, unit: int) -> _CacheState:
+        state = self.caches.get(unit)
+        if state is None:
+            state = _CacheState()
+            self.caches[unit] = state
+        return state
+
+    def _defs_for(self, endpoint: Endpoint, write: bool) -> List[_Def]:
+        if endpoint.kind is DeviceKind.MEMORY:
+            return self.planes.setdefault(endpoint.device, [])
+        state = self._cache(endpoint.device)
+        return state.back_defs if write else state.front_defs
+
+    @staticmethod
+    def _site(endpoint: Endpoint) -> str:
+        if endpoint.kind is DeviceKind.MEMORY:
+            return SiteKey.mem(endpoint.device)
+        return SiteKey.cache(endpoint.device)
+
+    # ------------------------------------------------------------------
+    def _walk_ops(self, ops: Sequence[object], in_loop: bool) -> bool:
+        """Walk a control block; ``True`` means the machine halted."""
+        for position, op in enumerate(ops):
+            halted = False
+            if isinstance(op, ExecPipeline):
+                self._issue(op.pipeline)
+            elif isinstance(op, Repeat):
+                if op.times == 0:
+                    self.collector.add(
+                        "dead-code", "info", SiteKey.control(),
+                        "Repeat body never executes (times=0)",
+                    )
+                    continue
+                for _ in range(min(op.times, LOOP_UNROLL)):
+                    halted = self._walk_ops(op.body, in_loop)
+                    if halted:
+                        break
+            elif isinstance(op, LoopUntil):
+                key = op.condition_pipeline
+                if not _body_watches(self.program.images, op.body, key):
+                    self.collector.add(
+                        "control", "error", SiteKey.control(),
+                        f"LoopUntil watches pipeline {key}, which raises "
+                        "no condition in the loop body",
+                    )
+                for _ in range(min(op.max_iterations, LOOP_UNROLL)):
+                    halted = self._walk_ops(op.body, True)
+                    if halted:
+                        break
+            elif isinstance(op, SwapVars):
+                self._swap_vars(op.a, op.b)
+            elif isinstance(op, CacheSwap):
+                for unit in op.caches:
+                    self._cache(unit).swap()
+            elif isinstance(op, Halt):
+                halted = True
+            if halted:
+                self._flag_dead_tail(ops, position)
+                return True
+        return False
+
+    def _flag_dead_tail(self, ops: Sequence[object], position: int) -> None:
+        remaining = len(ops) - position - 1
+        if remaining > 0:
+            plural = "s" if remaining != 1 else ""
+            self.collector.add(
+                "dead-code", "warning", SiteKey.control(),
+                f"{remaining} control op{plural} after the halting "
+                "instruction never execute",
+            )
+
+    # ------------------------------------------------------------------
+    def _issue(self, index: int) -> None:
+        if not (0 <= index < len(self.program.images)):
+            self.collector.add(
+                "control", "error", SiteKey.control(),
+                f"no pipeline {index} in this program",
+            )
+            return
+        image = self.program.images[index]
+        issue = f"pipeline {image.number}"
+        self.issues_walked += 1
+
+        # 1. reads: every source stream gathers before any write-back
+        read_spans: List[Tuple[Endpoint, Span]] = []
+        for ep, prog in image.read_programs.items():
+            span = Span.from_dma(prog)
+            read_spans.append((ep, span))
+            defs = self._defs_for(ep, write=False)
+            hit = False
+            for d in defs:
+                if d.span.intersects(span):
+                    d.observed = True
+                    hit = True
+            if not covered_by_union(span, tuple(d.span for d in defs)):
+                detail = (
+                    "includes words never written"
+                    if hit
+                    else "reads words never written"
+                )
+                self.collector.add(
+                    "uninit-read", "error", self._site(ep),
+                    f"read {span.format()} {detail}",
+                    issue=issue,
+                )
+
+        # 2. same-issue RAW race: a write program overlapping a read
+        #    program on the same memory plane.  The reference interpreter
+        #    serializes (gather, then write-back), but on the machine the
+        #    streams contend in flight — result depends on DMA timing.
+        for _driver, sink, prog in image.write_programs:
+            if sink.kind is not DeviceKind.MEMORY:
+                continue  # cache writes land in the back buffer
+            wspan = Span.from_dma(prog)
+            for ep, rspan in read_spans:
+                if ep.kind is DeviceKind.MEMORY \
+                        and ep.device == sink.device \
+                        and wspan.intersects(rspan):
+                    self.collector.add(
+                        "raw-race", "error", self._site(sink),
+                        f"issue reads {rspan.format()} and writes "
+                        f"{wspan.format()} on the same plane — overlap "
+                        "depends on DMA timing",
+                        issue=issue,
+                    )
+
+        # 3. writes: WAW screening, then the new definition lands
+        for _driver, sink, prog in image.write_programs:
+            span = Span.from_dma(prog)
+            defs = self._defs_for(sink, write=True)
+            for d in defs:
+                if not d.exempt and not d.observed and span.covers(d.span):
+                    self.collector.add(
+                        "waw-overwrite", "warning", self._site(sink),
+                        f"{d.label} wrote {d.span.format()}, overwritten "
+                        "before any read",
+                        issue=issue,
+                    )
+            defs[:] = [d for d in defs if not span.covers(d.span)]
+            defs.append(_Def(span, issue))
+
+    # ------------------------------------------------------------------
+    def _swap_vars(self, a: str, b: str) -> None:
+        regions: List[Tuple[int, Span]] = []
+        for name in (a, b):
+            decl = self.program.declarations.get(name)
+            home = self.program.variable_layout.get(name)
+            if decl is None or home is None:
+                self.collector.add(
+                    "control", "error", SiteKey.control(),
+                    f"SwapVars references unknown variable {name!r}",
+                )
+                return
+            plane, offset = home
+            regions.append((plane, Span.make(offset, 1, decl.length)))
+        # the sequencer physically exchanges the words: both regions are
+        # read (observing prior writes) and rewritten with moved data
+        for plane, span in regions:
+            for d in self.planes.setdefault(plane, []):
+                if d.span.intersects(span):
+                    d.observed = True
+        for plane, span in regions:
+            defs = self.planes.setdefault(plane, [])
+            defs[:] = [d for d in defs if not span.covers(d.span)]
+            defs.append(
+                _Def(span, f"SwapVars({a!r}, {b!r})", exempt=True)
+            )
+
+    # ------------------------------------------------------------------
+    def _report_dead_writes(self) -> None:
+        for plane, defs in self.planes.items():
+            declared = self.declared.get(plane, ())
+            for d in defs:
+                if d.observed or d.exempt:
+                    continue
+                if any(span.intersects(d.span) for span in declared):
+                    continue  # inside a declared variable: host-visible
+                self.collector.add(
+                    "dead-write", "warning", SiteKey.mem(plane),
+                    f"{d.label} wrote {d.span.format()}, never read "
+                    "before halt",
+                )
+        for unit, state in self.caches.items():
+            for defs in state.buffers:
+                for d in defs:
+                    if d.observed or d.exempt:
+                        continue
+                    self.collector.add(
+                        "dead-write", "warning", SiteKey.cache(unit),
+                        f"{d.label} wrote {d.span.format()}, never read "
+                        "before halt (cache contents are discarded)",
+                    )
+
+
+def walk_program(
+    program: MachineProgram, collector: FindingCollector
+) -> int:
+    """Run the dataflow walk; returns the number of issues walked."""
+    walker = ProgramWalker(program, collector)
+    walker.walk()
+    return walker.issues_walked
+
+
+__all__ = ["LOOP_UNROLL", "ProgramWalker", "walk_program"]

@@ -1,0 +1,304 @@
+"""Per-issue structural hazard checks.
+
+Everything here is decidable from one :class:`PipelineImage` plus the
+machine parameters: operand wiring the interpreter would fault on,
+shift/delay configuration gaps, switch port conflicts (double-driven
+sinks, fan-out budget), device indices beyond the parameterized
+machine, and per-issue dead FU outputs.  Error-severity findings are
+exactly the conditions :class:`repro.sim.pipeline_exec.ExecutionError`
+or :class:`repro.arch.switch.SwitchRouteError` would raise dynamically
+— the analyzer names them without running the stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.arch.funcunit import OPCODES
+from repro.arch.params import NSCParameters
+from repro.arch.switch import DeviceKind, Endpoint, fu_out
+from repro.codegen.generator import PipelineImage
+from repro.analysis.sites import SiteKey, Span
+from repro.analysis.verdict import FindingCollector
+
+
+def _tap_of(endpoint: Endpoint) -> int:
+    return int(endpoint.port[3:])
+
+
+def _check_device_range(
+    endpoint: Endpoint,
+    params: NSCParameters,
+    n_fus: int,
+    collector: FindingCollector,
+    issue: str,
+) -> None:
+    kind = endpoint.kind
+    limits = {
+        DeviceKind.FU: n_fus,
+        DeviceKind.MEMORY: params.n_memory_planes,
+        DeviceKind.CACHE: params.n_caches,
+        DeviceKind.SHIFT_DELAY: params.n_shift_delay_units,
+    }
+    limit = limits[kind]
+    if not (0 <= endpoint.device < limit):
+        collector.add(
+            "port-conflict", "error", str(endpoint),
+            f"device index {endpoint.device} outside the machine's "
+            f"{limit} {kind.value} device(s)",
+            issue=issue,
+        )
+    elif kind is DeviceKind.SHIFT_DELAY and endpoint.port.startswith("tap"):
+        tap = _tap_of(endpoint)
+        if not (0 <= tap < params.shift_delay_taps):
+            collector.add(
+                "port-conflict", "error", str(endpoint),
+                f"tap {tap} outside the unit's "
+                f"{params.shift_delay_taps} taps",
+                issue=issue,
+            )
+
+
+def _check_sd_path(
+    image: PipelineImage,
+    endpoint: Endpoint,
+    collector: FindingCollector,
+    issue: str,
+) -> None:
+    """The interpreter's three shift/delay faults, statically."""
+    unit = endpoint.device
+    tap = _tap_of(endpoint)
+    feeder = image.sd_feeders.get(unit)
+    if feeder is None:
+        collector.add(
+            "uninit-read", "error", SiteKey.sd(unit),
+            f"shift/delay unit {unit} has no input stream",
+            issue=issue,
+        )
+        return
+    if feeder not in image.read_programs:
+        collector.add(
+            "uninit-read", "error", SiteKey.sd(unit),
+            f"shift/delay unit {unit} fed by {feeder}, which was not read",
+            issue=issue,
+        )
+    if (unit, tap) not in image.sd_shifts:
+        collector.add(
+            "uninit-read", "error", SiteKey.sd(unit, tap),
+            f"sd[{unit}].tap{tap} used but not configured",
+            issue=issue,
+        )
+
+
+def check_image(
+    image: PipelineImage,
+    params: NSCParameters,
+    n_fus: int,
+    collector: FindingCollector,
+    issue: str = "",
+) -> None:
+    """Run every per-issue structural check on *image*.
+
+    *issue* labels findings with the control position (e.g.
+    ``pipeline 2``); hazards are per-image facts, so one label per
+    distinct image suffices regardless of how often the script issues it.
+    """
+    produced: Set[int] = set()
+    consumed: Set[int] = set()
+    # source endpoint -> sinks driven (switch fan-out accounting);
+    # "internal" forwarding bypasses the switch and doesn't count
+    fanout: Dict[Endpoint, Set[str]] = {}
+
+    def _drive(source: Endpoint, sink: str) -> None:
+        fanout.setdefault(source, set()).add(sink)
+
+    for fu in image.fu_order:
+        opcode, _constant = image.fu_ops[fu]
+        info = OPCODES[opcode]
+        site = SiteKey.fu(fu)
+        if not (0 <= fu < n_fus):
+            collector.add(
+                "port-conflict", "error", site,
+                f"functional unit index outside the machine's {n_fus} FUs",
+                issue=issue,
+            )
+        in_a = image.inputs.get((fu, "a"))
+        in_b = image.inputs.get((fu, "b"))
+
+        fb_port: Optional[str] = None
+        if in_a is not None and in_a.kind == "feedback":
+            fb_port = "a"
+        if in_b is not None and in_b.kind == "feedback":
+            if fb_port is not None:
+                collector.add(
+                    "port-conflict", "error", site,
+                    "both inputs are feedback loops",
+                    issue=issue,
+                )
+                produced.add(fu)
+                continue
+            fb_port = "b"
+
+        if fb_port is not None:
+            data = in_b if fb_port == "a" else in_a
+            if data is None:
+                collector.add(
+                    "uninit-read", "error", site,
+                    "feedback loop with no data input",
+                    issue=issue,
+                )
+            operands = [] if data is None else [data]
+        else:
+            operands = []
+            if in_a is None:
+                collector.add(
+                    "uninit-read", "error", site,
+                    "input a unconnected",
+                    issue=issue,
+                )
+            else:
+                operands.append(in_a)
+            if info.arity == 2:
+                if in_b is None:
+                    collector.add(
+                        "uninit-read", "error", site,
+                        "input b unconnected",
+                        issue=issue,
+                    )
+                else:
+                    operands.append(in_b)
+
+        for resolved in operands:
+            if resolved.kind in ("fu", "internal"):
+                src = resolved.src_fu
+                consumed.add(src)
+                if src not in produced:
+                    collector.add(
+                        "uninit-read", "error", SiteKey.fu(src),
+                        f"fu{src} output needed before it was produced "
+                        f"(read by fu{fu})",
+                        issue=issue,
+                    )
+                if resolved.kind == "fu":
+                    _drive(fu_out(src), f"fu{fu}")
+            elif resolved.kind in ("mem", "cache"):
+                ep = resolved.endpoint
+                if ep is None or ep not in image.read_programs:
+                    collector.add(
+                        "uninit-read", "error", site,
+                        f"stream for {ep} was not read",
+                        issue=issue,
+                    )
+                else:
+                    _check_device_range(ep, params, n_fus, collector, issue)
+                    _drive(ep, f"fu{fu}")
+            elif resolved.kind == "sd":
+                ep = resolved.endpoint
+                if ep is not None:
+                    _check_device_range(ep, params, n_fus, collector, issue)
+                    _check_sd_path(image, ep, collector, issue)
+                    _drive(ep, f"fu{fu}")
+        produced.add(fu)
+
+    # shift/delay feeders occupy switch routes too (source -> sd in-pad)
+    for unit, feeder in image.sd_feeders.items():
+        if feeder in image.read_programs:
+            _drive(feeder, f"sd{unit}")
+
+    # write-back drivers and sinks
+    write_spans: List[Tuple[Endpoint, Span]] = []
+    sink_driver: Dict[Endpoint, Endpoint] = {}
+    for driver, sink, prog in image.write_programs:
+        if driver.kind is DeviceKind.FU:
+            consumed.add(driver.device)
+            if driver.device not in image.fu_ops:
+                collector.add(
+                    "uninit-read", "error", SiteKey.fu(driver.device),
+                    f"write-back from fu{driver.device}, "
+                    "which produced nothing",
+                    issue=issue,
+                )
+            else:
+                _drive(fu_out(driver.device), str(sink))
+        elif driver.kind is DeviceKind.SHIFT_DELAY:
+            _check_device_range(driver, params, n_fus, collector, issue)
+            _check_sd_path(image, driver, collector, issue)
+            _drive(driver, str(sink))
+        else:
+            if driver not in image.read_programs:
+                collector.add(
+                    "uninit-read", "error", str(driver),
+                    f"write-back from unread stream {driver}",
+                    issue=issue,
+                )
+            else:
+                _drive(driver, str(sink))
+        _check_device_range(sink, params, n_fus, collector, issue)
+        prior = sink_driver.setdefault(sink, driver)
+        if prior != driver:
+            # one write pad, two sources: the crossbar cannot close both
+            # routes in a single configuration
+            collector.add(
+                "port-conflict", "error", str(sink),
+                f"sink driven by both {prior} and {driver} in one issue",
+                issue=issue,
+            )
+        write_spans.append((sink, Span.from_dma(prog)))
+
+    # double-write: two write programs landing on a common word of the
+    # same device within one issue — last-DMA-wins is an ordering
+    # accident, not a program meaning
+    for i, (sink_a, span_a) in enumerate(write_spans):
+        for sink_b, span_b in write_spans[i + 1:]:
+            if (sink_a.kind, sink_a.device) != (sink_b.kind, sink_b.device):
+                continue
+            if span_a.intersects(span_b):
+                site = (
+                    SiteKey.mem(sink_a.device)
+                    if sink_a.kind is DeviceKind.MEMORY
+                    else SiteKey.cache(sink_a.device)
+                )
+                collector.add(
+                    "double-write", "error", site,
+                    f"two write programs overlap at "
+                    f"{span_a.format()} ∩ {span_b.format()} in one issue",
+                    issue=issue,
+                )
+
+    # read-program device ranges (covers streams read but never consumed)
+    for ep in image.read_programs:
+        _check_device_range(ep, params, n_fus, collector, issue)
+
+    # condition plumbing
+    if image.condition is not None and image.condition.fu not in image.fu_ops:
+        collector.add(
+            "uninit-read", "error", SiteKey.fu(image.condition.fu),
+            f"condition watches fu{image.condition.fu}, "
+            "which produced no stream",
+            issue=issue,
+        )
+    if image.condition is not None:
+        consumed.add(image.condition.fu)
+
+    # dead FU outputs: streams no unit, write-back, or condition observes
+    for fu in image.fu_ops:
+        if fu not in consumed:
+            collector.add(
+                "dead-code", "warning", SiteKey.fu(fu),
+                f"fu{fu} output is never consumed "
+                "(no reader, write-back, or condition)",
+                issue=issue,
+            )
+
+    # switch fan-out budget per source
+    for source, sinks in fanout.items():
+        if len(sinks) > params.switch_max_fanout:
+            collector.add(
+                "port-conflict", "error", str(source),
+                f"source drives {len(sinks)} sinks, fan-out limit is "
+                f"{params.switch_max_fanout}",
+                issue=issue,
+            )
+
+
+__all__ = ["check_image"]

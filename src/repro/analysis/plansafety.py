@@ -1,0 +1,251 @@
+"""Plan safety, derived statically from the program alone.
+
+Two runtime gates become provable-before-execution facts here:
+
+- the fused engine's **non-finite exception screen**
+  (:meth:`repro.sim.progplan.BoundImage._checked_fus`) — which FU rows
+  must be finiteness-tested directly, because no downstream consumer
+  provably propagates their non-finite elements;
+- the batch engine's **static declines**
+  (:func:`repro.sim.batchplan.check_batchable`) — control-script shapes
+  a slab refuses up front.
+
+The propagation sets live *here* and the executors import them, so the
+analyzer and the fused tiers can never drift apart silently; the
+cross-check tests additionally pin :func:`screen_coverage` /
+:func:`fusion_eligibility` against the executors' own answers on the
+compiled corpus.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.arch.funcunit import Opcode
+from repro.codegen.generator import MachineProgram, PipelineImage, ResolvedInput
+from repro.diagram.program import ExecPipeline, Halt, LoopUntil, Repeat
+
+#: Elementwise opcodes through which a non-finite operand element always
+#: yields a non-finite result element, via either input position
+#: (IEEE: inf/nan survive add/sub/mul).
+PROP_BOTH: FrozenSet[Opcode] = frozenset(
+    {Opcode.FADD, Opcode.FSUB, Opcode.FMUL}
+)
+
+#: Same, but only through the ``a`` position (the ``b`` position is a
+#: divisor/ignored/absent).
+PROP_A: FrozenSet[Opcode] = frozenset({
+    Opcode.FSCALE, Opcode.FADDC, Opcode.FNEG, Opcode.FABS,
+    Opcode.PASS, Opcode.FDIV, Opcode.FSQRT,
+})
+
+#: Feedback opcodes whose running value latches non-finite inputs: the
+#: sticky accumulators (FADD, FMUL) and MAXABS (|±inf| = inf wins, nan
+#: propagates).  MIN/MAX variants can silently absorb an extreme of the
+#: wrong sign, so they do not cover their input.
+PROP_FEEDBACK: FrozenSet[Opcode] = frozenset(
+    {Opcode.FADD, Opcode.FMUL, Opcode.MAXABS}
+)
+
+#: Feedback opcodes whose final stream element equals a whole-stream
+#: reduction (exactly associative min/max families) — candidates for the
+#: fused engine's reduce folding when nothing consumes the full stream.
+REDUCIBLE_OPS: FrozenSet[Opcode] = frozenset(
+    {Opcode.MAX, Opcode.MIN, Opcode.MAXABS, Opcode.MINABS}
+)
+
+
+def _feedback_port(
+    image: PipelineImage, fu: int
+) -> Tuple[Optional[ResolvedInput], Optional[ResolvedInput]]:
+    """(feedback input, data input) for *fu*, or ``(None, a-input)``.
+
+    Mirrors the reference interpreter's port resolution; a both-feedback
+    unit (an execution fault) reports as feedback on ``a`` here — the
+    hazard pass flags the conflict separately.
+    """
+    in_a = image.inputs.get((fu, "a"))
+    in_b = image.inputs.get((fu, "b"))
+    if in_a is not None and in_a.kind == "feedback":
+        return in_a, in_b
+    if in_b is not None and in_b.kind == "feedback":
+        return in_b, in_a
+    return None, in_a
+
+
+def consumed_fus(image: PipelineImage) -> FrozenSet[int]:
+    """Units whose output stream another unit or a write-back consumes.
+
+    The static mirror of :meth:`BoundImage._consumed_fus`: operand
+    inputs of kind ``fu``/``internal`` plus FU-driven write programs.
+    """
+    used = set()
+    for resolved in image.inputs.values():
+        if resolved.kind in ("fu", "internal"):
+            used.add(resolved.src_fu)
+    for driver, _sink, _prog in image.write_programs:
+        if driver.kind.value == "fu":
+            used.add(driver.device)
+    return frozenset(used)
+
+
+@dataclass(frozen=True)
+class ScreenReport:
+    """Which FU rows the fused exception screen must test directly.
+
+    ``reduce_fus`` fold to a single reduction (never screened row-wise,
+    their finite final value is always tested); ``covered_fus`` have a
+    consumer that provably propagates non-finite elements downstream;
+    ``checked_fus`` is everything else — the direct-screen set.
+    """
+
+    reduce_fus: FrozenSet[int]
+    covered_fus: FrozenSet[int]
+    checked_fus: FrozenSet[int]
+
+
+def screen_coverage(
+    image: PipelineImage, keep_outputs: bool = False
+) -> ScreenReport:
+    """Static mirror of the fused engine's exception-screen planning.
+
+    Computed from the :class:`PipelineImage` wiring alone — no plan
+    compilation — and cross-checked against
+    :meth:`BoundImage._checked_fus` by the analysis test suite.
+    """
+    consumed = consumed_fus(image)
+    reduce_fus = set()
+    if not keep_outputs:
+        for fu, (opcode, _constant) in image.fu_ops.items():
+            fb, _data = _feedback_port(image, fu)
+            if (
+                fb is not None
+                and opcode in REDUCIBLE_OPS
+                and fu not in consumed
+                and fb.value is not None
+                and math.isfinite(float(fb.value))
+            ):
+                reduce_fus.add(fu)
+
+    covered = set()
+    for fu, (opcode, _constant) in image.fu_ops.items():
+        fb, data = _feedback_port(image, fu)
+        if fb is not None:
+            # A skewed position never covers: the shift can push the
+            # offending element out of the window (zero fill).
+            if opcode in PROP_FEEDBACK and data is not None \
+                    and data.kind in ("fu", "internal") and data.skew == 0:
+                covered.add(data.src_fu)
+            continue
+        if opcode in PROP_BOTH:
+            positions = (image.inputs.get((fu, "a")),
+                         image.inputs.get((fu, "b")))
+        elif opcode in PROP_A:
+            positions = (image.inputs.get((fu, "a")),)
+        else:
+            continue
+        for resolved in positions:
+            if resolved is not None and resolved.kind in ("fu", "internal") \
+                    and resolved.skew == 0:
+                covered.add(resolved.src_fu)
+
+    checked = frozenset(
+        fu for fu in image.fu_ops
+        if fu not in reduce_fus and fu not in covered
+    )
+    return ScreenReport(
+        reduce_fus=frozenset(reduce_fus),
+        covered_fus=frozenset(covered),
+        checked_fus=checked,
+    )
+
+
+# ----------------------------------------------------------------------
+# batch-fusion eligibility (static mirror of check_batchable)
+# ----------------------------------------------------------------------
+def _body_watches(
+    images: Sequence[PipelineImage], ops: Tuple[object, ...], key: int
+) -> bool:
+    """Does this loop body issue pipeline number *key* with a condition?"""
+    for op in ops:
+        if isinstance(op, ExecPipeline):
+            index = op.pipeline
+            if 0 <= index < len(images):
+                image = images[index]
+                if image.number == key and image.condition is not None:
+                    return True
+        elif isinstance(op, Repeat):
+            if _body_watches(images, op.body, key):
+                return True
+    return False
+
+
+def _scan_control(
+    images: Sequence[PipelineImage],
+    ops: Tuple[object, ...],
+    in_loop: bool,
+    reasons: List[str],
+) -> None:
+    """Collect every static batch decline in *ops* (executor order).
+
+    Message strings must match :func:`repro.sim.batchplan._scan_ops`
+    verbatim — the cross-check test asserts equality against the
+    executor's first decline.
+    """
+    for op in ops:
+        if isinstance(op, ExecPipeline):
+            if not (0 <= op.pipeline < len(images)):
+                reasons.append("invalid pipeline issue in script")
+        elif isinstance(op, Halt):
+            if in_loop:
+                reasons.append("Halt inside LoopUntil body")
+        elif isinstance(op, Repeat):
+            _scan_control(images, op.body, in_loop, reasons)
+        elif isinstance(op, LoopUntil):
+            if in_loop:
+                reasons.append("nested LoopUntil")
+                continue
+            if not _body_watches(images, op.body, op.condition_pipeline):
+                reasons.append(
+                    f"loop watch pipeline {op.condition_pipeline} "
+                    "raises no condition"
+                )
+            _scan_control(images, op.body, True, reasons)
+
+
+def fusion_eligibility(
+    program: MachineProgram, keep_outputs: bool = False
+) -> Tuple[bool, Tuple[str, ...]]:
+    """Can *program* run as a batch slab?  ``(eligible, decline reasons)``.
+
+    The static mirror of :func:`repro.sim.batchplan.check_batchable`,
+    computed from the control script and image list alone — no plan
+    compilation, no machine.  Unlike the executor (which raises on the
+    first decline), this collects *every* reason, with the executor's
+    first decline always listed first.
+    """
+    reasons: List[str] = []
+    if keep_outputs:
+        reasons.append("keep_outputs capture in batch slab")
+    # MachineProgram.control is already the effective (resolved) script —
+    # the generator stores ``VisualProgram.effective_control()``.
+    _scan_control(program.images, tuple(program.control), False, reasons)
+    ordered: List[str] = []
+    for reason in reasons:
+        if reason not in ordered:
+            ordered.append(reason)
+    return (not ordered, tuple(ordered))
+
+
+__all__ = [
+    "PROP_BOTH",
+    "PROP_A",
+    "PROP_FEEDBACK",
+    "REDUCIBLE_OPS",
+    "ScreenReport",
+    "consumed_fus",
+    "screen_coverage",
+    "fusion_eligibility",
+]

@@ -1,0 +1,193 @@
+"""Defect seeding: plant one known hazard class in a clean program.
+
+The analyzer's acceptance story needs *positive* evidence — not just
+"the corpus analyzes clean" but "a program with a planted double-write
+is flagged as such".  Each injector here takes a compiled
+:class:`~repro.codegen.generator.MachineProgram`, deep-copies it, and
+mutates the copy so exactly one defect class is present, returning the
+mutant together with the finding rule :func:`analyze_program
+<repro.analysis.engine.analyze_program>` must report for it.
+
+Injectors pick their target image structurally (first image with a
+suitable read/write), so they work on any of the corpus solvers; a
+program with no suitable site raises :class:`SeedingError` rather than
+silently returning an unmutated copy.
+
+Used by the ``analysis_coverage`` bench scenario and the analysis test
+suite's zero-false-negative checks.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import replace
+from typing import Callable, Dict, List, Tuple
+
+from repro.arch.switch import DeviceKind, Endpoint, fu_out, mem_write
+from repro.codegen.generator import MachineProgram, PipelineImage
+from repro.diagram.program import ExecPipeline
+
+
+class SeedingError(ValueError):
+    """The program has no site suitable for the requested defect."""
+
+
+def _mem_write_site(
+    program: MachineProgram,
+) -> Tuple[PipelineImage, int, Tuple[Endpoint, Endpoint, object]]:
+    """First (image, index, write tuple) with a memory-plane sink."""
+    for index, image in enumerate(program.images):
+        for entry in image.write_programs:
+            if entry[1].kind is DeviceKind.MEMORY:
+                return image, index, entry
+    raise SeedingError(f"{program.name}: no memory write to mutate")
+
+
+def _beyond_declared(program: MachineProgram, plane: int) -> int:
+    """First word offset past every declared variable on *plane*."""
+    end = 0
+    for name, decl in program.declarations.items():
+        home = program.variable_layout.get(name)
+        if home is not None and home[0] == plane:
+            end = max(end, home[1] + decl.length)
+    return end
+
+
+def seed_double_write(program: MachineProgram) -> MachineProgram:
+    """Two write programs landing on the same words in one issue."""
+    mutant = copy.deepcopy(program)
+    image, _index, entry = _mem_write_site(mutant)
+    # the duplicate keeps the original driver, so the only new fact is
+    # the overlapping span — isolating the double-write rule
+    image.write_programs.append(entry)
+    return mutant
+
+
+def seed_uninitialized_read(program: MachineProgram) -> MachineProgram:
+    """A read stream over words no host load or issue ever wrote."""
+    mutant = copy.deepcopy(program)
+    for image in mutant.images:
+        for ep, prog in image.read_programs.items():
+            if ep.kind is DeviceKind.MEMORY:
+                offset = _beyond_declared(mutant, ep.device) + 7
+                image.read_programs[ep] = replace(
+                    prog, base_offset=offset
+                )
+                return mutant
+    raise SeedingError(f"{program.name}: no memory read to rebase")
+
+
+def seed_waw_hazard(program: MachineProgram) -> MachineProgram:
+    """The same span written twice across issues with no read between."""
+    mutant = copy.deepcopy(program)
+    from repro.analysis.sites import Span
+
+    for index, image in enumerate(mutant.images):
+        for _driver, sink, prog in image.write_programs:
+            if sink.kind is not DeviceKind.MEMORY:
+                continue
+            wspan = Span.from_dma(prog)
+            self_read = any(
+                ep.kind is DeviceKind.MEMORY
+                and ep.device == sink.device
+                and Span.from_dma(rprog).intersects(wspan)
+                for ep, rprog in image.read_programs.items()
+            )
+            if not self_read:
+                # issuing the image twice back-to-back writes the span,
+                # then overwrites it before anything observes the first
+                mutant.control = [
+                    ExecPipeline(pipeline=index),
+                    ExecPipeline(pipeline=index),
+                    *mutant.control,
+                ]
+                return mutant
+    raise SeedingError(
+        f"{program.name}: every memory write overlaps its own reads"
+    )
+
+
+def seed_raw_race(program: MachineProgram) -> MachineProgram:
+    """A write program overlapping a read program in the same issue."""
+    mutant = copy.deepcopy(program)
+    for image in mutant.images:
+        read_mem = [
+            (ep, prog)
+            for ep, prog in image.read_programs.items()
+            if ep.kind is DeviceKind.MEMORY
+        ]
+        if not read_mem or not image.write_programs:
+            continue
+        ep, prog = read_mem[0]
+        driver = image.write_programs[0][0]
+        image.write_programs.append(
+            (driver, mem_write(ep.device), prog)
+        )
+        return mutant
+    raise SeedingError(f"{program.name}: no issue both reads and writes")
+
+
+def seed_port_conflict(program: MachineProgram) -> MachineProgram:
+    """One write sink driven by two different sources in one issue."""
+    mutant = copy.deepcopy(program)
+    image, _index, entry = _mem_write_site(mutant)
+    driver, sink, prog = entry
+    other = next(
+        (fu_out(fu) for fu in image.fu_ops if fu_out(fu) != driver),
+        None,
+    )
+    if other is None:
+        raise SeedingError(f"{program.name}: no second driver available")
+    # a disjoint span keeps the double-write rule out of the picture:
+    # the only defect is two sources closing routes onto one write pad
+    shifted = replace(
+        prog, base_offset=prog.base_offset + prog.count * prog.spec.stride
+    )
+    image.write_programs.append((other, sink, shifted))
+    return mutant
+
+
+def seed_dead_write(program: MachineProgram) -> MachineProgram:
+    """A write outside every declared variable that nothing ever reads."""
+    mutant = copy.deepcopy(program)
+    image, _index, entry = _mem_write_site(mutant)
+    driver, sink, prog = entry
+    offset = _beyond_declared(mutant, sink.device) + 3
+    image.write_programs.append(
+        (driver, sink, replace(prog, base_offset=offset))
+    )
+    return mutant
+
+
+#: Every seedable defect class, keyed by the finding rule the analyzer
+#: must report on the mutant (zero false negatives is the acceptance
+#: bar; the bench scenario and the test suite both iterate this table).
+SEEDED_DEFECTS: Dict[str, Callable[[MachineProgram], MachineProgram]] = {
+    "double-write": seed_double_write,
+    "uninit-read": seed_uninitialized_read,
+    "waw-overwrite": seed_waw_hazard,
+    "raw-race": seed_raw_race,
+    "port-conflict": seed_port_conflict,
+    "dead-write": seed_dead_write,
+}
+
+
+def seeded_rules(program: MachineProgram) -> List[Tuple[str, MachineProgram]]:
+    """(expected rule, mutant) for every defect class seedable here."""
+    out: List[Tuple[str, MachineProgram]] = []
+    for rule, injector in SEEDED_DEFECTS.items():
+        out.append((rule, injector(program)))
+    return out
+
+
+__all__ = [
+    "SEEDED_DEFECTS",
+    "SeedingError",
+    "seed_dead_write",
+    "seed_double_write",
+    "seed_port_conflict",
+    "seed_raw_race",
+    "seed_uninitialized_read",
+    "seed_waw_hazard",
+    "seeded_rules",
+]

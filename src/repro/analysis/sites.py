@@ -1,0 +1,211 @@
+"""Exact span arithmetic over storage sites.
+
+Every DMA program on the machine is an arithmetic progression —
+``base_offset``, ``stride``, ``count`` — so questions the analyzer
+needs (do two transfers touch a common word? does one transfer's
+footprint cover another's?) have *exact* integer answers via gcd /
+modular-inverse math.  No rounding to intervals, no false aliasing
+between interleaved red/black sweeps whose strides provably miss each
+other.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.arch.dma import DMAProgram
+
+#: Above this many elements, membership enumeration falls back to a
+#: conservative intersection test (soundness over precision).
+ENUMERATION_CAP = 200_000
+
+
+@dataclass(frozen=True)
+class Span:
+    """A normalized arithmetic progression of word offsets.
+
+    Invariants: ``count >= 1`` and ``stride >= 1`` (a descending DMA
+    program normalizes to its lowest touched offset; ``count == 1``
+    spans normalize to ``stride == 1``).
+    """
+
+    start: int
+    stride: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"span count must be >= 1, got {self.count}")
+        if self.stride < 1:
+            raise ValueError(f"span stride must be >= 1, got {self.stride}")
+        if self.count == 1 and self.stride != 1:
+            raise ValueError("singleton spans must normalize to stride 1")
+
+    @classmethod
+    def make(cls, start: int, stride: int, count: int) -> "Span":
+        """Build a span from raw AP parameters, normalizing direction.
+
+        Negative strides flip to start at the lowest touched offset;
+        zero-stride transfers (count repeats of one word) and
+        singletons collapse to ``(start, 1, 1)``.
+        """
+        if count < 1:
+            raise ValueError(f"span count must be >= 1, got {count}")
+        if count == 1 or stride == 0:
+            return cls(start=start, stride=1, count=1)
+        if stride < 0:
+            start = start + (count - 1) * stride
+            stride = -stride
+        return cls(start=start, stride=stride, count=count)
+
+    @classmethod
+    def from_dma(cls, program: "DMAProgram") -> "Span":
+        """The footprint of one DMA program, in word offsets."""
+        return cls.make(
+            start=program.base_offset,
+            stride=program.spec.stride,
+            count=program.count,
+        )
+
+    @property
+    def last(self) -> int:
+        return self.start + (self.count - 1) * self.stride
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __contains__(self, offset: int) -> bool:
+        if offset < self.start or offset > self.last:
+            return False
+        return (offset - self.start) % self.stride == 0
+
+    def intersects(self, other: "Span") -> bool:
+        """True iff the two progressions share at least one offset.
+
+        Exact: solves ``start_a + i*stride_a == start_b + j*stride_b``
+        over the bounded index ranges with gcd reasoning, so strided
+        transfers that interleave without touching (e.g. offsets
+        0,2,4,… vs 1,3,5,…) do not alias.
+        """
+        if self.last < other.start or other.last < self.start:
+            return False
+        a, b = (self, other) if self.stride >= other.stride else (other, self)
+        # Common solutions of the two APs form an AP with period
+        # lcm(stride_a, stride_b); one exists iff the start offsets are
+        # congruent modulo gcd(stride_a, stride_b).
+        g = math.gcd(a.stride, b.stride)
+        if (b.start - a.start) % g:
+            return False
+        tg = b.stride // g
+        if tg > 1:
+            i0 = ((b.start - a.start) // g
+                  * pow(a.stride // g, -1, tg)) % tg
+        else:
+            i0 = 0
+        x = a.start + i0 * a.stride
+        step = a.stride * tg  # == lcm(a.stride, b.stride)
+        lo = max(a.start, b.start)
+        if x < lo:
+            x += -(-(lo - x) // step) * step
+        return x <= min(a.last, b.last)
+
+    def covers(self, other: "Span") -> bool:
+        """True iff every offset of *other* is an offset of *self*."""
+        if other.start < self.start or other.last > self.last:
+            return False
+        if (other.start - self.start) % self.stride:
+            return False
+        if other.count > 1 and other.stride % self.stride:
+            return False
+        return True
+
+    def overlap_offset(self, other: "Span") -> Optional[int]:
+        """The lowest shared offset, or ``None`` when disjoint."""
+        if not self.intersects(other):
+            return None
+        a, b = (self, other) if self.stride >= other.stride else (other, self)
+        g = math.gcd(a.stride, b.stride)
+        tg = b.stride // g
+        if tg > 1:
+            i0 = ((b.start - a.start) // g
+                  * pow(a.stride // g, -1, tg)) % tg
+        else:
+            i0 = 0
+        x = a.start + i0 * a.stride
+        step = a.stride * tg
+        lo = max(a.start, b.start)
+        if x < lo:
+            x += -(-(lo - x) // step) * step
+        return x
+
+    def format(self) -> str:
+        if self.count == 1:
+            return f"[{self.start}]"
+        if self.stride == 1:
+            return f"[{self.start}..{self.last}]"
+        return f"[{self.start}..{self.last} step {self.stride}]"
+
+
+def covered_by_union(span: Span, defs: Tuple[Span, ...]) -> bool:
+    """True iff every offset of *span* is covered by some span in *defs*.
+
+    Fast path: a single def that covers the whole read.  General case:
+    bounded element enumeration (each membership test is O(1) integer
+    math).  Beyond :data:`ENUMERATION_CAP` elements the check degrades
+    *conservatively for the analyzer's use*: any intersection counts as
+    coverage, so oversized reads can miss an uninitialized tail but
+    never produce a false positive.
+    """
+    if not defs:
+        return False
+    for d in defs:
+        if d.covers(span):
+            return True
+    if span.count > ENUMERATION_CAP:
+        return any(d.intersects(span) for d in defs)
+    candidates = [d for d in defs if d.intersects(span)]
+    if not candidates:
+        return False
+    offset = span.start
+    for _ in range(span.count):
+        if not any(offset in d for d in candidates):
+            return False
+        offset += span.stride
+    return True
+
+
+class SiteKey:
+    """Stable display names for the machine's storage/structural sites."""
+
+    @staticmethod
+    def mem(plane: int) -> str:
+        return f"mem[{plane}]"
+
+    @staticmethod
+    def cache(unit: int) -> str:
+        return f"cache[{unit}]"
+
+    @staticmethod
+    def fu(index: int) -> str:
+        return f"fu{index}"
+
+    @staticmethod
+    def sd(unit: int, tap: Optional[int] = None) -> str:
+        if tap is None:
+            return f"sd[{unit}]"
+        return f"sd[{unit}].tap{tap}"
+
+    @staticmethod
+    def control() -> str:
+        return "control"
+
+
+__all__ = [
+    "ENUMERATION_CAP",
+    "Span",
+    "SiteKey",
+    "covered_by_union",
+]

@@ -37,7 +37,12 @@ Scenarios:
   (``batch_fusion="off"``) vs whole-batch slab execution
   (``batch_fusion="auto"``, :mod:`repro.sim.batchplan`), with
   bit-identical records required and the slab side gated at
-  :data:`BATCH_FUSED_MIN_SPEEDUP` on the full configuration.
+  :data:`BATCH_FUSED_MIN_SPEEDUP` on the full configuration;
+- ``analysis_coverage`` — the one *untimed* scenario: the static
+  analyzer (:mod:`repro.analysis`) must report zero findings on every
+  registry solver at the bench shapes, and must flag every seeded
+  defect class (double-write, uninitialized read, WAW, RAW race, port
+  conflict, dead write) on every solver — zero false negatives.
 
 Drive it with ``nsc-vpe bench [--quick] [--scenarios ...] [--out DIR]``,
 or programmatically via :func:`run_scenario` / :func:`run_bench`.  A
@@ -68,7 +73,12 @@ SCENARIOS = (
     "batch_shm",
     "fused_coverage",
     "batch_fused",
+    "analysis_coverage",
 )
+
+#: Scenarios that emit pass/fail checks instead of timed speedups; they
+#: never appear in the committed perf baseline (nothing to floor).
+UNTIMED_SCENARIOS = frozenset({"analysis_coverage"})
 
 #: Allowed fractional drop of a speedup below its committed baseline.
 REGRESSION_TOLERANCE = 0.2
@@ -871,6 +881,72 @@ def _scenario_batch_fused(quick: bool) -> Dict[str, Any]:
     return record
 
 
+def _scenario_analysis_coverage(quick: bool) -> Dict[str, Any]:
+    """Untimed: the static analyzer's coverage over the bench corpus.
+
+    Two-sided acceptance check rather than a timing race — the corpus
+    programs (every registry solver at the quick and full bench shapes)
+    must analyze *clean*, and every seeded defect class must be flagged
+    with its expected rule on every solver (zero false negatives).
+    Emits ``"untimed": True`` instead of backend sides and speedups, so
+    baseline comparison and speedup gates skip it by construction.
+    """
+    from repro.analysis import analyze_program
+    from repro.analysis.seeding import SEEDED_DEFECTS
+    from repro.arch.node import NodeConfig
+    from repro.codegen.generator import MicrocodeGenerator
+    from repro.compose.registry import SOLVERS
+
+    node = NodeConfig()
+    generator = MicrocodeGenerator(node, run_checker=False)
+    shapes = (7,) if quick else (7, 9)
+    corpus = []
+    for entry in SOLVERS.values():
+        for n in shapes:
+            setup = entry.build_setup(
+                node, (n, n, n), eps=1e-4, max_iterations=100, omega=1.5
+            )
+            corpus.append(
+                (f"{entry.name}-{n}", generator.generate(setup.program))
+            )
+
+    checks: Dict[str, bool] = {}
+    findings_total = 0
+    issues_walked = 0
+    for name, program in corpus:
+        verdict = analyze_program(program)
+        checks[f"clean_{name}"] = verdict.clean
+        findings_total += len(verdict.findings)
+        issues_walked += verdict.issues_walked
+
+    # positive side: every defect class must be caught on every solver
+    seeded = 0
+    for rule, injector in SEEDED_DEFECTS.items():
+        caught = True
+        for name, program in corpus:
+            mutant = injector(program)
+            verdict = analyze_program(mutant)
+            caught &= rule in {f.rule for f in verdict.findings}
+            seeded += 1
+        checks[f"detects_{rule}"] = caught
+
+    return {
+        "scenario": "analysis_coverage",
+        "quick": quick,
+        "untimed": True,
+        "config": {
+            "solvers": sorted(SOLVERS),
+            "shapes": list(shapes),
+            "programs_analyzed": len(corpus),
+            "mutants_analyzed": seeded,
+            "issues_walked": issues_walked,
+            "corpus_findings": findings_total,
+        },
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+
+
 _SCENARIO_FNS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "jacobi_single": _scenario_jacobi_single,
     "jacobi_multinode": _scenario_jacobi_multinode,
@@ -880,6 +956,7 @@ _SCENARIO_FNS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "batch_shm": _scenario_batch_shm,
     "fused_coverage": _scenario_fused_coverage,
     "batch_fused": _scenario_batch_fused,
+    "analysis_coverage": _scenario_analysis_coverage,
 }
 
 
@@ -911,6 +988,14 @@ def write_record(record: Dict[str, Any], out_dir: str) -> Path:
 
 def format_record(record: Dict[str, Any]) -> str:
     """One human-readable summary line per scenario."""
+    if record.get("untimed"):
+        status = "checks ok" if record["ok"] else "CHECKS FAILED"
+        failed = [k for k, v in record["checks"].items() if not v]
+        detail = f" (failed: {', '.join(failed)})" if failed else ""
+        return (
+            f"{record['scenario']:<18} untimed  "
+            f"{len(record['checks'])} checks  {status}{detail}"
+        )
     base_name, cont_name = record.get("speedup_pair", ["reference", "fast"])
     base = record["backends"][base_name]
     cont = record["backends"][cont_name]
@@ -939,9 +1024,15 @@ _BASELINE_METRICS = ("speedup", "speedup_vs_unfused")
 
 
 def baseline_from_records(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
-    """Distill bench records into a committable baseline document."""
+    """Distill bench records into a committable baseline document.
+
+    Untimed records carry no gateable metrics and are left out — the
+    baseline floors speedups, and they have none to floor.
+    """
     scenarios: Dict[str, Dict[str, float]] = {}
     for record in records:
+        if record.get("untimed"):
+            continue
         entry = {
             metric: round(float(record[metric]), 3)
             for metric in _BASELINE_METRICS
@@ -1120,6 +1211,7 @@ def run_bench(
 
 __all__ = [
     "SCENARIOS",
+    "UNTIMED_SCENARIOS",
     "REGRESSION_TOLERANCE",
     "BenchError",
     "run_scenario",

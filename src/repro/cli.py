@@ -5,6 +5,7 @@ Subcommands mirror the toolchain:
 - ``info``       — the machine inventory (Fig. 1 as text)
 - ``icons``      — the ALS icon catalog (Fig. 4)
 - ``check``      — validate a saved visual program
+- ``analyze``    — static dataflow/hazard analysis of compiled microcode
 - ``disasm``     — generate microcode and print the textual disassembly
 - ``render``     — render a pipeline diagram from a saved program
 - ``jacobi``     — build, run, and report the paper's Eq. 1 example
@@ -115,6 +116,59 @@ def cmd_check(args: argparse.Namespace) -> int:
     report = Checker(node).check_program(program)
     print(report.format())
     return 0 if report.ok else 1
+
+
+def _registry_programs(node: NodeConfig):
+    """Compiled (name, MachineProgram) pairs for the analyze/bench corpus:
+    every registry solver at the standard quick and full bench shapes."""
+    from repro.codegen.generator import MicrocodeGenerator
+    from repro.compose.registry import SOLVERS
+
+    generator = MicrocodeGenerator(node, run_checker=False)
+    for entry in SOLVERS.values():
+        for n in (7, 9):
+            setup = entry.build_setup(
+                node, (n, n, n), eps=1e-4, max_iterations=100, omega=1.5
+            )
+            yield f"{entry.name}-{n}", generator.generate(setup.program)
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_program, severity_rank
+    from repro.codegen.generator import MicrocodeGenerator
+
+    node = _node(args)
+    if args.registry == (args.program is not None):
+        print("error: give a program file or --registry (not both)",
+              file=sys.stderr)
+        return 2
+    if args.registry:
+        targets = list(_registry_programs(node))
+    else:
+        generator = MicrocodeGenerator(node, run_checker=False)
+        machine_program = generator.generate(_load_program(args.program))
+        targets = [(machine_program.name, machine_program)]
+
+    verdicts = [(name, analyze_program(program))
+                for name, program in targets]
+    if args.json:
+        print(json.dumps(
+            [dict(verdict.to_dict(), target=name)
+             for name, verdict in verdicts],
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for name, verdict in verdicts:
+            print(verdict.format())
+    if args.fail_on == "never":
+        return 0
+    floor = severity_rank(args.fail_on)
+    failed = any(
+        severity_rank(f.severity) >= floor
+        for _name, verdict in verdicts
+        for f in verdict.findings
+    )
+    return 1 if failed else 0
 
 
 def cmd_disasm(args: argparse.Namespace) -> int:
@@ -380,7 +434,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"  -> {path}")
         if not record["ok"]:
             ok = False
-        if args.min_speedup > 0:
+        if args.min_speedup > 0 and "speedup" in record:
+            # untimed scenarios (e.g. analysis_coverage) have no timing
             gated = {"speedup": record["speedup"]}
             if "speedup_vs_unfused" in record:
                 gated["speedup_vs_unfused"] = record["speedup_vs_unfused"]
@@ -560,6 +615,26 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("check", help="validate a saved program",
                        parents=[common])
     p.add_argument("program", help="path to a saved .json program")
+
+    p = sub.add_parser(
+        "analyze",
+        help="static dataflow/hazard analysis of compiled microcode",
+        parents=[common],
+    )
+    p.add_argument("program", nargs="?", default=None,
+                   help="path to a saved .json program (omit with "
+                   "--registry)")
+    p.add_argument("--registry", action="store_true",
+                   help="analyze every registry solver program instead of "
+                   "a file (jacobi, rb-gs, rb-sor at the standard bench "
+                   "shapes)")
+    p.add_argument("--json", action="store_true",
+                   help="emit verdicts as a JSON array instead of text")
+    p.add_argument("--fail-on", choices=("error", "warning", "info",
+                                         "never"),
+                   default="error", dest="fail_on",
+                   help="exit non-zero when any finding reaches this "
+                   "severity (default error; 'never' always exits 0)")
 
     p = sub.add_parser("disasm", help="microcode disassembly of a program",
                        parents=[common])
@@ -821,6 +896,7 @@ _COMMANDS = {
     "info": cmd_info,
     "icons": cmd_icons,
     "check": cmd_check,
+    "analyze": cmd_analyze,
     "disasm": cmd_disasm,
     "render": cmd_render,
     "jacobi": cmd_jacobi,

@@ -35,6 +35,7 @@ the engine.
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import tempfile
@@ -54,6 +55,7 @@ class CacheStats:
     misses: int = 0
     disk_hits: int = 0  # subset of hits satisfied from the disk layer
     checks_skipped: int = 0  # compiles that rode the verified registry
+    static_clean: int = 0  # compiles vetted by the static analyzer alone
 
     @property
     def lookups(self) -> int:
@@ -65,6 +67,7 @@ class CacheStats:
             "misses": self.misses,
             "disk_hits": self.disk_hits,
             "checks_skipped": self.checks_skipped,
+            "static_clean": self.static_clean,
         }
 
     def format(self) -> str:
@@ -87,6 +90,7 @@ class ProgramCache:
     def __init__(self, disk_dir: Optional[str] = None) -> None:
         self._mem: Dict[str, Any] = {}
         self._verified: Dict[str, str] = {}
+        self._static: Dict[str, Dict[str, Any]] = {}
         self.disk_dir = Path(disk_dir) if disk_dir else None
         if self.disk_dir is not None:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
@@ -191,6 +195,51 @@ class ProgramCache:
         if self.disk_dir is None:
             return None
         return self.disk_dir / "verified" / f"{key}.fp"
+
+    # ------------------------------------------------------------------
+    # static-analysis registry (the run_checker="static" trusted path)
+    # ------------------------------------------------------------------
+    def record_static(self, key: str, verdict: Any) -> None:
+        """Record ``key``'s static-analysis verdict next to its trust mark.
+
+        ``verdict`` is an :class:`repro.analysis.AnalysisVerdict`; the
+        serialized form persists when a disk layer is configured, so a
+        later process (or ``nsc-vpe analyze``) can read why a program
+        was — or was not — statically trusted without re-analyzing.
+        """
+        payload = verdict.to_dict()
+        self._static[key] = payload
+        path = self._static_path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except Exception:
+            pass  # the registry is an optimisation; never sink a job
+
+    def static_verdict(self, key: str) -> Optional[Dict[str, Any]]:
+        """The recorded verdict dict for ``key``, or None."""
+        if key in self._static:
+            return self._static[key]
+        path = self._static_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        self._static[key] = payload
+        return payload
+
+    def _static_path(self, key: str) -> Optional[Path]:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / "analysis" / f"{key}.json"
 
     # ------------------------------------------------------------------
     def __contains__(self, key: str) -> bool:

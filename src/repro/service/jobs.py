@@ -29,7 +29,7 @@ from repro.sim.fastpath import BACKENDS
 METHODS = ("jacobi", "rb-gs", "rb-sor", "program")
 
 #: Design-rule-checker gating modes for compilation (see ``run_checker``).
-CHECKER_MODES = ("auto", "always", "never")
+CHECKER_MODES = ("auto", "always", "never", "static")
 
 
 class JobSpecError(ValueError):
@@ -72,7 +72,15 @@ class SimJob:
       skip it on later compiles of the same pair whose fingerprint
       matches.  With an on-disk cache directory the trust marks persist
       across processes and sessions, so cache-warmed service jobs never
-      pay the checker's rule sweep again.
+      pay the checker's rule sweep again;
+    - ``"static"`` — run the static analyzer
+      (:func:`repro.analysis.analyze_program`) instead of the dynamic
+      checker on first compile: a program whose verdict has no
+      error-severity findings earns the same trust mark ``"auto"``
+      earns from a checked compile (recorded alongside the verdict in
+      the cache), while a verdict with errors falls back to a checked
+      compile.  Warm recompiles ride the verified registry exactly like
+      ``"auto"``.  See ``docs/ANALYSIS.md`` for the recipe.
 
     Like ``backend``, neither ``run_checker`` nor ``keep_fields`` changes
     the compiled microcode, so both are excluded from
@@ -246,13 +254,18 @@ class SimJob:
     @property
     def job_id(self) -> str:
         """Short stable identifier for the complete spec.  Excluded:
-        ``label`` (renaming a job does not change its identity) and the
+        ``label`` (renaming a job does not change its identity), the
         retry settings (how often a job may be *attempted* does not
         change what it computes — resume matching and store digests
-        depend on this)."""
+        depend on this), and ``run_checker`` (how a compile is
+        *validated* does not change it either: the analysis suite pins
+        ``"static"``-vs-``"always"`` store-digest identity on exactly
+        this).  ``run_checker`` is normalized rather than dropped so
+        default-mode specs keep the job_ids they have always had."""
         payload = self.to_dict()
         for key in ("label", "max_attempts", "backoff_base"):
             payload.pop(key, None)
+        payload["run_checker"] = "auto"
         return _sha256(payload)[:12]
 
     # ------------------------------------------------------------------

@@ -33,7 +33,11 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 #: ``retry_reasons`` depend on which faults a run met, ``resumed`` on
 #: whether ``--resume`` filled the record in, and ``transport_fallback``
 #: on whether shm had to demote to pickling — none of which may change
-#: the simulation's output (the chaos suite asserts exactly that).
+#: the simulation's output (the chaos suite asserts exactly that), and
+#: ``checker`` on how a compile earned its trust (ran the dynamic
+#: checker, skipped via the verified registry, or statically analyzed
+#: under ``run_checker="static"``) — the analysis suite pins
+#: static-vs-always digest identity through exactly this exclusion.
 #: (``tier`` is *not* volatile — which tier runs is deterministic for a
 #: given job and backend.)
 VOLATILE_KEYS = (
@@ -43,6 +47,7 @@ VOLATILE_KEYS = (
     "retry_reasons",
     "resumed",
     "transport_fallback",
+    "checker",
 )
 
 

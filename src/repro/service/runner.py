@@ -236,10 +236,17 @@ def _obtain_program(
     verified registry — a hit skips the checker but still compares the
     fresh compile's fingerprint against the recorded one, falling back to
     a checked recompile on any mismatch (a stale or tampered trust mark
-    must never smuggle an unvalidated program through).
+    must never smuggle an unvalidated program through).  ``"static"``
+    rides the same registry, but earns a *cold* trust mark from the
+    static analyzer instead of the dynamic checker: an error-free
+    :func:`repro.analysis.analyze_program` verdict (recorded in the
+    cache next to the fingerprint) marks the program verified without
+    ever executing the rule sweep; a verdict with errors falls back to
+    a checked compile.
 
     Returns ``(value, checker)`` where ``checker`` is ``"ran"``/
-    ``"skipped"`` when this call actually compiled, else None.
+    ``"skipped"``/``"static"`` when this call actually compiled, else
+    None.
     """
     key = job.cache_key()
     info: Dict[str, str] = {}
@@ -251,17 +258,33 @@ def _obtain_program(
             check = False
         elif mode == "always":
             check = True
-        else:
+        else:  # "auto" and "static" both ride the verified registry
             expected = cache.verified_fingerprint(key)
-            check = expected is None
+            check = mode == "auto" and expected is None
         value = compile_for(check)
         if not check and expected is not None \
                 and value[1].fingerprint() != expected:
             value = compile_for(True)
             check = True
+            expected = None
+        if mode == "static" and not check and expected is None:
+            # cold static path: trust an error-free analysis verdict
+            from repro.analysis import analyze_program
+
+            verdict = analyze_program(value[1])
+            cache.record_static(key, verdict)
+            if verdict.ok:
+                cache.mark_verified(key, value[1].fingerprint())
+                cache.stats.static_clean += 1
+                obs.count("cache.static_clean")
+                info["checker"] = "static"
+                return value
+            # findings at error severity: run the real checker instead
+            value = compile_for(True)
+            check = True
         if check:
             cache.mark_verified(key, value[1].fingerprint())
-        elif mode == "auto":
+        elif mode in ("auto", "static"):
             cache.stats.checks_skipped += 1
             obs.count("cache.check_skipped")
         info["checker"] = "ran" if check else "skipped"

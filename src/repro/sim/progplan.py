@@ -64,6 +64,12 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKIN
 
 import numpy as np
 
+from repro.analysis.plansafety import (
+    PROP_A,
+    PROP_BOTH,
+    PROP_FEEDBACK,
+    REDUCIBLE_OPS,
+)
 from repro.arch.funcunit import Opcode
 from repro.arch.interrupts import Interrupt, InterruptKind
 from repro.arch.switch import DeviceKind
@@ -136,12 +142,16 @@ _COMPARATORS = {
 #: Feedback opcodes whose running value can be folded with one reduction
 #: (min/max are exactly associative, so the stream's final element equals
 #: the whole-stream reduce — float addition is not, and stays sequential).
+#: The eligible opcode set is owned by the static analyzer
+#: (:data:`repro.analysis.plansafety.REDUCIBLE_OPS`); this maps each
+#: member to its fold kernel.
 _REDUCIBLE = {
     Opcode.MAX: (np.maximum, False),
     Opcode.MIN: (np.minimum, False),
     Opcode.MAXABS: (np.maximum, True),
     Opcode.MINABS: (np.minimum, True),
 }
+assert frozenset(_REDUCIBLE) == REDUCIBLE_OPS
 
 
 def program_fingerprint(program: MachineProgram) -> str:
@@ -150,7 +160,11 @@ def program_fingerprint(program: MachineProgram) -> str:
     :meth:`MachineProgram.fingerprint` covers the microwords only; a
     compiled schedule additionally depends on the control script and the
     variable layout, so both are folded into the digest — two programs
-    differing only in a loop bound must not share a plan.
+    differing only in a loop bound must not share a plan.  The resolved
+    FU input constants are folded in too: a ``const``-kind operand value
+    lives in the constant table, not the microword bits, so two programs
+    differing only in a literal would otherwise collide and the cache
+    would replay the wrong arithmetic.
     """
     cached = program.__dict__.get("_progplan_fingerprint")
     if cached is None:
@@ -162,6 +176,9 @@ def program_fingerprint(program: MachineProgram) -> str:
         digest.update(
             repr(sorted(program.declarations.items())).encode("utf-8")
         )
+        for image in program.images:
+            digest.update(repr(sorted(image.inputs.items())).encode("utf-8"))
+            digest.update(repr(sorted(image.fu_ops.items())).encode("utf-8"))
         cached = digest.hexdigest()
         program.__dict__["_progplan_fingerprint"] = cached
     return cached
@@ -483,16 +500,12 @@ class ImageKernel:
                 used.add(write.key)
         return used
 
-    #: elementwise opcodes through which a non-finite operand element
-    #: always yields a non-finite result element (both positions)
-    _PROP_BOTH = frozenset({Opcode.FADD, Opcode.FSUB, Opcode.FMUL})
-    #: same, but only through the ``a`` position
-    _PROP_A = frozenset({
-        Opcode.FSCALE, Opcode.FADDC, Opcode.FNEG, Opcode.FABS,
-        Opcode.PASS, Opcode.FDIV, Opcode.FSQRT,
-    })
-    #: feedback opcodes whose running value latches non-finite inputs
-    _PROP_FEEDBACK = frozenset({Opcode.FADD, Opcode.FMUL, Opcode.MAXABS})
+    #: non-finite propagation sets, owned by the static analyzer so the
+    #: fused screen and :func:`repro.analysis.screen_coverage` can never
+    #: drift apart (see docs/ANALYSIS.md)
+    _PROP_BOTH = PROP_BOTH
+    _PROP_A = PROP_A
+    _PROP_FEEDBACK = PROP_FEEDBACK
 
     def _checked_fus(self) -> Set[int]:
         """Units whose output rows the fused exception screen must cover.

@@ -1,0 +1,139 @@
+"""Span arithmetic: the exact AP reasoning under every dataflow rule."""
+
+import pytest
+
+from repro.analysis.sites import ENUMERATION_CAP, SiteKey, Span, covered_by_union
+
+
+class TestSpanConstruction:
+    def test_make_normalizes_negative_stride(self):
+        span = Span.make(start=10, stride=-2, count=4)
+        assert (span.start, span.stride, span.count) == (4, 2, 4)
+        assert span.last == 10
+
+    def test_make_collapses_singletons_and_zero_stride(self):
+        assert Span.make(5, 7, 1) == Span(5, 1, 1)
+        assert Span.make(5, 0, 9) == Span(5, 1, 1)
+
+    def test_invariants_enforced(self):
+        with pytest.raises(ValueError):
+            Span(0, 1, 0)
+        with pytest.raises(ValueError):
+            Span(0, 0, 4)
+        with pytest.raises(ValueError):
+            Span(0, 3, 1)  # singleton must normalize to stride 1
+
+    def test_contains(self):
+        span = Span(4, 3, 5)  # 4 7 10 13 16
+        assert all(x in span for x in (4, 7, 10, 13, 16))
+        assert all(x not in span for x in (3, 5, 17, 19))
+
+
+class TestIntersects:
+    def test_interleaved_strides_do_not_alias(self):
+        evens = Span(0, 2, 50)
+        odds = Span(1, 2, 50)
+        assert not evens.intersects(odds)
+        assert not odds.intersects(evens)
+
+    def test_coprime_strides_meet(self):
+        a = Span(0, 3, 10)  # 0 3 .. 27
+        b = Span(1, 5, 6)   # 1 6 11 16 21 26
+        # common solutions of 3i ≡ 1+5j: 6, 21 — inside both ranges
+        assert a.intersects(b) and b.intersects(a)
+        assert a.overlap_offset(b) == 6
+
+    def test_congruent_but_out_of_range(self):
+        a = Span(0, 4, 3)    # 0 4 8
+        b = Span(12, 4, 3)   # 12 16 20
+        assert not a.intersects(b)
+        assert a.overlap_offset(b) is None
+
+    def test_identical_spans(self):
+        span = Span(7, 11, 9)
+        assert span.intersects(span)
+        assert span.overlap_offset(span) == 7
+
+    def test_exhaustive_against_set_arithmetic(self):
+        cases = [
+            Span.make(s, d, c)
+            for s in (0, 1, 5)
+            for d in (1, 2, 3, 7)
+            for c in (1, 4, 13)
+        ]
+        for a in cases:
+            sa = {a.start + i * a.stride for i in range(a.count)}
+            for b in cases:
+                sb = {b.start + i * b.stride for i in range(b.count)}
+                assert a.intersects(b) == bool(sa & sb), (a, b)
+                expected = min(sa & sb) if sa & sb else None
+                assert a.overlap_offset(b) == expected, (a, b)
+
+
+class TestCovers:
+    def test_subprogression(self):
+        outer = Span(0, 2, 20)   # 0..38 step 2
+        inner = Span(4, 4, 5)    # 4 8 12 16 20
+        assert outer.covers(inner)
+        assert not inner.covers(outer)
+
+    def test_offset_mismatch(self):
+        outer = Span(0, 2, 20)
+        assert not outer.covers(Span(1, 2, 3))
+
+    def test_exhaustive_against_set_arithmetic(self):
+        cases = [
+            Span.make(s, d, c)
+            for s in (0, 2)
+            for d in (1, 2, 6)
+            for c in (1, 3, 9)
+        ]
+        for a in cases:
+            sa = {a.start + i * a.stride for i in range(a.count)}
+            for b in cases:
+                sb = {b.start + i * b.stride for i in range(b.count)}
+                assert a.covers(b) == (sb <= sa), (a, b)
+
+
+class TestCoveredByUnion:
+    def test_single_def_fast_path(self):
+        read = Span(0, 1, 100)
+        assert covered_by_union(read, (Span(0, 1, 100),))
+
+    def test_two_halves_cover(self):
+        read = Span(0, 1, 100)
+        halves = (Span(0, 1, 50), Span(50, 1, 50))
+        assert covered_by_union(read, halves)
+
+    def test_gap_detected(self):
+        read = Span(0, 1, 100)
+        gappy = (Span(0, 1, 50), Span(51, 1, 49))  # word 50 missing
+        assert not covered_by_union(read, gappy)
+
+    def test_interleaved_defs_cover(self):
+        read = Span(0, 1, 40)
+        assert covered_by_union(read, (Span(0, 2, 20), Span(1, 2, 20)))
+
+    def test_empty_defs(self):
+        assert not covered_by_union(Span(0, 1, 4), ())
+
+    def test_oversized_read_degrades_conservatively(self):
+        read = Span(0, 1, ENUMERATION_CAP + 1)
+        # intersects at all => treated as covered (no false positives)
+        assert covered_by_union(read, (Span(5, 1, 1),))
+        assert not covered_by_union(read, (Span(ENUMERATION_CAP + 10, 1, 1),))
+
+    def test_format(self):
+        assert Span(3, 1, 1).format() == "[3]"
+        assert Span(0, 1, 8).format() == "[0..7]"
+        assert Span(0, 4, 3).format() == "[0..8 step 4]"
+
+
+class TestSiteKey:
+    def test_display_names(self):
+        assert SiteKey.mem(0) == "mem[0]"
+        assert SiteKey.cache(3) == "cache[3]"
+        assert SiteKey.fu(17) == "fu17"
+        assert SiteKey.sd(1) == "sd[1]"
+        assert SiteKey.sd(0, 2) == "sd[0].tap2"
+        assert SiteKey.control() == "control"

@@ -1,0 +1,124 @@
+"""Finding/verdict semantics: severity order, dedup, roll-up, serialization."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    SEVERITIES,
+    AnalysisVerdict,
+    Finding,
+    FindingCollector,
+    severity_rank,
+)
+from repro.analysis.verdict import merge_findings
+
+
+class TestSeverity:
+    def test_order(self):
+        assert SEVERITIES == ("info", "warning", "error")
+        assert severity_rank("error") > severity_rank("warning") \
+            > severity_rank("info")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            severity_rank("fatal")
+        with pytest.raises(ValueError):
+            Finding(rule="x", severity="fatal", site="mem[0]", issue="",
+                    message="m")
+
+
+class TestFindingCollector:
+    def test_dedup_on_static_location(self):
+        collector = FindingCollector()
+        for _ in range(3):  # the same defect seen once per loop unroll
+            collector.add("waw-overwrite", "warning", "mem[0]",
+                          "pipeline 1 wrote [0..9], overwritten",
+                          issue="pipeline 1")
+        assert len(collector) == 1
+
+    def test_distinct_messages_kept(self):
+        collector = FindingCollector()
+        collector.add("uninit-read", "error", "mem[0]", "read [0..3]")
+        collector.add("uninit-read", "error", "mem[0]", "read [8..11]")
+        assert len(collector) == 2
+
+    def test_sorted_most_severe_first(self):
+        collector = FindingCollector()
+        collector.add("dead-code", "info", "control", "never executes")
+        collector.add("double-write", "error", "mem[1]", "overlap")
+        collector.add("dead-write", "warning", "mem[2]", "never read")
+        severities = [f.severity for f in collector.sorted()]
+        assert severities == ["error", "warning", "info"]
+
+    def test_first_issue_label_wins(self):
+        collector = FindingCollector()
+        collector.add("dead-code", "warning", "fu3", "unused",
+                      issue="pipeline 0")
+        collector.add("dead-code", "warning", "fu3", "unused",
+                      issue="pipeline 2")
+        (finding,) = collector.sorted()
+        assert finding.issue == "pipeline 0"
+
+    def test_merge_findings(self):
+        a, b = FindingCollector(), FindingCollector()
+        a.add("dead-code", "info", "control", "x")
+        b.add("dead-code", "info", "control", "x")  # duplicate across both
+        b.add("control", "error", "control", "y")
+        merged = merge_findings([a, b])
+        assert [f.rule for f in merged] == ["control", "dead-code"]
+
+
+def _verdict(findings=()):
+    return AnalysisVerdict(
+        program="p", fingerprint="f" * 64, findings=tuple(findings)
+    )
+
+
+def _finding(severity, rule="uninit-read"):
+    return Finding(rule=rule, severity=severity, site="mem[0]",
+                   issue="pipeline 0", message="msg")
+
+
+class TestAnalysisVerdict:
+    def test_clean_verdict(self):
+        verdict = _verdict()
+        assert verdict.ok and verdict.clean
+        assert verdict.worst_severity == ""
+        assert verdict.counts() == {"info": 0, "warning": 0, "error": 0}
+        assert "no findings" in verdict.format()
+
+    def test_ok_tolerates_warnings_not_errors(self):
+        warned = _verdict([_finding("warning")])
+        assert warned.ok and not warned.clean
+        assert warned.worst_severity == "warning"
+        errored = _verdict([_finding("warning"), _finding("error")])
+        assert not errored.ok
+        assert errored.worst_severity == "error"
+
+    def test_at_or_above(self):
+        verdict = _verdict(
+            [_finding("info"), _finding("warning"), _finding("error")]
+        )
+        assert len(verdict.at_or_above("info")) == 3
+        assert len(verdict.at_or_above("warning")) == 2
+        assert len(verdict.at_or_above("error")) == 1
+
+    def test_to_dict_round_trips_through_json(self):
+        verdict = _verdict([_finding("error")])
+        payload = json.loads(json.dumps(verdict.to_dict(), sort_keys=True))
+        assert payload["ok"] is False and payload["clean"] is False
+        assert payload["counts"]["error"] == 1
+        assert payload["findings"][0]["rule"] == "uninit-read"
+        assert payload["program"] == "p"
+
+    def test_format_lists_findings_and_fusion(self):
+        verdict = AnalysisVerdict(
+            program="p", fingerprint="f" * 64,
+            findings=(_finding("error"),),
+            fusion_eligible=False,
+            fusion_reasons=("nested LoopUntil",),
+        )
+        text = verdict.format()
+        assert "[error] uninit-read mem[0] at pipeline 0" in text
+        assert "not batch-fusable: nested LoopUntil" in text

@@ -1,0 +1,113 @@
+"""run_checker="static": analyzer-earned trust marks and digest parity."""
+
+import json
+
+import pytest
+
+import repro.analysis
+from repro.analysis import AnalysisVerdict, Finding
+from repro.checker.checker import Checker
+from repro.service.cache import ProgramCache
+from repro.service.jobs import SimJob
+from repro.service.results import ResultStore
+from repro.service.runner import BatchRunner, execute_job
+from repro.service.sweep import SweepSpec
+
+FAST = dict(eps=1e-3, max_sweeps=500)
+
+
+@pytest.fixture
+def check_calls(monkeypatch):
+    """Count (and still perform) every Checker.check_program call."""
+    calls = []
+    real = Checker.check_program
+
+    def counting(self, program):
+        calls.append(program.name)
+        return real(self, program)
+
+    monkeypatch.setattr(Checker, "check_program", counting)
+    return calls
+
+
+def _static_job(**overrides):
+    spec = dict(method="jacobi", shape=(5, 5, 5),
+                run_checker="static", **FAST)
+    spec.update(overrides)
+    return SimJob(**spec)
+
+
+class TestStaticTrust:
+    def test_cold_compile_trusts_the_analyzer(self, check_calls):
+        cache = ProgramCache()
+        job = _static_job()
+        record = execute_job(job.to_dict(), cache=cache)
+        assert record["ok"]
+        assert record["checker"] == "static"
+        assert check_calls == []  # dynamic checker never executed
+        assert cache.stats.static_clean == 1
+        key = job.cache_key()
+        # the verdict rides next to the trust mark, queryable later
+        payload = cache.static_verdict(key)
+        assert payload is not None and payload["ok"] is True
+        assert cache.verified_fingerprint(key) == \
+            record["program_fingerprint"]
+
+    def test_warm_trust_mark_skips_reanalysis(self, check_calls):
+        cache = ProgramCache()
+        job = _static_job()
+        execute_job(job.to_dict(), cache=cache)
+        cache.clear()  # forget the program, keep the trust mark
+        second = execute_job(job.to_dict(), cache=cache)
+        assert second["checker"] == "skipped"
+        assert check_calls == []
+        assert cache.stats.static_clean == 1  # not re-earned
+
+    def test_verdict_persists_to_disk(self, tmp_path, check_calls):
+        d = str(tmp_path / "cache")
+        cache = ProgramCache(d)
+        job = _static_job()
+        execute_job(job.to_dict(), cache=cache)
+        key = job.cache_key()
+        path = tmp_path / "cache" / "analysis" / f"{key}.json"
+        assert path.exists()
+        on_disk = json.loads(path.read_text())
+        assert on_disk["ok"] is True
+        # a fresh cache over the same directory can answer without
+        # recompiling or re-analyzing anything
+        fresh = ProgramCache(d)
+        assert fresh.static_verdict(key)["ok"] is True
+
+    def test_error_verdict_falls_back_to_dynamic_checker(
+        self, check_calls, monkeypatch
+    ):
+        bad = AnalysisVerdict(
+            program="p", fingerprint="f" * 64,
+            findings=(Finding(rule="uninit-read", severity="error",
+                              site="mem[0]", issue="pipeline 0",
+                              message="synthetic"),),
+        )
+        monkeypatch.setattr(repro.analysis, "analyze_program",
+                            lambda program: bad)
+        cache = ProgramCache()
+        job = _static_job()
+        record = execute_job(job.to_dict(), cache=cache)
+        assert record["ok"]
+        assert record["checker"] == "ran"  # demoted to a checked compile
+        assert len(check_calls) == 1
+        assert cache.stats.static_clean == 0
+        # the damning verdict is still recorded for post-mortems
+        assert cache.static_verdict(job.cache_key())["ok"] is False
+
+    def test_static_and_always_records_are_digest_identical(self, tmp_path):
+        # the acceptance bar: trusting the analyzer must not change a
+        # single canonical byte of the batch output
+        spec = SweepSpec(grids=(5, 6), methods=("jacobi", "rb-gs"), **FAST)
+        digests = []
+        for mode in ("always", "static"):
+            store = ResultStore(str(tmp_path / f"{mode}.jsonl"))
+            runner = BatchRunner(workers=1, store=store, run_checker=mode)
+            records, summary = runner.run(spec.expand())
+            assert summary.failed == 0
+            digests.append(store.digest())
+        assert digests[0] == digests[1]

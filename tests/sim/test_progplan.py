@@ -644,6 +644,40 @@ class TestPlanCache:
         plan_b = progplan.compiled_plan(prog_b, node.params)
         assert plan_a is not plan_b
 
+    def test_input_constants_distinguish_plans(self, node):
+        """Identical microwords, different literal operand: distinct plans.
+
+        A ``const``-kind FU input's value lives in the constant table,
+        not the microword bits, so two pipelines differing only in a
+        literal share :meth:`MachineProgram.fingerprint`.  The plan key
+        must still separate them — the compiled kernels bake the
+        constant in, and a collision replays the wrong arithmetic on
+        every later program (found by the analysis property suite)."""
+        from repro.arch.funcunit import Opcode
+        from repro.compose.builders import PipelineBuilder
+        from repro.diagram.program import VisualProgram
+
+        def build(const_value):
+            prog = VisualProgram(name="const-collision")
+            prog.declare("a", plane=0, length=8)
+            prog.declare("result", plane=1, length=8)
+            b = PipelineBuilder(node, prog, vector_length=8)
+            total = b.apply(Opcode.FADD, b.read_var("a"),
+                            b.constant(const_value))
+            b.write_var(b.apply(Opcode.PASS, total), "result")
+            b.build()
+            prog.add_control(ExecPipeline(0))
+            prog.add_control(Halt())
+            return MicrocodeGenerator(node).generate(prog)
+
+        prog_a = build(0.0)
+        prog_b = build(1.0)
+        assert prog_a.fingerprint() == prog_b.fingerprint()
+        assert (
+            progplan.program_fingerprint(prog_a)
+            != progplan.program_fingerprint(prog_b)
+        )
+
     def test_two_param_sets_on_one_image_do_not_thrash(self, node, subset_node,
                                                        monkeypatch):
         """Alternating params on one image must not recompile each time."""

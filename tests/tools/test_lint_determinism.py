@@ -1,0 +1,106 @@
+"""The determinism lint, riding the tier-1 suite.
+
+`tools/lint_determinism.py` is also run standalone by the CI lint job;
+this test keeps the repo's record-producing modules clean in every local
+`pytest` run and unit-tests the lint's own detection rules.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import lint_determinism  # noqa: E402
+
+
+def _lint(tmp_path, source):
+    target = tmp_path / "snippet.py"
+    target.write_text(source)
+    return lint_determinism.lint_file(target)
+
+
+class TestRepoScope:
+    def test_record_producing_modules_are_clean(self):
+        findings = []
+        for target in lint_determinism._iter_targets(
+            [str(REPO_ROOT / rel) for rel in lint_determinism.DEFAULT_SCOPE]
+        ):
+            findings.extend(lint_determinism.lint_file(target))
+        assert findings == [], "\n".join(findings)
+
+    def test_main_exit_codes(self, tmp_path):
+        clean = tmp_path / "ok.py"
+        clean.write_text("import time\nx = time.perf_counter()\n")
+        assert lint_determinism.main([str(clean)]) == 0
+        dirty = tmp_path / "bad.py"
+        dirty.write_text("import time\nx = time.time()\n")
+        assert lint_determinism.main([str(dirty)]) == 1
+
+
+class TestViolations:
+    @pytest.mark.parametrize(
+        "source, needle",
+        [
+            ("import time\nt = time.time()\n", "time.time"),
+            ("import time as clock\nt = clock.time_ns()\n", "time.time_ns"),
+            ("from time import time\nt = time()\n", "call time()"),
+            ("from datetime import datetime\nd = datetime.now()\n",
+             "datetime.now"),
+            ("import datetime\nd = datetime.datetime.utcnow()\n",
+             "datetime.utcnow"),
+            ("from datetime import date\nd = date.today()\n", "date.today"),
+            ("import random\nx = random.random()\n", "random.random"),
+            ("import random\nrandom.seed()\nx = random.randint(0, 9)\n",
+             "random.randint"),
+            ("import numpy as np\nx = np.random.rand(3)\n",
+             "np.random.rand"),
+            ("from numpy.random import default_rng\nr = default_rng()\n",
+             "default_rng()"),
+        ],
+    )
+    def test_flagged(self, tmp_path, source, needle):
+        findings = _lint(tmp_path, source)
+        assert findings, f"expected a finding for {needle}"
+        assert any(needle in f for f in findings), findings
+
+
+class TestAllowed:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "import time\nt = time.perf_counter()\n",
+            "import time\nt = time.monotonic()\ntime.sleep(0)\n",
+            "import random\nr = random.Random(42)\nx = r.random()\n",
+            "from numpy.random import default_rng\nr = default_rng(7)\n",
+            "import numpy as np\nr = np.random.default_rng(123)\n",
+        ],
+    )
+    def test_clean(self, tmp_path, source):
+        assert _lint(tmp_path, source) == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        source = (
+            "import time\n"
+            "t = time.time()  # lint: allow-nondeterminism\n"
+        )
+        assert _lint(tmp_path, source) == []
+
+
+class TestTypeAnnotations:
+    def test_mypy_config_targets_strict_packages(self):
+        # the CI typecheck job installs mypy; locally we at least pin
+        # the config so a drive-by edit can't silently drop the gate
+        text = (REPO_ROOT / "pyproject.toml").read_text()
+        assert '[tool.mypy]' in text
+        assert 'src/repro/analysis' in text
+        assert 'disallow_untyped_defs = true' in text
+
+    def test_mypy_clean_when_available(self):
+        mypy_api = pytest.importorskip("mypy.api")
+        stdout, stderr, status = mypy_api.run(
+            ["--config-file", str(REPO_ROOT / "pyproject.toml")]
+        )
+        assert status == 0, stdout + stderr

@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""Determinism lint: no wall-clock or unseeded randomness in record paths.
+
+The reproducibility contract (docs/ANALYSIS.md, src/repro/service/results.py)
+is that two runs of the same sweep produce byte-identical canonical records.
+Volatile wall-clock measurements are confined to the ``VOLATILE_KEYS``
+projection and taken with *relative* clocks (``time.perf_counter``); any
+other time or randomness source in a record-producing module is a latent
+reproducibility bug.  This lint walks the ASTs of those modules and fails
+on:
+
+- wall-clock reads: ``time.time``, ``time.time_ns``, ``datetime.now``,
+  ``datetime.utcnow``, ``datetime.today``, ``date.today``;
+- the process-global stdlib RNG: any ``random.<fn>()`` module call
+  (``random.Random(seed)`` instances are fine — they are seeded);
+- unseeded numpy randomness: ``np.random.<fn>()`` global-state calls and
+  ``default_rng()`` / ``RandomState()`` with no seed argument.
+
+Relative clocks (``perf_counter``, ``monotonic``, ``process_time``) and
+``time.sleep`` are whitelisted — they are what the obs tracer's timing
+spans are built on, and their readings land only in volatile record keys.
+
+A line may carry ``# lint: allow-nondeterminism`` to suppress the lint
+with an audit trail (none are needed today).
+
+Usage::
+
+    python tools/lint_determinism.py            # lint the default scope
+    python tools/lint_determinism.py PATH ...   # lint specific files/trees
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Record-producing scope: every module whose output feeds ResultStore
+#: records, bench records, or the serve API's persisted history.
+DEFAULT_SCOPE = (
+    "src/repro/service",
+    "src/repro/sim",
+    "src/repro/server/history.py",
+)
+
+#: ``time`` attributes that are safe: relative clocks and plain sleeps.
+ALLOWED_TIME_ATTRS = frozenset(
+    {"perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns",
+     "process_time", "process_time_ns", "sleep"}
+)
+
+#: Wall-clock reads, by (module alias target, attribute).
+FORBIDDEN_TIME_ATTRS = frozenset({"time", "time_ns"})
+FORBIDDEN_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+PRAGMA = "lint: allow-nondeterminism"
+
+
+class _Visitor(ast.NodeVisitor):
+    """Collects (line, message) findings for one module."""
+
+    def __init__(self, source_lines: List[str]) -> None:
+        self.findings: List[Tuple[int, str]] = []
+        self._lines = source_lines
+        # local names bound to interesting modules/objects by imports
+        self.time_aliases = set()
+        self.random_aliases = set()
+        self.np_random_aliases = set()
+        self.datetime_classes = set()  # names bound to datetime/date classes
+        self.rng_factories = set()  # names bound to default_rng/RandomState
+        self.from_time_funcs = set()  # forbidden funcs imported bare
+
+    # -- imports ---------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            name, bound = alias.name, alias.asname or alias.name.split(".")[0]
+            if name == "time":
+                self.time_aliases.add(bound)
+            elif name == "random":
+                self.random_aliases.add(bound)
+            elif name in ("numpy.random",):
+                self.np_random_aliases.add(bound)
+            elif name == "datetime":
+                # `import datetime` -> datetime.datetime.now etc. resolve
+                # through the module; track the module name itself
+                self.datetime_classes.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if module == "time":
+                if alias.name in FORBIDDEN_TIME_ATTRS:
+                    self.from_time_funcs.add(bound)
+            elif module == "datetime":
+                if alias.name in ("datetime", "date"):
+                    self.datetime_classes.add(bound)
+            elif module == "random":
+                # every bare stdlib-random function rides the global RNG
+                self.random_aliases.add(bound)
+                self.from_time_funcs.add(bound)
+            elif module in ("numpy", "numpy.random"):
+                if alias.name == "random":
+                    self.np_random_aliases.add(bound)
+                elif alias.name in ("default_rng", "RandomState"):
+                    self.rng_factories.add(bound)
+        self.generic_visit(node)
+
+    # -- calls -----------------------------------------------------------
+    def _suppressed(self, node: ast.AST) -> bool:
+        line = self._lines[node.lineno - 1] if node.lineno <= len(
+            self._lines
+        ) else ""
+        return PRAGMA in line
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        if not self._suppressed(node):
+            self.findings.append((node.lineno, message))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            self._check_attribute_call(node, func)
+        elif isinstance(func, ast.Name):
+            self._check_name_call(node, func)
+        self.generic_visit(node)
+
+    def _check_attribute_call(
+        self, node: ast.Call, func: ast.Attribute
+    ) -> None:
+        attr = func.attr
+        base = func.value
+        # time.<attr>()
+        if isinstance(base, ast.Name) and base.id in self.time_aliases:
+            if attr in FORBIDDEN_TIME_ATTRS:
+                self._flag(
+                    node,
+                    f"wall-clock read time.{attr}() — use "
+                    "time.perf_counter() for durations; record "
+                    "timestamps only outside the canonical record",
+                )
+            elif attr not in ALLOWED_TIME_ATTRS:
+                self._flag(node, f"unvetted time.{attr}() call")
+            return
+        # random.<attr>() — the process-global RNG
+        if isinstance(base, ast.Name) and base.id in self.random_aliases:
+            if attr != "Random":  # random.Random(seed) is a seeded object
+                self._flag(
+                    node,
+                    f"global-RNG call random.{attr}() — use a seeded "
+                    "random.Random or numpy default_rng(seed)",
+                )
+            elif not node.args and not node.keywords:
+                self._flag(node, "random.Random() constructed without a seed")
+            return
+        # np.random.<attr>() / numpy.random module alias
+        if self._is_np_random(base):
+            if attr in ("default_rng", "RandomState"):
+                if not node.args and not node.keywords:
+                    self._flag(
+                        node, f"{attr}() constructed without a seed"
+                    )
+            else:
+                self._flag(
+                    node,
+                    f"numpy global-RNG call np.random.{attr}() — "
+                    "use default_rng(seed)",
+                )
+            return
+        # datetime.now() / datetime.datetime.now() / date.today()
+        if attr in FORBIDDEN_DATETIME_ATTRS and self._is_datetime(base):
+            self._flag(
+                node,
+                f"wall-clock read {ast.unparse(func)}() in a "
+                "record-producing module",
+            )
+
+    def _check_name_call(self, node: ast.Call, func: ast.Name) -> None:
+        if func.id in self.from_time_funcs:
+            self._flag(
+                node,
+                f"nondeterministic call {func.id}() (imported from a "
+                "wall-clock or global-RNG module)",
+            )
+        elif func.id in self.rng_factories:
+            if not node.args and not node.keywords:
+                self._flag(node, f"{func.id}() constructed without a seed")
+
+    def _is_np_random(self, base: ast.expr) -> bool:
+        if isinstance(base, ast.Name):
+            return base.id in self.np_random_aliases
+        return (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in ("np", "numpy")
+        )
+
+    def _is_datetime(self, base: ast.expr) -> bool:
+        if isinstance(base, ast.Name):
+            return base.id in self.datetime_classes
+        return (
+            isinstance(base, ast.Attribute)
+            and base.attr in ("datetime", "date")
+            and isinstance(base.value, ast.Name)
+            and base.value.id in self.datetime_classes
+        )
+
+
+def lint_file(path: Path) -> List[str]:
+    """Findings for one file as ``path:line: message`` strings."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno or 0}: unparseable: {exc.msg}"]
+    visitor = _Visitor(source.splitlines())
+    visitor.visit(tree)
+    return [
+        f"{path}:{line}: {message}"
+        for line, message in sorted(visitor.findings)
+    ]
+
+
+def _iter_targets(args: List[str]) -> Iterator[Path]:
+    roots = args or [str(REPO / rel) for rel in DEFAULT_SCOPE]
+    for root in roots:
+        path = Path(root)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    findings: List[str] = []
+    checked = 0
+    for path in _iter_targets(args):
+        checked += 1
+        findings.extend(lint_file(path))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(
+            f"determinism lint: {len(findings)} finding(s) "
+            f"in {checked} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"determinism lint: {checked} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
